@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out: the Ishii GHR
+ * filter, post-fetch correction, wrong-path fetch, FTQ depth sweep,
+ * and hardware-prefetcher baselines (next-line, EIP-lite).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+
+namespace
+{
+
+double
+meanIpc(const std::vector<Trace> &traces, const SimConfig &config)
+{
+    double sum = 0.0;
+    for (const auto &trace : traces) {
+        Simulator sim(config, trace);
+        sum += sim.run().ipc();
+    }
+    return sum / static_cast<double>(traces.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::exhibitHeader(
+        "Ablation", "Front-end design-choice ablations",
+        "each industry-FDP ingredient (GHR filter, PFC, wrong-path "
+        "fetch, FTQ depth) contributes to the +41% gap over the "
+        "conservative front-end");
+
+    const CampaignOptions env = CampaignOptions::fromEnv();
+    const std::size_t n_workloads = std::min<std::size_t>(
+        env.workloads, std::getenv("SIPRE_WORKLOADS") ? env.workloads : 6);
+    const auto suite = synth::cvp1LikeSuite(n_workloads);
+
+    std::vector<Trace> traces;
+    traces.reserve(suite.size());
+    for (const auto &spec : suite)
+        traces.push_back(synth::generateTrace(spec, env.instructions));
+
+    const double base = meanIpc(traces, SimConfig::industry());
+
+    Table t({"variant", "mean IPC", "vs industry FDP"});
+    auto row = [&](const std::string &label, double ipc) {
+        t.addRow({label, Table::fmt(ipc),
+                  Table::pct(ipc / base - 1.0)});
+    };
+    row("industry FDP (baseline)", base);
+
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.branch.ghr_filter_btb_miss = false;
+        row("- GHR BTB-miss filter", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.pfc = false;
+        row("- post-fetch correction", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.wrong_path_fetch = false;
+        row("- wrong-path fetch", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.memory.l1i_prefetcher = IPrefetcherKind::kNextLine;
+        row("+ next-line L1-I prefetcher", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.memory.l1i_prefetcher = IPrefetcherKind::kEipLite;
+        row("+ EIP-lite L1-I prefetcher", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.branch.direction =
+            DirectionPredictorKind::kTageLite;
+        row("TAGE-lite direction predictor", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.branch.direction = DirectionPredictorKind::kGshare;
+        row("gshare direction predictor", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.branch.direction = DirectionPredictorKind::kLocal;
+        row("local-history direction predictor", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.memory.llc.policy = ReplPolicyKind::kDrrip;
+        row("DRRIP LLC replacement", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.frontend.itlb = true;
+        row("+ instruction TLB (64e, 30cy walk)", meanIpc(traces, config));
+    }
+    {
+        SimConfig config = SimConfig::industry();
+        config.memory.l1d_prefetcher = DPrefetcherKind::kIpStride;
+        row("+ IP-stride L1-D prefetcher", meanIpc(traces, config));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nFTQ depth sweep (mean IPC):\n";
+    Table sweep({"FTQ entries", "mean IPC", "vs FTQ=2"});
+    double d2 = 0.0;
+    for (std::uint32_t depth : {2u, 4u, 8u, 12u, 16u, 24u, 32u}) {
+        const double ipc = meanIpc(traces, SimConfig::withFtqDepth(depth));
+        if (depth == 2)
+            d2 = ipc;
+        sweep.addRow({std::to_string(depth), Table::fmt(ipc),
+                      Table::pct(ipc / d2 - 1.0)});
+    }
+    sweep.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 1: performance over a conservative front-end with a 2-entry
+ * FTQ. Reproduces the paper's headline comparison: AsmDB and its
+ * no-overhead ideal on the conservative front-end, the industry FDP
+ * (24-entry FTQ), and AsmDB stacked on the industry FDP (with and
+ * without insertion overhead), per workload plus geomean.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace sipre;
+
+int
+main()
+{
+    bench::exhibitHeader(
+        "Fig. 1",
+        "IPC speedup over the conservative 2-entry-FTQ front-end",
+        "AsmDB ~+20% on conservative; FDP(24) ~+41% alone; AsmDB+FDP "
+        "adds no significant benefit (sometimes hurts); removing the "
+        "insertion overhead recovers ~+9% over FDP");
+
+    const CampaignResult campaign = bench::standardCampaign();
+
+    Table t({"workload", "AsmDB", "AsmDB-NoOvh", "FDP(24)", "AsmDB+FDP",
+             "AsmDB+FDP-NoOvh"});
+    auto speedup = [](const SimResult &r, const SimResult &base) {
+        return base.ipc() > 0.0 ? r.ipc() / base.ipc() : 0.0;
+    };
+    for (const auto &rec : campaign.workloads) {
+        t.addRow({rec.name,
+                  Table::fmt(speedup(rec.asmdb_cons, rec.cons)),
+                  Table::fmt(speedup(rec.asmdb_cons_ideal, rec.cons)),
+                  Table::fmt(speedup(rec.industry, rec.cons)),
+                  Table::fmt(speedup(rec.asmdb_ind, rec.cons)),
+                  Table::fmt(speedup(rec.asmdb_ind_ideal, rec.cons))});
+    }
+    const double g_asmdb =
+        campaign.geomeanSpeedup(&WorkloadRecord::asmdb_cons);
+    const double g_asmdb_ideal =
+        campaign.geomeanSpeedup(&WorkloadRecord::asmdb_cons_ideal);
+    const double g_fdp = campaign.geomeanSpeedup(&WorkloadRecord::industry);
+    const double g_both = campaign.geomeanSpeedup(&WorkloadRecord::asmdb_ind);
+    const double g_both_ideal =
+        campaign.geomeanSpeedup(&WorkloadRecord::asmdb_ind_ideal);
+    t.addRow({"GEOMEAN", Table::fmt(g_asmdb), Table::fmt(g_asmdb_ideal),
+              Table::fmt(g_fdp), Table::fmt(g_both),
+              Table::fmt(g_both_ideal)});
+    bench::emitTable(t);
+
+    std::cout << "\nsummary (geomean speedup over conservative):\n"
+              << "  AsmDB on conservative:        "
+              << Table::pct(g_asmdb - 1.0) << "\n"
+              << "  AsmDB no-overhead (cons):     "
+              << Table::pct(g_asmdb_ideal - 1.0) << "\n"
+              << "  industry FDP (24-entry FTQ):  "
+              << Table::pct(g_fdp - 1.0) << "\n"
+              << "  AsmDB + FDP:                  "
+              << Table::pct(g_both - 1.0) << "  ("
+              << Table::pct(g_both / g_fdp - 1.0) << " vs FDP)\n"
+              << "  AsmDB + FDP no-overhead:      "
+              << Table::pct(g_both_ideal - 1.0) << "  ("
+              << Table::pct(g_both_ideal / g_fdp - 1.0)
+              << " vs FDP)\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7: static (7a) and dynamic (7b) code bloat of AsmDB's
+ * inserted software prefetches, per workload.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace sipre;
+
+int
+main()
+{
+    bench::exhibitHeader(
+        "Fig. 7", "Static and dynamic code bloat of AsmDB insertion",
+        "static bloat up to ~8% (7a); dynamic bloat higher than static "
+        "for most workloads, up to ~25% (7b)");
+
+    const CampaignResult campaign = bench::standardCampaign();
+
+    Table t({"workload", "static bloat (7a)", "dynamic bloat (7b)",
+             "insertions", "min distance"});
+    double static_sum = 0.0, dynamic_sum = 0.0;
+    for (const auto &rec : campaign.workloads) {
+        t.addRow({rec.name, Table::pct(rec.static_bloat_ind),
+                  Table::pct(rec.dynamic_bloat_ind),
+                  std::to_string(rec.insertions_ind),
+                  std::to_string(rec.plan_min_distance_ind) + " instrs"});
+        static_sum += rec.static_bloat_ind;
+        dynamic_sum += rec.dynamic_bloat_ind;
+    }
+    const auto n = static_cast<double>(campaign.workloads.size());
+    t.addRow({"AVERAGE", Table::pct(static_sum / n),
+              Table::pct(dynamic_sum / n), "-", "-"});
+    bench::emitTable(t);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10: the number of FTQ entries forced to wait on a stalling
+ * head entry before progressing (Scenario 2 pressure), per
+ * kilo-instruction, for the 2-entry (10a) and 24-entry (10b) FDP.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace sipre;
+
+int
+main()
+{
+    bench::exhibitHeader(
+        "Fig. 10",
+        "FTQ entries waiting on a stalling head (per kilo-instruction)",
+        "the conservative FDP has more waiting entries overall; AsmDB "
+        "increases waiting entries versus each respective baseline, "
+        "and in the deep FTQ that represents lost potential");
+
+    const CampaignResult campaign = bench::standardCampaign();
+
+    Table t({"workload", "FDP(2)", "AsmDB+FDP(2)", "NoOvh(2)", "FDP(24)",
+             "AsmDB+FDP(24)", "NoOvh(24)"});
+    double sums[6] = {};
+    for (const auto &rec : campaign.workloads) {
+        const double v[6] = {
+            bench::perKiloInstr(rec.cons.frontend.waiting_entry_events,
+                                rec.cons),
+            bench::perKiloInstr(
+                rec.asmdb_cons.frontend.waiting_entry_events,
+                rec.asmdb_cons),
+            bench::perKiloInstr(
+                rec.asmdb_cons_ideal.frontend.waiting_entry_events,
+                rec.asmdb_cons_ideal),
+            bench::perKiloInstr(
+                rec.industry.frontend.waiting_entry_events, rec.industry),
+            bench::perKiloInstr(
+                rec.asmdb_ind.frontend.waiting_entry_events,
+                rec.asmdb_ind),
+            bench::perKiloInstr(
+                rec.asmdb_ind_ideal.frontend.waiting_entry_events,
+                rec.asmdb_ind_ideal),
+        };
+        t.addRow({rec.name, Table::fmt(v[0], 1), Table::fmt(v[1], 1),
+                  Table::fmt(v[2], 1), Table::fmt(v[3], 1),
+                  Table::fmt(v[4], 1), Table::fmt(v[5], 1)});
+        for (int i = 0; i < 6; ++i)
+            sums[i] += v[i];
+    }
+    const auto n = static_cast<double>(campaign.workloads.size());
+    t.addRow({"AVERAGE", Table::fmt(sums[0] / n, 1),
+              Table::fmt(sums[1] / n, 1), Table::fmt(sums[2] / n, 1),
+              Table::fmt(sums[3] / n, 1), Table::fmt(sums[4] / n, 1),
+              Table::fmt(sums[5] / n, 1)});
+    bench::emitTable(t);
+
+    std::cout << "\nsummary: waiting entries, conservative "
+              << Table::fmt(sums[0] / n, 1) << " vs industry "
+              << Table::fmt(sums[3] / n, 1)
+              << " per Kinstr (paper: conservative has more overall); "
+                 "AsmDB vs baseline on industry: "
+              << Table::fmt(sums[4] / n, 1) << " vs "
+              << Table::fmt(sums[3] / n, 1) << ".\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Supporting analysis for Sec. III: the taxonomy of front-end states.
+ * Prints the fraction of cycles each configuration spends in
+ * Scenario 1 (shoot-through), Scenario 2 (stalling head), Scenario 3
+ * (shadow stalls), and with an empty FTQ.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace sipre;
+
+namespace
+{
+
+void
+printBreakdown(const char *label, const SimResult &r)
+{
+    const auto &f = r.frontend;
+    const double total = static_cast<double>(r.cycles);
+    std::cout << "  " << label << ": S1 "
+              << Table::pct(f.scenario1_cycles / total) << "  S2 "
+              << Table::pct(f.scenario2_cycles / total) << "  S3 "
+              << Table::pct(f.scenario3_cycles / total) << "  empty "
+              << Table::pct(f.ftq_empty_cycles / total) << "\n";
+}
+
+struct Avg
+{
+    double s1 = 0, s2 = 0, s3 = 0, empty = 0;
+    void
+    add(const SimResult &r)
+    {
+        const double total = static_cast<double>(r.cycles);
+        s1 += r.frontend.scenario1_cycles / total;
+        s2 += r.frontend.scenario2_cycles / total;
+        s3 += r.frontend.scenario3_cycles / total;
+        empty += r.frontend.ftq_empty_cycles / total;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::exhibitHeader(
+        "Sec. III", "Front-end state taxonomy (cycle breakdown)",
+        "Scenario 2/3 dominate the conservative FDP; the industry FDP "
+        "converts stall cycles into shoot-through; AsmDB shifts "
+        "Scenario 3 toward Scenario 2");
+
+    const CampaignResult campaign = bench::standardCampaign();
+
+    Avg cons, ind, asmdb_cons, asmdb_ind;
+    for (const auto &rec : campaign.workloads) {
+        cons.add(rec.cons);
+        ind.add(rec.industry);
+        asmdb_cons.add(rec.asmdb_cons);
+        asmdb_ind.add(rec.asmdb_ind);
+    }
+    const auto n = static_cast<double>(campaign.workloads.size());
+
+    Table t({"configuration", "Scenario 1", "Scenario 2", "Scenario 3",
+             "FTQ empty"});
+    auto row = [&](const char *label, const Avg &a) {
+        t.addRow({label, Table::pct(a.s1 / n), Table::pct(a.s2 / n),
+                  Table::pct(a.s3 / n), Table::pct(a.empty / n)});
+    };
+    row("FDP (FTQ=2)", cons);
+    row("AsmDB+FDP (FTQ=2)", asmdb_cons);
+    row("FDP (FTQ=24)", ind);
+    row("AsmDB+FDP (FTQ=24)", asmdb_ind);
+    bench::emitTable(t);
+
+    std::cout << "\nPer-workload detail for the first four workloads:\n";
+    for (std::size_t i = 0; i < campaign.workloads.size() && i < 4; ++i) {
+        const auto &rec = campaign.workloads[i];
+        std::cout << rec.name << "\n";
+        printBreakdown("FDP(2)    ", rec.cons);
+        printBreakdown("FDP(24)   ", rec.industry);
+        printBreakdown("AsmDB(24) ", rec.asmdb_ind);
+    }
+    return 0;
+}

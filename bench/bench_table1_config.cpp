@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table I: simulation parameters. Prints the Sunny-Cove-like core
+ * configuration the simulator models (the paper's Table I, which is
+ * based on Ishii et al.'s industry-perspective FDP work).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/config.hpp"
+
+using namespace sipre;
+
+int
+main()
+{
+    bench::exhibitHeader(
+        "Table I", "Simulation parameters based on previous work",
+        "a modern Sunny-Cove-like core with conservative (2-entry FTQ) "
+        "and industry-standard (24-entry FTQ) front-end variants");
+
+    const SimConfig industry = SimConfig::industry();
+    const SimConfig cons = SimConfig::conservative();
+
+    Table t({"Parameter", "Value"});
+    auto row = [&t](const std::string &k, const std::string &v) {
+        t.addRow({k, v});
+    };
+
+    const auto &fe = industry.frontend;
+    const auto &be = industry.backend;
+    const auto &mem = industry.memory;
+
+    row("Core", "out-of-order, trace-driven, cycle-approximate");
+    row("Fetch/decode width",
+        std::to_string(fe.fetch_width) + " instructions/cycle");
+    row("Decode latency", std::to_string(fe.decode_latency) + " cycles");
+    row("FTQ (industry FDP)",
+        std::to_string(industry.frontend.ftq_entries) +
+            " entries (basic blocks of up to " +
+            std::to_string(fe.max_block_instrs) + " instructions)");
+    row("FTQ (conservative FDP)",
+        std::to_string(cons.frontend.ftq_entries) + " entries");
+    row("FTQ fill rate",
+        std::to_string(fe.blocks_per_cycle) + " blocks/cycle");
+    row("Post-fetch correction", fe.pfc ? "enabled" : "disabled");
+    row("GHR BTB-miss filter",
+        fe.branch.ghr_filter_btb_miss ? "enabled" : "disabled");
+    row("Wrong-path fetch depth",
+        std::to_string(fe.wrong_path_depth) + " blocks per stall");
+    row("Branch direction predictor",
+        "hashed perceptron, 8 tables x 4096 weights, 64-bit history");
+    row("BTB", std::to_string(fe.branch.btb_entries) + " entries, " +
+                   std::to_string(fe.branch.btb_ways) + "-way LRU");
+    row("Return address stack",
+        std::to_string(fe.branch.ras_depth) + " entries");
+    row("Indirect predictor",
+        std::to_string(fe.branch.indirect_entries) +
+            " entries, path-history hashed");
+    row("ROB", std::to_string(be.rob_size) + " entries");
+    row("Dispatch/issue/retire width",
+        std::to_string(be.dispatch_width) + "/" +
+            std::to_string(be.issue_width) + "/" +
+            std::to_string(be.retire_width));
+    row("Scheduler window", std::to_string(be.sched_window) + " entries");
+    row("L1-I",
+        std::to_string(mem.l1i.size_bytes / 1024) + " KiB, " +
+            std::to_string(mem.l1i.ways) + "-way, " +
+            std::to_string(mem.l1i.latency) + "-cycle, " +
+            std::to_string(mem.l1i.mshrs) + " MSHRs");
+    row("L1-D",
+        std::to_string(mem.l1d.size_bytes / 1024) + " KiB, " +
+            std::to_string(mem.l1d.ways) + "-way, " +
+            std::to_string(mem.l1d.latency) + "-cycle");
+    row("L2 (unified)",
+        std::to_string(mem.l2.size_bytes / 1024) + " KiB, " +
+            std::to_string(mem.l2.ways) + "-way, +" +
+            std::to_string(mem.l2.latency) + " cycles");
+    row("LLC",
+        std::to_string(mem.llc.size_bytes / 1024 / 1024) + " MiB, " +
+            std::to_string(mem.llc.ways) + "-way, +" +
+            std::to_string(mem.llc.latency) + " cycles");
+    row("DRAM",
+        std::to_string(mem.dram.row_hit_latency) + " cycles row hit, +" +
+            std::to_string(mem.dram.row_miss_extra) + " row miss, " +
+            std::to_string(mem.dram.banks) + " banks");
+    row("Workloads",
+        "48 synthetic CVP1-like traces (srv/int/crypto archetypes)");
+    row("Warmup", "first 20% of each trace (stats reset)");
+
+    bench::emitTable(t);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Full AsmDB walkthrough: profile a workload, inspect the plan the
+ * planner produced (targets, distances, bloat), rewrite the trace, and
+ * evaluate all four AsmDB variants against the baselines — the same
+ * flow the paper's methodology section describes, on one workload.
+ */
+#include <cstdio>
+
+#include "asmdb/pipeline.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+
+namespace
+{
+
+double
+runIpc(const SimConfig &config, const Trace &trace,
+       const SwPrefetchTriggers *triggers = nullptr)
+{
+    Simulator sim(config, trace);
+    if (triggers != nullptr)
+        sim.setSwPrefetchTriggers(triggers);
+    return sim.run().ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto suite = synth::cvp1LikeSuite();
+    const Trace trace = synth::generateTrace(suite[16], 500'000);
+    std::printf("workload: %s (%zu instructions)\n\n",
+                trace.name().c_str(), trace.size());
+
+    const SimConfig cons = SimConfig::conservative();
+    const SimConfig industry = SimConfig::industry();
+
+    // Step 1-3: profile on each baseline, reconstruct the CFG, select
+    // insertion sites, rewrite the "binary" (trace).
+    std::printf("running AsmDB pipeline (profile -> CFG -> plan -> "
+                "rewrite)...\n");
+    const auto art_cons = asmdb::runPipeline(trace, cons);
+    const auto art_ind = asmdb::runPipeline(trace, industry);
+
+    const auto &plan = art_ind.plan;
+    std::printf("  profiled IPC:        %.3f\n",
+                art_ind.profile_run.ipc());
+    std::printf("  profiled misses:     %llu (targeted %llu)\n",
+                static_cast<unsigned long long>(plan.total_misses),
+                static_cast<unsigned long long>(plan.targeted_misses));
+    std::printf("  min distance:        %u instructions "
+                "(IPC x LLC latency)\n",
+                plan.min_distance);
+    std::printf("  window:              %u instructions\n", plan.window);
+    std::printf("  insertions:          %zu sites\n",
+                plan.insertions.size());
+    std::printf("  static code bloat:   %.1f%%\n",
+                100.0 * art_ind.rewrite.staticBloat());
+    std::printf("  dynamic code bloat:  %.1f%%\n\n",
+                100.0 * art_ind.rewrite.dynamicBloat());
+
+    // Step 4: rerun with software instruction prefetching.
+    const double ipc_cons = runIpc(cons, trace);
+    const double ipc_ind = runIpc(industry, trace);
+    const double ipc_asmdb_cons = runIpc(cons, art_cons.rewrite.trace);
+    const double ipc_asmdb_cons_nov =
+        runIpc(cons, trace, &art_cons.triggers);
+    const double ipc_asmdb_ind = runIpc(industry, art_ind.rewrite.trace);
+    const double ipc_asmdb_ind_nov =
+        runIpc(industry, trace, &art_ind.triggers);
+
+    std::printf("%-34s %8s %12s\n", "configuration", "IPC",
+                "vs cons");
+    auto row = [&](const char *label, double ipc) {
+        std::printf("%-34s %8.3f %+11.1f%%\n", label, ipc,
+                    100.0 * (ipc / ipc_cons - 1.0));
+    };
+    row("conservative FDP (FTQ=2)", ipc_cons);
+    row("AsmDB + conservative", ipc_asmdb_cons);
+    row("AsmDB no-overhead + conservative", ipc_asmdb_cons_nov);
+    row("industry FDP (FTQ=24)", ipc_ind);
+    row("AsmDB + industry FDP", ipc_asmdb_ind);
+    row("AsmDB no-overhead + industry FDP", ipc_asmdb_ind_nov);
+
+    std::printf("\npaper's finding: on the conservative front-end AsmDB "
+                "helps; on the industry FDP the inserted instructions' "
+                "overhead consumes the benefit (%.1f%% -> %+.1f%% vs "
+                "FDP), and only the no-overhead ideal still gains "
+                "(%+.1f%% vs FDP).\n",
+                100.0 * (ipc_asmdb_cons / ipc_cons - 1.0),
+                100.0 * (ipc_asmdb_ind / ipc_ind - 1.0),
+                100.0 * (ipc_asmdb_ind_nov / ipc_ind - 1.0));
+    return 0;
+}

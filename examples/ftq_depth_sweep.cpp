@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FTQ-depth ablation across archetypes: how much decoupling each
+ * workload class extracts from a deeper fetch target queue, and where
+ * the returns diminish.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+
+int
+main()
+{
+    const auto suite = synth::cvp1LikeSuite();
+    // One representative per archetype.
+    const std::vector<std::size_t> picks = {16, 4, 1}; // srv, int, crypto
+    const std::vector<std::uint32_t> depths = {2, 4, 8, 16, 24, 32};
+
+    std::printf("%-18s", "workload");
+    for (const auto depth : depths)
+        std::printf("   FTQ=%-3u", depth);
+    std::printf("  gain@24\n");
+
+    for (const std::size_t pick : picks) {
+        const Trace trace = synth::generateTrace(suite[pick], 400'000);
+        std::printf("%-18s", trace.name().c_str());
+        std::vector<double> ipcs;
+        for (const auto depth : depths) {
+            Simulator sim(SimConfig::withFtqDepth(depth), trace);
+            ipcs.push_back(sim.run().ipc());
+            std::printf("   %7.3f", ipcs.back());
+        }
+        std::printf("  %+6.1f%%\n",
+                    100.0 * (ipcs[4] / ipcs[0] - 1.0));
+    }
+
+    std::printf("\nserver workloads (large instruction footprints) gain "
+                "the most from run-ahead; crypto kernels, whose working "
+                "sets fit the L1-I, saturate at shallow depths.\n");
+    return 0;
+}

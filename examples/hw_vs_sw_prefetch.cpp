@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hardware vs software instruction prefetching, head to head, on both
+ * front-end presets: next-line and EIP-lite hardware prefetchers
+ * against AsmDB (realistic and idealized). The punchline mirrors the
+ * paper: on the conservative front-end everything helps; on the
+ * industry FDP only mechanisms without instruction overhead do.
+ */
+#include <cstdio>
+
+#include "asmdb/pipeline.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+
+namespace
+{
+
+double
+run(const SimConfig &config, const Trace &trace,
+    const SwPrefetchTriggers *triggers = nullptr)
+{
+    Simulator sim(config, trace);
+    if (triggers != nullptr)
+        sim.setSwPrefetchTriggers(triggers);
+    return sim.run().ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto suite = synth::cvp1LikeSuite();
+    const Trace trace = synth::generateTrace(suite[16], 500'000);
+    std::printf("workload: %s\n\n", trace.name().c_str());
+
+    for (const SimConfig &preset :
+         {SimConfig::conservative(), SimConfig::industry()}) {
+        const double base = run(preset, trace);
+
+        SimConfig nextline = preset;
+        nextline.memory.l1i_prefetcher = IPrefetcherKind::kNextLine;
+        SimConfig eip = preset;
+        eip.memory.l1i_prefetcher = IPrefetcherKind::kEipLite;
+
+        const auto artifacts = asmdb::runPipeline(trace, preset);
+        double asmdb_ipc;
+        {
+            Simulator sim(preset, artifacts.rewrite.trace);
+            asmdb_ipc = sim.run().ipc();
+        }
+        const double noovh = run(preset, trace, &artifacts.triggers);
+
+        std::printf("%s (base IPC %.3f)\n", preset.label.c_str(), base);
+        auto row = [&](const char *label, double ipc) {
+            std::printf("  %-28s %.3f  (%+.1f%%)\n", label, ipc,
+                        100.0 * (ipc / base - 1.0));
+        };
+        row("next-line HW prefetcher", run(nextline, trace));
+        row("EIP-lite HW prefetcher", run(eip, trace));
+        row("AsmDB (inserted instrs)", asmdb_ipc);
+        row("AsmDB (no overhead)", noovh);
+        std::printf("\n");
+    }
+
+    std::printf("hardware prefetchers pay no instruction overhead, so "
+                "they keep helping on the aggressive front-end; AsmDB's "
+                "benefit survives only in its idealized no-overhead "
+                "form — the paper's core observation.\n");
+    return 0;
+}

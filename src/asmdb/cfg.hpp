@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Weighted control-flow graph reconstructed from an execution trace,
+ * as AsmDB's profiling stage builds from LBR samples (here: exact).
+ */
+#ifndef SIPRE_ASMDB_CFG_HPP
+#define SIPRE_ASMDB_CFG_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace sipre::asmdb
+{
+
+/** One static basic block plus its profile weights. */
+struct CfgBlock
+{
+    std::uint32_t id = 0;
+    Addr start_pc = 0;
+    Addr end_pc = 0;          ///< pc of the last instruction
+    std::uint32_t num_instrs = 0;
+    std::uint64_t exec_count = 0;
+    std::uint64_t misses = 0; ///< L1-I misses attributed to this block
+
+    /** Successor / predecessor edges with traversal counts. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> succs;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> preds;
+
+    /**
+     * Call-bypass edge: when this block is a call continuation, the
+     * call-site block reaches it (almost) surely after the callee runs.
+     * Lets backward traversal step over shared helpers whose return
+     * edges scatter probability across callers.
+     */
+    std::uint32_t bypass_pred = ~std::uint32_t{0};
+    std::uint32_t bypass_len = 0; ///< avg dynamic callee instructions
+};
+
+/**
+ * The whole-program CFG: blocks are split at branch targets and after
+ * every control transfer observed in the trace; edge weights are the
+ * observed transfer counts.
+ */
+class Cfg
+{
+  public:
+    /**
+     * Build a CFG from a trace and per-line L1-I miss counts (from the
+     * profiling simulation). Misses are attributed to the block that
+     * contains the line's first profiled instruction.
+     */
+    static Cfg build(const Trace &trace,
+                     const std::unordered_map<Addr, std::uint64_t>
+                         &line_misses);
+
+    const std::vector<CfgBlock> &blocks() const { return blocks_; }
+    const CfgBlock &block(std::uint32_t id) const { return blocks_[id]; }
+
+    /** Block whose range contains pc; ~0u when pc is unknown. */
+    std::uint32_t blockContaining(Addr pc) const;
+
+    /** Block starting at pc; ~0u when pc is not a leader. */
+    std::uint32_t blockAt(Addr pc) const;
+
+    /**
+     * The representative block for a missing line: of the blocks
+     * overlapping the line, the one containing the line's first
+     * instruction.
+     */
+    std::uint32_t blockForLine(Addr line_addr) const;
+
+    static constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+
+  private:
+    std::vector<CfgBlock> blocks_;
+    std::unordered_map<Addr, std::uint32_t> by_start_;
+    std::unordered_map<Addr, std::uint32_t> by_pc_;   ///< every instr pc
+    std::unordered_map<Addr, std::uint32_t> by_line_; ///< representative
+};
+
+} // namespace sipre::asmdb
+
+#endif // SIPRE_ASMDB_CFG_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The two future directions the paper proposes in Sec. VI, built on the
+ * AsmDB pipeline: metadata preloading (see core/metadata_preload.hpp)
+ * and feedback-directed software prefetching (iteratively re-tuning the
+ * inserted prefetches based on their measured impact).
+ */
+#ifndef SIPRE_ASMDB_EXTENSIONS_HPP
+#define SIPRE_ASMDB_EXTENSIONS_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "asmdb/pipeline.hpp"
+
+namespace sipre::asmdb
+{
+
+/**
+ * Convert a plan into metadata keyed by *trigger line*: accessing the
+ * line containing an insertion site triggers that site's prefetches.
+ * This is the metadata a preloader ships to the LLC instead of
+ * inserting instructions into the binary.
+ */
+std::unordered_map<Addr, std::vector<Addr>> buildMetadataMap(
+    const AsmdbPlan &plan);
+
+/** Feedback-directed insertion parameters. */
+struct FeedbackParams
+{
+    std::size_t rounds = 2;
+
+    /**
+     * A target is kept only when the evaluation run shows its misses
+     * dropped by at least this fraction relative to the profile.
+     */
+    double required_improvement = 0.25;
+};
+
+/** Outcome of the feedback loop. */
+struct FeedbackResult
+{
+    AsmdbPlan plan;              ///< pruned plan after the last round
+    RewriteResult rewrite;       ///< trace rewritten with the final plan
+    SwPrefetchTriggers triggers; ///< no-overhead form of the final plan
+    std::vector<std::size_t> insertions_per_round;
+    std::uint64_t dropped_insertions = 0;
+};
+
+/**
+ * Feedback-directed software prefetching: profile, plan, then run
+ * evaluation rounds that drop prefetch targets whose misses did not
+ * improve, cutting code bloat while keeping the effective prefetches
+ * (the binary-update loop the paper sketches after AutoFDO).
+ */
+FeedbackResult runFeedbackDirected(const Trace &trace,
+                                   const SimConfig &config,
+                                   const AsmdbParams &params = {},
+                                   const FeedbackParams &feedback = {});
+
+} // namespace sipre::asmdb
+
+#endif // SIPRE_ASMDB_EXTENSIONS_HPP

@@ -1,0 +1,32 @@
+#include "asmdb/layout.hpp"
+
+#include <algorithm>
+
+namespace sipre::asmdb
+{
+
+CodeLayout::CodeLayout(const AsmdbPlan &plan)
+{
+    sites_.reserve(plan.insertions.size());
+    for (const Insertion &ins : plan.insertions)
+        sites_.push_back(ins.site_pc);
+    std::sort(sites_.begin(), sites_.end());
+}
+
+std::uint64_t
+CodeLayout::insertionsBefore(Addr old_pc) const
+{
+    // Prefetches inserted *at* old_pc sit before the instruction that
+    // was at old_pc, so they count as well (upper_bound, not lower).
+    return static_cast<std::uint64_t>(
+        std::upper_bound(sites_.begin(), sites_.end(), old_pc) -
+        sites_.begin());
+}
+
+Addr
+CodeLayout::map(Addr old_pc) const
+{
+    return old_pc + 4 * insertionsBefore(old_pc);
+}
+
+} // namespace sipre::asmdb

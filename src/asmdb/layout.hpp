@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Code-layout remapping after prefetch insertion.
+ *
+ * Inserting a 4-byte prefetch instruction shifts every subsequent
+ * instruction address — the "static code bloat" the paper measures in
+ * Fig. 7a — and changes which cache line each instruction lands on,
+ * which is why AsmDB can perturb the miss profile it was built from.
+ */
+#ifndef SIPRE_ASMDB_LAYOUT_HPP
+#define SIPRE_ASMDB_LAYOUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "asmdb/planner.hpp"
+#include "util/types.hpp"
+
+namespace sipre::asmdb
+{
+
+/**
+ * Maps old-layout addresses to the post-insertion layout. Every
+ * insertion site shifts all instructions at or beyond it by 4 bytes
+ * (one prefetch instruction per planned insertion at that site).
+ */
+class CodeLayout
+{
+  public:
+    /** Build from a plan (insertions need not be unique per site). */
+    explicit CodeLayout(const AsmdbPlan &plan);
+
+    /** New address of the instruction that was at old_pc. */
+    Addr map(Addr old_pc) const;
+
+    /** New address of the line containing old_pc's first instruction. */
+    Addr
+    mapLine(Addr old_line) const
+    {
+        return map(old_line) & ~Addr{63};
+    }
+
+    /** Number of prefetch instructions inserted before old_pc. */
+    std::uint64_t insertionsBefore(Addr old_pc) const;
+
+    /** Total inserted instructions (static). */
+    std::uint64_t totalInsertions() const { return sites_.size(); }
+
+  private:
+    /** Sorted old-layout addresses of every inserted prefetch. */
+    std::vector<Addr> sites_;
+};
+
+} // namespace sipre::asmdb
+
+#endif // SIPRE_ASMDB_LAYOUT_HPP

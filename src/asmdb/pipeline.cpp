@@ -1,0 +1,38 @@
+#include "asmdb/pipeline.hpp"
+
+#include "core/simulator.hpp"
+
+namespace sipre::asmdb
+{
+
+AsmdbArtifacts
+runPipeline(const Trace &trace, const SimConfig &config,
+            const AsmdbParams &params)
+{
+    AsmdbArtifacts artifacts;
+
+    // (1) Profile: run the baseline and collect per-line L1-I misses.
+    std::unordered_map<Addr, std::uint64_t> line_misses;
+    {
+        Simulator sim(config, trace);
+        sim.setL1iMissHook(
+            [&line_misses](Addr line) { ++line_misses[line]; });
+        artifacts.profile_run = sim.run();
+    }
+
+    // (2) Reconstruct the CFG with profile weights.
+    const Cfg cfg = Cfg::build(trace, line_misses);
+
+    // (3) Plan insertions and rewrite the "binary" (trace).
+    artifacts.plan =
+        buildPlan(cfg, line_misses, artifacts.profile_run.ipc(),
+                  config.memory.l1i.latency + config.memory.l2.latency +
+                      config.memory.llc.latency,
+                  params);
+    const CodeLayout layout(artifacts.plan);
+    artifacts.rewrite = rewriteTrace(trace, artifacts.plan, layout);
+    artifacts.triggers = buildTriggers(artifacts.plan);
+    return artifacts;
+}
+
+} // namespace sipre::asmdb

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * End-to-end AsmDB pipeline, mirroring the paper's methodology:
+ * (1) execute and gather information (a profiling simulation),
+ * (2) generate a profile (CFG + per-line miss counts),
+ * (3) modify the target binary (trace rewriting with address shift),
+ * (4) rerun the binary with software instruction prefetching.
+ */
+#ifndef SIPRE_ASMDB_PIPELINE_HPP
+#define SIPRE_ASMDB_PIPELINE_HPP
+
+#include "asmdb/planner.hpp"
+#include "asmdb/rewriter.hpp"
+#include "core/config.hpp"
+#include "core/sim_result.hpp"
+#include "trace/trace.hpp"
+
+namespace sipre::asmdb
+{
+
+/** Everything produced by one profile-and-plan pass. */
+struct AsmdbArtifacts
+{
+    SimResult profile_run;       ///< baseline run used for profiling
+    AsmdbPlan plan;
+    RewriteResult rewrite;       ///< rewritten trace + bloat numbers
+    SwPrefetchTriggers triggers; ///< no-overhead mode trigger map
+};
+
+/**
+ * Run the full AsmDB pipeline for one workload trace under the given
+ * baseline configuration (the profile is gathered on that baseline,
+ * like profiling a production machine).
+ */
+AsmdbArtifacts runPipeline(const Trace &trace, const SimConfig &config,
+                           const AsmdbParams &params = {});
+
+} // namespace sipre::asmdb
+
+#endif // SIPRE_ASMDB_PIPELINE_HPP

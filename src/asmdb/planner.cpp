@@ -1,0 +1,215 @@
+#include "asmdb/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace sipre::asmdb
+{
+
+namespace
+{
+
+/** Backward-traversal work item. */
+struct WorkItem
+{
+    std::uint32_t block;
+    std::uint32_t distance; ///< instructions from block end to target
+    double prob;            ///< probability the path reaches the target
+
+    bool
+    operator<(const WorkItem &other) const
+    {
+        return prob < other.prob; // explore most likely paths first
+    }
+};
+
+/** Candidate insertion site discovered by the traversal. */
+struct Candidate
+{
+    std::uint32_t block;
+    double prob;
+    std::uint64_t expected; ///< exec_count * prob
+};
+
+} // namespace
+
+AsmdbPlan
+buildPlan(const Cfg &cfg,
+          const std::unordered_map<Addr, std::uint64_t> &line_misses,
+          double profiled_ipc, Cycle llc_latency, const AsmdbParams &params)
+{
+    AsmdbPlan plan;
+    plan.min_distance = static_cast<std::uint32_t>(
+        std::ceil(std::max(0.1, profiled_ipc) *
+                  static_cast<double>(llc_latency)));
+    plan.window = static_cast<std::uint32_t>(
+        plan.min_distance * std::max(1.0, params.window_mult));
+
+    // Rank target lines by miss count.
+    std::vector<std::pair<Addr, std::uint64_t>> targets(line_misses.begin(),
+                                                        line_misses.end());
+    std::sort(targets.begin(), targets.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+              });
+    for (const auto &[line, n] : targets)
+        plan.total_misses += n;
+
+    const std::uint64_t coverage_goal = static_cast<std::uint64_t>(
+        params.coverage * static_cast<double>(plan.total_misses));
+
+    std::uint64_t covered = 0;
+    std::size_t targets_used = 0;
+
+    // Scratch: best probability seen per block during one traversal.
+    std::unordered_map<std::uint32_t, double> best_prob;
+
+    for (const auto &[line, miss_count] : targets) {
+        if (covered >= coverage_goal ||
+            targets_used >= params.max_targets)
+            break;
+        const std::uint32_t target = cfg.blockForLine(line);
+        if (target == Cfg::kNoBlock)
+            continue;
+        ++targets_used;
+
+        // Backward best-first traversal from the target block.
+        best_prob.clear();
+        std::priority_queue<WorkItem> queue;
+        queue.push(WorkItem{target, 0, 1.0});
+        std::vector<Candidate> candidates;
+        std::size_t expansions = 0;
+
+        while (!queue.empty() && expansions < 16384) {
+            const WorkItem item = queue.top();
+            queue.pop();
+            ++expansions;
+
+            const CfgBlock &block = cfg.block(item.block);
+            if (item.block != target &&
+                item.distance >= plan.min_distance &&
+                item.prob >= params.min_path_prob &&
+                block.exec_count > 0) {
+                candidates.push_back(Candidate{
+                    item.block, item.prob,
+                    static_cast<std::uint64_t>(
+                        item.prob *
+                        static_cast<double>(block.exec_count))});
+            }
+            if (item.distance >= plan.window)
+                continue;
+
+            auto visit_pred = [&](std::uint32_t pred_id, double edge_prob,
+                                  std::uint32_t extra_distance) {
+                const CfgBlock &pred = cfg.block(pred_id);
+                if (pred.exec_count == 0)
+                    return;
+                const double prob = item.prob * std::min(1.0, edge_prob);
+                if (prob < params.min_path_prob)
+                    return;
+                // Distance from the end of pred to the target: the whole
+                // of the current block plus anything executed in between
+                // (a bypassed callee).
+                const std::uint32_t dist =
+                    item.distance + block.num_instrs + extra_distance;
+                auto it = best_prob.find(pred_id);
+                if (it != best_prob.end() && it->second >= prob)
+                    return;
+                best_prob[pred_id] = prob;
+                queue.push(WorkItem{pred_id, dist, prob});
+            };
+
+            for (const auto &[pred_id, edge_count] : block.preds) {
+                const CfgBlock &pred = cfg.block(pred_id);
+                if (pred.exec_count == 0)
+                    continue;
+                visit_pred(pred_id,
+                           static_cast<double>(edge_count) /
+                               static_cast<double>(pred.exec_count),
+                           0);
+            }
+            if (block.bypass_pred != Cfg::kNoBlock) {
+                // Step over the call: the call site leads here once the
+                // callee returns.
+                visit_pred(block.bypass_pred, 0.95, block.bypass_len);
+            }
+        }
+
+        // Greedily pick the highest-probability sites until the
+        // expected covered executions reach the per-target goal.
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.expected != b.expected
+                                 ? a.expected > b.expected
+                                 : a.block < b.block;
+                  });
+        const auto target_execs = static_cast<std::uint64_t>(
+            params.per_target_coverage *
+            static_cast<double>(cfg.block(target).exec_count));
+        std::uint64_t expected_total = 0;
+        std::size_t sites = 0;
+        for (const Candidate &cand : candidates) {
+            if (sites >= params.max_sites_per_target ||
+                expected_total >= target_execs)
+                break;
+            plan.insertions.push_back(
+                Insertion{cfg.block(cand.block).end_pc, line, cand.prob,
+                          cand.expected});
+            expected_total += cand.expected;
+            ++sites;
+        }
+        if (sites > 0) {
+            // Only targets that actually received a prefetch count as
+            // covered misses.
+            covered += miss_count;
+            plan.targeted_misses += miss_count;
+        }
+    }
+
+    // Sort by site and deduplicate identical (site, target) pairs.
+    std::sort(plan.insertions.begin(), plan.insertions.end(),
+              [](const Insertion &a, const Insertion &b) {
+                  return a.site_pc != b.site_pc
+                             ? a.site_pc < b.site_pc
+                             : a.target_line < b.target_line;
+              });
+    plan.insertions.erase(
+        std::unique(plan.insertions.begin(), plan.insertions.end(),
+                    [](const Insertion &a, const Insertion &b) {
+                        return a.site_pc == b.site_pc &&
+                               a.target_line == b.target_line;
+                    }),
+        plan.insertions.end());
+    return plan;
+}
+
+AsmdbPlan
+coalescePlan(const AsmdbPlan &plan, unsigned max_range)
+{
+    AsmdbPlan out = plan;
+    out.insertions.clear();
+    // Input is sorted by (site, target); merge adjacent-line runs.
+    for (std::size_t i = 0; i < plan.insertions.size();) {
+        Insertion merged = plan.insertions[i];
+        std::size_t j = i + 1;
+        while (j < plan.insertions.size() &&
+               plan.insertions[j].site_pc == merged.site_pc &&
+               plan.insertions[j].target_line ==
+                   merged.target_line + Addr{merged.range} * 64 &&
+               merged.range < max_range) {
+            ++merged.range;
+            merged.expected_covered +=
+                plan.insertions[j].expected_covered;
+            ++j;
+        }
+        out.insertions.push_back(merged);
+        i = j;
+    }
+    return out;
+}
+
+} // namespace sipre::asmdb

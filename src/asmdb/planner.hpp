@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The AsmDB insertion planner: rank high-impact L1-I misses, traverse
+ * the CFG backward from each target, and select insertion sites that
+ * are at least one LLC-latency's worth of instructions ahead of the
+ * miss (the paper's "minimum distance"), within a bounded window, and
+ * likely enough to lead to the miss (the "fanout" criterion).
+ */
+#ifndef SIPRE_ASMDB_PLANNER_HPP
+#define SIPRE_ASMDB_PLANNER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asmdb/cfg.hpp"
+
+namespace sipre::asmdb
+{
+
+/** AsmDB tuning knobs (paper Sec. II-B). */
+struct AsmdbParams
+{
+    /** Fraction of profiled misses the plan tries to target. */
+    double coverage = 0.9;
+
+    /** Cap on distinct target lines (highest-miss first). */
+    std::size_t max_targets = 8192;
+
+    /**
+     * Minimum probability that executing the insertion site leads to
+     * the target within the window. Lower values = more aggressive
+     * fanout (more coverage, less accuracy).
+     */
+    double min_path_prob = 0.10;
+
+    /** Window = window_mult * min_distance instructions. */
+    double window_mult = 4.0;
+
+    /** Cap on insertion sites selected per target line. */
+    std::size_t max_sites_per_target = 6;
+
+    /** Per-target expected-execution coverage goal. */
+    double per_target_coverage = 0.9;
+};
+
+/** One planned software prefetch. */
+struct Insertion
+{
+    Addr site_pc = 0;     ///< insert before this (old-layout) instruction
+    Addr target_line = 0; ///< line to prefetch (old layout)
+    double path_prob = 0.0;
+    std::uint64_t expected_covered = 0;
+
+    /**
+     * Consecutive lines covered by this one prefetch (I-SPY-style
+     * coalescing); 1 = a plain AsmDB prefetch.
+     */
+    std::uint8_t range = 1;
+};
+
+/** The complete plan for one binary. */
+struct AsmdbPlan
+{
+    std::vector<Insertion> insertions; ///< sorted by site_pc
+    std::uint64_t total_misses = 0;    ///< misses in the profile
+    std::uint64_t targeted_misses = 0; ///< misses covered by targets
+    std::uint32_t min_distance = 0;    ///< instructions (IPC * LLC lat)
+    std::uint32_t window = 0;          ///< instructions
+};
+
+/**
+ * Build an insertion plan.
+ *
+ * @param cfg          profiled CFG
+ * @param line_misses  per-line L1-I demand miss counts from profiling
+ * @param profiled_ipc IPC of the profiling run (sets the min distance)
+ * @param llc_latency  LLC access latency in cycles
+ */
+AsmdbPlan buildPlan(const Cfg &cfg,
+                    const std::unordered_map<Addr, std::uint64_t>
+                        &line_misses,
+                    double profiled_ipc, Cycle llc_latency,
+                    const AsmdbParams &params);
+
+/**
+ * I-SPY-style coalescing: merge prefetches from the same site whose
+ * targets are adjacent lines into single ranged prefetches covering up
+ * to max_range consecutive lines. Cuts inserted-instruction overhead
+ * without losing coverage.
+ */
+AsmdbPlan coalescePlan(const AsmdbPlan &plan, unsigned max_range = 4);
+
+} // namespace sipre::asmdb
+
+#endif // SIPRE_ASMDB_PLANNER_HPP

@@ -1,0 +1,90 @@
+#include "asmdb/rewriter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace sipre::asmdb
+{
+
+RewriteResult
+rewriteTrace(const Trace &original, const AsmdbPlan &plan,
+             const CodeLayout &layout)
+{
+    RewriteResult result;
+    result.trace.setName(original.name() + "+asmdb");
+    result.trace.setSeed(original.seed());
+    result.original_dynamic = original.size();
+    result.trace.reserve(original.size() + original.size() / 16);
+
+    // Group insertions by site. A ranged (coalesced) prefetch encodes
+    // its line count in the low bits of the line-aligned target.
+    std::unordered_map<Addr, std::vector<Addr>> by_site;
+    for (const Insertion &ins : plan.insertions) {
+        by_site[ins.site_pc].push_back(ins.target_line |
+                                       Addr{ins.range - 1u});
+    }
+    for (auto &[site, targets] : by_site)
+        std::sort(targets.begin(), targets.end());
+    result.inserted_static = plan.insertions.size();
+
+    std::unordered_set<Addr> unique_pcs;
+    unique_pcs.reserve(original.size() / 8);
+
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const TraceInstruction &inst = original[i];
+        unique_pcs.insert(inst.pc);
+
+        // Prefetches belong to the fallthrough path within the site
+        // block: emit them only when control reaches the site's
+        // terminating instruction sequentially (a jump directly to the
+        // terminator skips block-body code, including our insertion).
+        auto site = by_site.find(inst.pc);
+        if (site != by_site.end() && i > 0) {
+            const TraceInstruction &prev = original[i - 1];
+            const bool fallthrough =
+                !(prev.isBranch() && prev.taken) &&
+                prev.nextPc() == inst.pc;
+            if (fallthrough) {
+                const Addr base = layout.map(inst.pc) -
+                                  4 * site->second.size();
+                for (std::size_t k = 0; k < site->second.size(); ++k) {
+                    const Addr encoded = site->second[k];
+                    TraceInstruction pf;
+                    pf.pc = base + 4 * k;
+                    pf.cls = InstClass::kSwPrefetch;
+                    pf.target = layout.mapLine(encoded & ~Addr{63}) |
+                                (encoded & Addr{63});
+                    result.trace.append(pf);
+                    ++result.inserted_dynamic;
+                }
+            }
+        }
+
+        TraceInstruction moved = inst;
+        moved.pc = layout.map(inst.pc);
+        if (inst.isBranch() && inst.taken)
+            moved.target = layout.map(inst.target);
+        result.trace.append(moved);
+    }
+
+    result.original_static = unique_pcs.size();
+    return result;
+}
+
+SwPrefetchTriggers
+buildTriggers(const AsmdbPlan &plan)
+{
+    SwPrefetchTriggers triggers;
+    for (const Insertion &ins : plan.insertions) {
+        triggers[ins.site_pc].push_back(ins.target_line |
+                                        Addr{ins.range - 1u});
+    }
+    for (auto &[pc, targets] : triggers)
+        std::sort(targets.begin(), targets.end());
+    return triggers;
+}
+
+} // namespace sipre::asmdb

@@ -1,0 +1,203 @@
+#include "backend/backend.hpp"
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+Backend::Backend(const BackendConfig &config, const Trace &trace,
+                 MemoryHierarchy &memory, DecodeQueue &decode_queue)
+    : config_(config), trace_(trace), memory_(memory),
+      decode_queue_(decode_queue), rob_(config.rob_size)
+{
+    producers_.fill(kNoProducer);
+}
+
+Cycle
+Backend::latencyFor(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::kFp:
+        return config_.fp_latency;
+      case InstClass::kMul:
+        return config_.mul_latency;
+      case InstClass::kDiv:
+        return config_.div_latency;
+      case InstClass::kCondBranch:
+      case InstClass::kDirectJump:
+      case InstClass::kIndirectJump:
+      case InstClass::kCall:
+      case InstClass::kIndirectCall:
+      case InstClass::kReturn:
+        return config_.branch_latency;
+      default:
+        return config_.alu_latency;
+    }
+}
+
+Backend::RobEntry *
+Backend::entryFor(std::uint64_t seq)
+{
+    if (rob_.empty())
+        return nullptr;
+    const std::uint64_t front_seq = rob_.front().seq;
+    if (seq < front_seq || seq >= front_seq + rob_.size())
+        return nullptr;
+    // Dispatch order equals sequence order and pops happen only at the
+    // front, so position in the ROB is the sequence offset.
+    return &rob_.at(static_cast<std::size_t>(seq - front_seq));
+}
+
+bool
+Backend::sourcesReady(const RobEntry &entry) const
+{
+    for (std::uint64_t producer : entry.src_seq) {
+        if (producer == kNoProducer)
+            continue;
+        const RobEntry *other =
+            const_cast<Backend *>(this)->entryFor(producer);
+        if (other == nullptr)
+            continue; // producer already retired
+        if (other->state != State::kDone)
+            return false;
+    }
+    return true;
+}
+
+void
+Backend::markDone(std::uint64_t seq, Cycle now)
+{
+    RobEntry *entry = entryFor(seq);
+    SIPRE_ASSERT(entry != nullptr && entry->seq == seq,
+                 "completion for an instruction not in the ROB");
+    entry->state = State::kDone;
+    entry->done_cycle = now;
+    if (trace_[entry->trace_index].isBranch() && onBranchExecuted)
+        onBranchExecuted(entry->trace_index, now);
+}
+
+void
+Backend::tick(Cycle now)
+{
+    complete(now);
+    retire(now);
+    issue(now);
+    dispatch(now);
+
+    if (rob_.empty())
+        ++stats_.empty_rob_cycles;
+    if (rob_.full())
+        ++stats_.rob_full_cycles;
+}
+
+void
+Backend::complete(Cycle now)
+{
+    // Loads returning from the hierarchy.
+    auto &done = memory_.dataCompleted();
+    for (const MemRequest &req : done) {
+        auto it = inflight_loads_.find(req.id);
+        if (it == inflight_loads_.end())
+            continue;
+        markDone(it->second, now);
+        inflight_loads_.erase(it);
+    }
+    done.clear();
+
+    // Fixed-latency operations finishing this cycle.
+    while (!exec_done_.empty() && exec_done_.top().ready <= now) {
+        const std::uint64_t seq = exec_done_.top().seq;
+        exec_done_.pop();
+        markDone(seq, now);
+    }
+}
+
+void
+Backend::retire(Cycle now)
+{
+    (void)now;
+    std::uint32_t budget = config_.retire_width;
+    while (budget > 0 && !rob_.empty() &&
+           rob_.front().state == State::kDone) {
+        const RobEntry entry = rob_.pop();
+        if (trace_[entry.trace_index].isSwPrefetch())
+            ++stats_.retired_sw_prefetches;
+        ++stats_.retired;
+        ++retired_total_;
+        --budget;
+    }
+}
+
+void
+Backend::issue(Cycle now)
+{
+    std::uint32_t budget = config_.issue_width;
+    std::uint32_t load_ports = config_.load_ports;
+    std::uint32_t store_ports = config_.store_ports;
+
+    // Scan a bounded scheduler window from the oldest instruction.
+    const std::size_t window =
+        std::min<std::size_t>(rob_.size(), config_.sched_window);
+    for (std::size_t pos = 0; pos < window && budget > 0; ++pos) {
+        RobEntry &entry = rob_.at(pos);
+        if (entry.state != State::kWaiting)
+            continue;
+        if (!sourcesReady(entry))
+            continue;
+
+        const TraceInstruction &inst = trace_[entry.trace_index];
+        if (inst.isLoad()) {
+            if (load_ports == 0 || !memory_.dataCanAccept())
+                continue;
+            const ReqId id =
+                memory_.issueLoad(inst.mem_addr, now, inst.pc);
+            inflight_loads_.emplace(id, entry.seq);
+            entry.state = State::kWaitingMem;
+            --load_ports;
+            ++stats_.loads_issued;
+        } else if (inst.isStore()) {
+            if (store_ports == 0 || !memory_.dataCanAccept())
+                continue;
+            memory_.issueStore(inst.mem_addr, now);
+            entry.state = State::kExecuting;
+            exec_done_.push(ExecEvent{now + config_.alu_latency, entry.seq});
+            --store_ports;
+            ++stats_.stores_issued;
+        } else {
+            entry.state = State::kExecuting;
+            exec_done_.push(
+                ExecEvent{now + latencyFor(inst.cls), entry.seq});
+        }
+        --budget;
+    }
+}
+
+void
+Backend::dispatch(Cycle now)
+{
+    std::uint32_t budget = config_.dispatch_width;
+    while (budget > 0 && !rob_.full() && !decode_queue_.empty() &&
+           decode_queue_.front().ready_at <= now) {
+        const DecodedUop uop = decode_queue_.pop();
+        const TraceInstruction &inst = trace_[uop.trace_index];
+
+        RobEntry entry;
+        entry.trace_index = uop.trace_index;
+        entry.seq = next_seq_++;
+        for (std::size_t s = 0; s < inst.src.size(); ++s) {
+            if (inst.src[s] != kNoReg)
+                entry.src_seq[s] = producers_[inst.src[s]];
+        }
+        if (inst.dst != kNoReg)
+            producers_[inst.dst] = entry.seq;
+
+        rob_.push(entry);
+        ++stats_.dispatched;
+        --budget;
+
+        if (inst.isBranch() && onBranchDecoded)
+            onBranchDecoded(uop.trace_index, now);
+    }
+}
+
+} // namespace sipre

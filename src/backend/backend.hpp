@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A simplified out-of-order back-end: dispatch from the decode queue
+ * into a ROB, dependency-tracked issue with per-class latencies, loads
+ * and stores through the L1-D, in-order retire, and branch-resolution
+ * notifications back to the front-end.
+ *
+ * The back-end's job in this study is to provide realistic consumption
+ * pressure and resolution timing for the front-end characterization;
+ * it is deliberately simpler than a full scheduler model.
+ */
+#ifndef SIPRE_BACKEND_BACKEND_HPP
+#define SIPRE_BACKEND_BACKEND_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/decode_queue.hpp"
+#include "memory/hierarchy.hpp"
+#include "trace/trace.hpp"
+#include "util/circular_buffer.hpp"
+
+namespace sipre
+{
+
+/** Back-end configuration (defaults are Sunny-Cove-like, per Table I). */
+struct BackendConfig
+{
+    std::uint32_t rob_size = 352;
+    std::uint32_t dispatch_width = 6;
+    std::uint32_t issue_width = 6;
+    std::uint32_t retire_width = 6;
+    std::uint32_t load_ports = 2;
+    std::uint32_t store_ports = 1;
+    std::uint32_t sched_window = 128; ///< issue-scan depth from ROB head
+
+    Cycle alu_latency = 1;
+    Cycle fp_latency = 4;
+    Cycle mul_latency = 3;
+    Cycle div_latency = 18;
+    Cycle branch_latency = 1;
+};
+
+/** Back-end statistics. */
+struct BackendStats
+{
+    std::uint64_t retired = 0;
+    std::uint64_t retired_sw_prefetches = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t loads_issued = 0;
+    std::uint64_t stores_issued = 0;
+    std::uint64_t rob_full_cycles = 0;
+    std::uint64_t empty_rob_cycles = 0; ///< starved by the front-end
+};
+
+/**
+ * The out-of-order core back-end. See file comment.
+ */
+class Backend
+{
+  public:
+    Backend(const BackendConfig &config, const Trace &trace,
+            MemoryHierarchy &memory, DecodeQueue &decode_queue);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Instructions retired since construction (never reset). */
+    std::uint64_t retired() const { return retired_total_; }
+
+    const BackendStats &stats() const { return stats_; }
+
+    /** Zero the event counters (end-of-warmup). State is kept. */
+    void resetStats() { stats_ = BackendStats{}; }
+
+    /** ROB occupancy (for tests). */
+    std::size_t robOccupancy() const { return rob_.size(); }
+
+    /** Called when a branch enters the ROB (decode complete). */
+    std::function<void(std::uint64_t trace_index, Cycle now)> onBranchDecoded;
+
+    /** Called when a branch finishes execution (resolution). */
+    std::function<void(std::uint64_t trace_index, Cycle now)>
+        onBranchExecuted;
+
+  private:
+    enum class State : std::uint8_t {
+        kWaiting,   ///< in ROB, operands possibly outstanding
+        kExecuting, ///< latency counting down (done_cycle set)
+        kWaitingMem,///< load in flight in the hierarchy
+        kDone
+    };
+
+    struct RobEntry
+    {
+        std::uint64_t trace_index = 0;
+        std::uint64_t seq = 0;         ///< global dispatch sequence number
+        State state = State::kWaiting;
+        Cycle done_cycle = kNoCycle;
+        std::array<std::uint64_t, 2> src_seq{kNoProducer, kNoProducer};
+    };
+
+    struct ExecEvent
+    {
+        Cycle ready;
+        std::uint64_t seq;
+
+        bool
+        operator>(const ExecEvent &other) const
+        {
+            return ready != other.ready ? ready > other.ready
+                                        : seq > other.seq;
+        }
+    };
+
+    static constexpr std::uint64_t kNoProducer = ~std::uint64_t{0};
+
+    Cycle latencyFor(InstClass cls) const;
+    RobEntry *entryFor(std::uint64_t seq);
+    bool sourcesReady(const RobEntry &entry) const;
+    void markDone(std::uint64_t seq, Cycle now);
+    void dispatch(Cycle now);
+    void issue(Cycle now);
+    void complete(Cycle now);
+    void retire(Cycle now);
+
+    BackendConfig config_;
+    const Trace &trace_;
+    MemoryHierarchy &memory_;
+    DecodeQueue &decode_queue_;
+
+    CircularBuffer<RobEntry> rob_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t retired_total_ = 0;
+    std::priority_queue<ExecEvent, std::vector<ExecEvent>,
+                        std::greater<ExecEvent>>
+        exec_done_;
+
+    /** Architectural register -> sequence number of the last producer. */
+    std::array<std::uint64_t, 256> producers_;
+
+    /** Outstanding load request id -> producing sequence number. */
+    std::unordered_map<ReqId, std::uint64_t> inflight_loads_;
+
+    BackendStats stats_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_BACKEND_BACKEND_HPP

@@ -1,0 +1,94 @@
+#include "branch/btb.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+Btb::Btb(std::uint32_t entries, std::uint32_t ways) : ways_(ways)
+{
+    SIPRE_ASSERT(entries % ways == 0, "BTB entries must divide into ways");
+    sets_ = entries / ways;
+    SIPRE_ASSERT(isPowerOfTwo(sets_), "BTB set count must be a power of 2");
+    table_.resize(entries);
+}
+
+std::uint32_t
+Btb::setOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc >> 2) & (sets_ - 1));
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return pc >> 2;
+}
+
+std::optional<BtbEntry>
+Btb::lookup(Addr pc)
+{
+    ++stats_.lookups;
+    const std::uint32_t set = setOf(pc);
+    const Addr tag = tagOf(pc);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = table_[std::size_t{set} * ways_ + w];
+        if (way.valid && way.tag == tag) {
+            way.stamp = ++clock_;
+            ++stats_.hits;
+            return way.entry;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<BtbEntry>
+Btb::probe(Addr pc) const
+{
+    const std::uint32_t set = setOf(pc);
+    const Addr tag = tagOf(pc);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Way &way = table_[std::size_t{set} * ways_ + w];
+        if (way.valid && way.tag == tag)
+            return way.entry;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target, InstClass cls)
+{
+    ++stats_.updates;
+    const std::uint32_t set = setOf(pc);
+    const Addr tag = tagOf(pc);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = table_[std::size_t{set} * ways_ + w];
+        if (way.valid && way.tag == tag) {
+            way.entry.target = target;
+            way.entry.cls = cls;
+            way.stamp = ++clock_;
+            return;
+        }
+    }
+    // Miss: pick an invalid way, else the least recently used one.
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = table_[std::size_t{set} * ways_ + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (victim == nullptr || way.stamp < victim->stamp)
+            victim = &way;
+    }
+    SIPRE_ASSERT(victim != nullptr, "BTB victim selection failed");
+    if (victim->valid)
+        ++stats_.evictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->entry = BtbEntry{target, cls};
+    victim->stamp = ++clock_;
+}
+
+} // namespace sipre

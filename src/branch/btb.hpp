@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Branch Target Buffer: set-associative, LRU, storing target and branch
+ * kind. The FTQ builder relies on the BTB to discover where basic
+ * blocks end; BTB misses on taken branches stall fetch-ahead (and, per
+ * the Ishii GHR filter, BTB misses keep not-taken conditionals out of
+ * the global history entirely).
+ */
+#ifndef SIPRE_BRANCH_BTB_HPP
+#define SIPRE_BRANCH_BTB_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/instruction.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** What a BTB hit reveals about the branch at a PC. */
+struct BtbEntry
+{
+    Addr target = 0;
+    InstClass cls = InstClass::kCondBranch;
+};
+
+/** BTB statistics. */
+struct BtbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** A set-associative branch target buffer with true-LRU replacement. */
+class Btb
+{
+  public:
+    Btb(std::uint32_t entries = 8192, std::uint32_t ways = 8);
+
+    /** Look up pc; nullopt on miss. Updates recency on hit. */
+    std::optional<BtbEntry> lookup(Addr pc);
+
+    /** Probe without recency side effects (for tests/stats). */
+    std::optional<BtbEntry> probe(Addr pc) const;
+
+    /** Insert or refresh the entry for a branch. */
+    void update(Addr pc, Addr target, InstClass cls);
+
+    const BtbStats &stats() const { return stats_; }
+
+    /** Zero the event counters (end-of-warmup). */
+    void resetStats() { stats_ = BtbStats{}; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        BtbEntry entry;
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint32_t setOf(Addr pc) const;
+    Addr tagOf(Addr pc) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<Way> table_;
+    std::uint64_t clock_ = 0;
+    BtbStats stats_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_BRANCH_BTB_HPP

@@ -1,0 +1,265 @@
+#include "branch/direction_predictor.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(DirectionPredictorKind kind)
+{
+    switch (kind) {
+      case DirectionPredictorKind::kBimodal:
+        return std::make_unique<BimodalPredictor>();
+      case DirectionPredictorKind::kGshare:
+        return std::make_unique<GsharePredictor>();
+      case DirectionPredictorKind::kHashedPerceptron:
+        return std::make_unique<HashedPerceptronPredictor>();
+      case DirectionPredictorKind::kTageLite:
+        return std::make_unique<TageLitePredictor>();
+      case DirectionPredictorKind::kLocal:
+        return std::make_unique<LocalHistoryPredictor>();
+    }
+    panic("unknown direction predictor kind");
+}
+
+// ---------------------------------------------------------------- bimodal
+
+BimodalPredictor::BimodalPredictor(std::uint32_t entries)
+    : table_(entries, SatCounter(2, 1))
+{
+    SIPRE_ASSERT(isPowerOfTwo(entries), "bimodal table must be 2^n");
+}
+
+std::size_t
+BimodalPredictor::indexOf(Addr pc) const
+{
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc, const GlobalHistory &)
+{
+    return table_[indexOf(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, const GlobalHistory &, bool taken, bool)
+{
+    table_[indexOf(pc)].update(taken);
+}
+
+// ----------------------------------------------------------------- gshare
+
+GsharePredictor::GsharePredictor(std::uint32_t entries,
+                                 unsigned history_bits)
+    : table_(entries, SatCounter(2, 1)), history_bits_(history_bits)
+{
+    SIPRE_ASSERT(isPowerOfTwo(entries), "gshare table must be 2^n");
+}
+
+std::size_t
+GsharePredictor::indexOf(Addr pc, const GlobalHistory &history) const
+{
+    const std::uint64_t h = history.low(history_bits_);
+    return ((pc >> 2) ^ h) & (table_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc, const GlobalHistory &history)
+{
+    return table_[indexOf(pc, history)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, const GlobalHistory &history, bool taken,
+                        bool)
+{
+    table_[indexOf(pc, history)].update(taken);
+}
+
+// ----------------------------------------------------- hashed perceptron
+
+HashedPerceptronPredictor::HashedPerceptronPredictor()
+{
+    tables_.resize(kTables);
+    for (auto &table : tables_)
+        table.assign(std::size_t{1} << kTableBits, SignedSatCounter(6, 0));
+}
+
+std::size_t
+HashedPerceptronPredictor::indexOf(unsigned table, Addr pc,
+                                   const GlobalHistory &history) const
+{
+    const std::uint64_t h = history.low(kHistLen[table]);
+    const std::uint64_t folded = foldBits(h, kTableBits);
+    return (mix64((pc >> 2) + table * 0x9e3779b9ULL) ^ folded) &
+           ((std::size_t{1} << kTableBits) - 1);
+}
+
+int
+HashedPerceptronPredictor::sum(Addr pc, const GlobalHistory &history) const
+{
+    int total = 0;
+    for (unsigned t = 0; t < kTables; ++t)
+        total += tables_[t][indexOf(t, pc, history)].value();
+    return total;
+}
+
+bool
+HashedPerceptronPredictor::predict(Addr pc, const GlobalHistory &history)
+{
+    return sum(pc, history) >= 0;
+}
+
+void
+HashedPerceptronPredictor::update(Addr pc, const GlobalHistory &history,
+                                  bool taken, bool predicted)
+{
+    const int total = sum(pc, history);
+    const bool mispredicted = predicted != taken;
+    // Train on mispredictions or low-confidence sums.
+    if (mispredicted || (total < kThreshold && total > -kThreshold)) {
+        for (unsigned t = 0; t < kTables; ++t) {
+            auto &w = tables_[t][indexOf(t, pc, history)];
+            w.update(taken);
+        }
+    }
+}
+
+// ---------------------------------------------------------- local history
+
+LocalHistoryPredictor::LocalHistoryPredictor(std::uint32_t history_entries,
+                                             unsigned local_bits)
+    : local_bits_(local_bits), histories_(history_entries, 0),
+      pattern_(std::size_t{1} << local_bits, SatCounter(2, 1))
+{
+    SIPRE_ASSERT(isPowerOfTwo(history_entries),
+                 "local history table must be 2^n");
+    SIPRE_ASSERT(local_bits >= 1 && local_bits <= 16,
+                 "local history width out of range");
+}
+
+std::size_t
+LocalHistoryPredictor::historyIndex(Addr pc) const
+{
+    return (pc >> 2) & (histories_.size() - 1);
+}
+
+std::size_t
+LocalHistoryPredictor::patternIndex(Addr pc) const
+{
+    const std::uint16_t history = histories_[historyIndex(pc)];
+    return history & lowMask(local_bits_);
+}
+
+bool
+LocalHistoryPredictor::predict(Addr pc, const GlobalHistory &)
+{
+    return pattern_[patternIndex(pc)].taken();
+}
+
+void
+LocalHistoryPredictor::update(Addr pc, const GlobalHistory &, bool taken,
+                              bool)
+{
+    pattern_[patternIndex(pc)].update(taken);
+    std::uint16_t &history = histories_[historyIndex(pc)];
+    history = static_cast<std::uint16_t>(
+        ((history << 1) | (taken ? 1 : 0)) & lowMask(local_bits_));
+}
+
+// -------------------------------------------------------------- TAGE-lite
+
+TageLitePredictor::TageLitePredictor()
+{
+    tables_.resize(kTables);
+    for (auto &table : tables_)
+        table.assign(std::size_t{1} << kTableBits, TaggedEntry{});
+}
+
+std::size_t
+TageLitePredictor::indexOf(unsigned table, Addr pc,
+                           const GlobalHistory &history) const
+{
+    const std::uint64_t h = history.low(kHistLen[table]);
+    const std::uint64_t folded = foldBits(h, kTableBits);
+    return (mix64((pc >> 2) * (table + 1)) ^ folded) &
+           ((std::size_t{1} << kTableBits) - 1);
+}
+
+std::uint16_t
+TageLitePredictor::tagOf(unsigned table, Addr pc,
+                         const GlobalHistory &history) const
+{
+    const std::uint64_t h = history.low(kHistLen[table]);
+    const std::uint64_t folded = foldBits(h, kTagBits);
+    return static_cast<std::uint16_t>(
+        (mix64((pc >> 2) + 0x51edULL * (table + 3)) ^ folded) &
+        lowMask(kTagBits));
+}
+
+int
+TageLitePredictor::findProvider(Addr pc, const GlobalHistory &history) const
+{
+    for (int t = kTables - 1; t >= 0; --t) {
+        const auto &entry =
+            tables_[t][indexOf(static_cast<unsigned>(t), pc, history)];
+        if (entry.tag == tagOf(static_cast<unsigned>(t), pc, history))
+            return t;
+    }
+    return -1;
+}
+
+bool
+TageLitePredictor::predict(Addr pc, const GlobalHistory &history)
+{
+    const int provider = findProvider(pc, history);
+    if (provider >= 0) {
+        const auto &entry = tables_[provider][indexOf(
+            static_cast<unsigned>(provider), pc, history)];
+        return entry.ctr.taken();
+    }
+    return base_.predict(pc, history);
+}
+
+void
+TageLitePredictor::update(Addr pc, const GlobalHistory &history, bool taken,
+                          bool predicted)
+{
+    const int provider = findProvider(pc, history);
+    if (provider >= 0) {
+        auto &entry = tables_[provider][indexOf(
+            static_cast<unsigned>(provider), pc, history)];
+        const bool was_correct = entry.ctr.taken() == taken;
+        entry.ctr.update(taken);
+        if (was_correct)
+            entry.useful.increment();
+        else
+            entry.useful.decrement();
+    } else {
+        base_.update(pc, history, taken, predicted);
+    }
+
+    // On a misprediction, allocate in a longer-history table.
+    if (predicted != taken) {
+        const unsigned start = provider >= 0
+                                   ? static_cast<unsigned>(provider) + 1
+                                   : 0;
+        for (unsigned t = start; t < kTables; ++t) {
+            auto &entry = tables_[t][indexOf(t, pc, history)];
+            if (entry.useful.value() == 0) {
+                entry.tag = tagOf(t, pc, history);
+                entry.ctr = SatCounter(3, taken ? 4 : 3);
+                entry.useful = SatCounter(2, 0);
+                break;
+            }
+            // Periodically decay useful bits so allocation can't starve.
+            if (++alloc_tick_ % 64 == 0)
+                entry.useful.decrement();
+        }
+    }
+}
+
+} // namespace sipre

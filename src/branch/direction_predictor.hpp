@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Conditional-branch direction predictors behind a single interface:
+ * bimodal, gshare, hashed perceptron (the ChampSim default), and a
+ * lightweight TAGE.
+ */
+#ifndef SIPRE_BRANCH_DIRECTION_PREDICTOR_HPP
+#define SIPRE_BRANCH_DIRECTION_PREDICTOR_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "branch/history.hpp"
+#include "util/sat_counter.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Selectable direction-predictor implementations. */
+enum class DirectionPredictorKind : std::uint8_t {
+    kBimodal,
+    kGshare,
+    kHashedPerceptron,
+    kTageLite,
+    kLocal
+};
+
+/**
+ * Direction predictor interface. Histories are passed in explicitly
+ * (the BranchUnit owns the speculative GHR) so predictors stay
+ * checkpoint-free.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at pc. */
+    virtual bool predict(Addr pc, const GlobalHistory &history) = 0;
+
+    /**
+     * Train with the resolved outcome. `history` must be the history
+     * the prediction was made with (pre-update).
+     */
+    virtual void update(Addr pc, const GlobalHistory &history, bool taken,
+                        bool predicted) = 0;
+};
+
+std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
+    DirectionPredictorKind kind);
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint32_t entries = 16384);
+    bool predict(Addr pc, const GlobalHistory &history) override;
+    void update(Addr pc, const GlobalHistory &history, bool taken,
+                bool predicted) override;
+
+  private:
+    std::size_t indexOf(Addr pc) const;
+    std::vector<SatCounter> table_;
+};
+
+/** Classic gshare: pc xor history indexes a counter table. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t entries = 65536,
+                             unsigned history_bits = 16);
+    bool predict(Addr pc, const GlobalHistory &history) override;
+    void update(Addr pc, const GlobalHistory &history, bool taken,
+                bool predicted) override;
+
+  private:
+    std::size_t indexOf(Addr pc, const GlobalHistory &history) const;
+    std::vector<SatCounter> table_;
+    unsigned history_bits_;
+};
+
+/**
+ * Hashed perceptron with geometric history lengths — the family used by
+ * the ChampSim baseline the paper builds on.
+ */
+class HashedPerceptronPredictor : public DirectionPredictor
+{
+  public:
+    HashedPerceptronPredictor();
+    bool predict(Addr pc, const GlobalHistory &history) override;
+    void update(Addr pc, const GlobalHistory &history, bool taken,
+                bool predicted) override;
+
+  private:
+    static constexpr unsigned kTables = 8;
+    static constexpr unsigned kTableBits = 12;
+    static constexpr int kThreshold = 18;
+
+    std::size_t indexOf(unsigned table, Addr pc,
+                        const GlobalHistory &history) const;
+    int sum(Addr pc, const GlobalHistory &history) const;
+
+    // History length per table (0 = bias table).
+    static constexpr std::array<unsigned, kTables> kHistLen = {
+        0, 3, 6, 12, 20, 31, 46, 64};
+
+    std::vector<std::vector<SignedSatCounter>> tables_;
+};
+
+/**
+ * Two-level local-history predictor (PAg): a per-PC history table feeds
+ * a shared pattern table of 2-bit counters. Strong on per-branch
+ * periodic patterns that global history cannot see.
+ */
+class LocalHistoryPredictor : public DirectionPredictor
+{
+  public:
+    LocalHistoryPredictor(std::uint32_t history_entries = 4096,
+                          unsigned local_bits = 12);
+    bool predict(Addr pc, const GlobalHistory &history) override;
+    void update(Addr pc, const GlobalHistory &history, bool taken,
+                bool predicted) override;
+
+  private:
+    std::size_t historyIndex(Addr pc) const;
+    std::size_t patternIndex(Addr pc) const;
+
+    unsigned local_bits_;
+    std::vector<std::uint16_t> histories_;
+    std::vector<SatCounter> pattern_;
+};
+
+/**
+ * TAGE-lite: a base bimodal plus N tagged tables with geometric history
+ * lengths, useful-bit replacement, and provider/alternate selection.
+ */
+class TageLitePredictor : public DirectionPredictor
+{
+  public:
+    TageLitePredictor();
+    bool predict(Addr pc, const GlobalHistory &history) override;
+    void update(Addr pc, const GlobalHistory &history, bool taken,
+                bool predicted) override;
+
+  private:
+    static constexpr unsigned kTables = 4;
+    static constexpr unsigned kTableBits = 11;
+    static constexpr unsigned kTagBits = 9;
+    static constexpr std::array<unsigned, kTables> kHistLen = {5, 12, 28,
+                                                               64};
+
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        SatCounter ctr{3, 3}; // 3-bit counter, weakly not-taken start
+        SatCounter useful{2, 0};
+    };
+
+    std::size_t indexOf(unsigned table, Addr pc,
+                        const GlobalHistory &history) const;
+    std::uint16_t tagOf(unsigned table, Addr pc,
+                        const GlobalHistory &history) const;
+    int findProvider(Addr pc, const GlobalHistory &history) const;
+
+    BimodalPredictor base_{4096};
+    std::vector<std::vector<TaggedEntry>> tables_;
+    std::uint64_t alloc_tick_ = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_BRANCH_DIRECTION_PREDICTOR_HPP

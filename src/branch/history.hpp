@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Global branch history register with checkpoint/restore.
+ *
+ * The paper's industry-standard FDP includes an improvement that keeps
+ * the GHR clean while running ahead: conditional branches that miss in
+ * the BTB look like sequential fetch and therefore must NOT shift into
+ * the history (Sec. II-A). GlobalHistory itself is policy-free; the
+ * BranchUnit decides when to call shift().
+ */
+#ifndef SIPRE_BRANCH_HISTORY_HPP
+#define SIPRE_BRANCH_HISTORY_HPP
+
+#include <cstdint>
+
+namespace sipre
+{
+
+/** A 64-bit global (speculative) branch history register. */
+class GlobalHistory
+{
+  public:
+    /** Shift in one branch outcome (true = taken). */
+    void
+    shift(bool taken)
+    {
+        bits_ = (bits_ << 1) | (taken ? 1u : 0u);
+    }
+
+    /** Raw history bits; bit 0 is the most recent outcome. */
+    std::uint64_t value() const { return bits_; }
+
+    /** The low n bits of history. */
+    std::uint64_t
+    low(unsigned n) const
+    {
+        return n >= 64 ? bits_ : (bits_ & ((std::uint64_t{1} << n) - 1));
+    }
+
+    /** Snapshot for later restore (on squash/redirect). */
+    std::uint64_t checkpoint() const { return bits_; }
+
+    /** Restore a snapshot taken with checkpoint(). */
+    void restore(std::uint64_t snapshot) { bits_ = snapshot; }
+
+    void reset() { bits_ = 0; }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_BRANCH_HISTORY_HPP

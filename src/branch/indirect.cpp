@@ -1,0 +1,60 @@
+#include "branch/indirect.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+IndirectPredictor::IndirectPredictor(std::uint32_t entries)
+    : table_(entries)
+{
+    SIPRE_ASSERT(isPowerOfTwo(entries), "indirect table must be 2^n");
+}
+
+std::size_t
+IndirectPredictor::indexOf(Addr pc, std::uint64_t path_history) const
+{
+    return (mix64(pc >> 2) ^ mix64(path_history)) & (table_.size() - 1);
+}
+
+std::uint32_t
+IndirectPredictor::tagOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>(mix64(pc) & 0xffff);
+}
+
+Addr
+IndirectPredictor::predict(Addr pc, std::uint64_t path_history)
+{
+    ++stats_.lookups;
+    const Entry &entry = table_[indexOf(pc, path_history)];
+    if (entry.tag == tagOf(pc) && entry.target != kNoAddr) {
+        ++stats_.hits;
+        return entry.target;
+    }
+    return kNoAddr;
+}
+
+void
+IndirectPredictor::update(Addr pc, std::uint64_t path_history, Addr target)
+{
+    Entry &entry = table_[indexOf(pc, path_history)];
+    if (entry.tag == tagOf(pc) && entry.target == target) {
+        ++stats_.correct;
+        if (entry.confidence < 3)
+            ++entry.confidence;
+        return;
+    }
+    // Confidence-gated replacement so a single cold target does not
+    // evict a hot one.
+    if (entry.confidence > 0) {
+        --entry.confidence;
+        return;
+    }
+    entry.tag = tagOf(pc);
+    entry.target = target;
+    entry.confidence = 1;
+}
+
+} // namespace sipre

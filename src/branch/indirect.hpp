@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Indirect branch target predictor: a tagged, history-hashed target
+ * cache (ITTAGE-flavored, single table for simplicity).
+ */
+#ifndef SIPRE_BRANCH_INDIRECT_HPP
+#define SIPRE_BRANCH_INDIRECT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/history.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Indirect-predictor statistics. */
+struct IndirectStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;     ///< tag match
+    std::uint64_t correct = 0;  ///< resolved target matched prediction
+};
+
+/**
+ * History-hashed indirect target predictor. Lookup mixes the branch PC
+ * with the recent *path history* (a hash of recent taken-branch
+ * targets) so polymorphic call sites resolve to per-context targets.
+ */
+class IndirectPredictor
+{
+  public:
+    explicit IndirectPredictor(std::uint32_t entries = 4096);
+
+    /** Predicted target, or kNoAddr when the table has no entry. */
+    Addr predict(Addr pc, std::uint64_t path_history);
+
+    /** Train with the resolved target. */
+    void update(Addr pc, std::uint64_t path_history, Addr target);
+
+    const IndirectStats &stats() const { return stats_; }
+
+    /** Zero the event counters (end-of-warmup). */
+    void resetStats() { stats_ = IndirectStats{}; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        Addr target = kNoAddr;
+        std::uint8_t confidence = 0;
+    };
+
+    std::size_t indexOf(Addr pc, std::uint64_t path_history) const;
+    std::uint32_t tagOf(Addr pc) const;
+
+    std::vector<Entry> table_;
+    IndirectStats stats_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_BRANCH_INDIRECT_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Return Address Stack with overflow wrap-around and checkpointing,
+ * needed because the FDP runs ahead speculatively and must restore the
+ * stack on a squash.
+ */
+#ifndef SIPRE_BRANCH_RAS_HPP
+#define SIPRE_BRANCH_RAS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/**
+ * A fixed-depth circular return address stack. Overflow overwrites the
+ * oldest entry; underflow returns kNoAddr (predicted wrong, resolved by
+ * the back-end redirect machinery).
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::uint32_t depth = 32)
+        : slots_(depth, kNoAddr)
+    {
+    }
+
+    /** Push a return address (on a call). */
+    void
+    push(Addr addr)
+    {
+        top_ = (top_ + 1) % slots_.size();
+        slots_[top_] = addr;
+        if (count_ < slots_.size())
+            ++count_;
+    }
+
+    /** Pop the predicted return target (on a return). */
+    Addr
+    pop()
+    {
+        if (count_ == 0)
+            return kNoAddr;
+        const Addr addr = slots_[top_];
+        top_ = (top_ + slots_.size() - 1) % slots_.size();
+        --count_;
+        return addr;
+    }
+
+    /** Peek without popping. */
+    Addr
+    top() const
+    {
+        return count_ == 0 ? kNoAddr : slots_[top_];
+    }
+
+    std::uint32_t size() const { return count_; }
+    std::uint32_t depth() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+
+    /** Snapshot for squash-restore. */
+    struct Checkpoint
+    {
+        std::uint32_t top;
+        std::uint32_t count;
+        std::vector<Addr> slots;
+    };
+
+    Checkpoint
+    checkpoint() const
+    {
+        return Checkpoint{top_, count_, slots_};
+    }
+
+    void
+    restore(const Checkpoint &cp)
+    {
+        top_ = cp.top;
+        count_ = cp.count;
+        slots_ = cp.slots;
+    }
+
+  private:
+    std::vector<Addr> slots_;
+    std::uint32_t top_ = 0;
+    std::uint32_t count_ = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_BRANCH_RAS_HPP

@@ -1,0 +1,356 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "asmdb/pipeline.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+namespace
+{
+
+constexpr int kCacheVersion = 3;
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+// ------------------------------------------------------------ serializer
+
+void
+writeFrontend(std::ostream &os, const FrontendStats &f)
+{
+    os << f.scenario1_cycles << ' ' << f.scenario2_cycles << ' '
+       << f.scenario3_cycles << ' ' << f.ftq_empty_cycles << ' '
+       << f.head_stall_cycles << ' ' << f.waiting_entry_events << ' '
+       << f.partial_head_events << ' ' << f.l1i_fetches_issued << ' '
+       << f.l1i_fetches_merged << ' ' << f.blocks_allocated << ' '
+       << f.instructions_delivered << ' ' << f.sw_prefetches_triggered
+       << ' ' << f.mispredict_stalls << ' ' << f.btb_miss_stalls << ' '
+       << f.stall_cycles_mispredict << ' ' << f.stall_cycles_btb_miss
+       << ' ' << f.pfc_resumes << ' ' << f.wrong_path_prefetches << ' '
+       << f.head_fetch_latency.count() << ' '
+       << f.head_fetch_latency.sum() << ' '
+       << f.head_fetch_latency.min() << ' '
+       << f.head_fetch_latency.max() << ' '
+       << f.nonhead_fetch_latency.count() << ' '
+       << f.nonhead_fetch_latency.sum() << ' '
+       << f.nonhead_fetch_latency.min() << ' '
+       << f.nonhead_fetch_latency.max();
+}
+
+void
+readFrontend(std::istream &is, FrontendStats &f)
+{
+    std::uint64_t hc, nc;
+    double hs, hmin, hmax, ns, nmin, nmax;
+    is >> f.scenario1_cycles >> f.scenario2_cycles >> f.scenario3_cycles >>
+        f.ftq_empty_cycles >> f.head_stall_cycles >>
+        f.waiting_entry_events >> f.partial_head_events >>
+        f.l1i_fetches_issued >> f.l1i_fetches_merged >>
+        f.blocks_allocated >> f.instructions_delivered >>
+        f.sw_prefetches_triggered >> f.mispredict_stalls >>
+        f.btb_miss_stalls >> f.stall_cycles_mispredict >>
+        f.stall_cycles_btb_miss >> f.pfc_resumes >>
+        f.wrong_path_prefetches >> hc >> hs >> hmin >> hmax >> nc >> ns >>
+        nmin >> nmax;
+    f.head_fetch_latency.restore(hc, hs, hmin, hmax);
+    f.nonhead_fetch_latency.restore(nc, ns, nmin, nmax);
+}
+
+void
+writeCache(std::ostream &os, const CacheStats &c)
+{
+    os << c.accesses << ' ' << c.hits << ' ' << c.misses << ' '
+       << c.mshr_merges << ' ' << c.prefetch_requests << ' '
+       << c.prefetch_hits << ' ' << c.prefetch_fills << ' '
+       << c.prefetch_useful << ' ' << c.prefetch_late << ' '
+       << c.evictions << ' ' << c.writebacks_out << ' '
+       << c.writebacks_in;
+}
+
+void
+readCache(std::istream &is, CacheStats &c)
+{
+    is >> c.accesses >> c.hits >> c.misses >> c.mshr_merges >>
+        c.prefetch_requests >> c.prefetch_hits >> c.prefetch_fills >>
+        c.prefetch_useful >> c.prefetch_late >> c.evictions >>
+        c.writebacks_out >> c.writebacks_in;
+}
+
+void
+writeResult(std::ostream &os, const SimResult &r)
+{
+    os << r.instructions << ' ' << r.effective_instructions << ' '
+       << r.cycles << ' ';
+    writeFrontend(os, r.frontend);
+    os << ' ';
+    os << r.backend.retired << ' ' << r.backend.retired_sw_prefetches
+       << ' ' << r.backend.dispatched << ' ' << r.backend.loads_issued
+       << ' ' << r.backend.stores_issued << ' '
+       << r.backend.rob_full_cycles << ' ' << r.backend.empty_rob_cycles
+       << ' ';
+    os << r.branch.cond_predictions << ' ' << r.branch.cond_mispredictions
+       << ' ' << r.branch.btb_miss_taken << ' '
+       << r.branch.target_mispredictions << ' ';
+    writeCache(os, r.l1i);
+    os << ' ';
+    writeCache(os, r.l1d);
+    os << ' ';
+    writeCache(os, r.l2);
+    os << ' ';
+    writeCache(os, r.llc);
+    os << '\n';
+}
+
+void
+readResult(std::istream &is, SimResult &r)
+{
+    is >> r.instructions >> r.effective_instructions >> r.cycles;
+    readFrontend(is, r.frontend);
+    is >> r.backend.retired >> r.backend.retired_sw_prefetches >>
+        r.backend.dispatched >> r.backend.loads_issued >>
+        r.backend.stores_issued >> r.backend.rob_full_cycles >>
+        r.backend.empty_rob_cycles;
+    is >> r.branch.cond_predictions >> r.branch.cond_mispredictions >>
+        r.branch.btb_miss_taken >> r.branch.target_mispredictions;
+    readCache(is, r.l1i);
+    readCache(is, r.l1d);
+    readCache(is, r.l2);
+    readCache(is, r.llc);
+}
+
+std::string
+cachePath(const CampaignOptions &options)
+{
+    std::ostringstream oss;
+    oss << options.cache_dir << "/sipre_campaign_v" << kCacheVersion
+        << "_w" << options.workloads << "_i" << options.instructions
+        << ".cache";
+    return oss.str();
+}
+
+bool
+loadCampaign(const CampaignOptions &options, CampaignResult &result)
+{
+    std::ifstream is(cachePath(options));
+    if (!is)
+        return false;
+    std::size_t n = 0;
+    int version = 0;
+    is >> version >> n;
+    if (version != kCacheVersion || n != options.workloads)
+        return false;
+    result.workloads.resize(n);
+    for (auto &rec : result.workloads) {
+        is >> rec.name;
+        readResult(is, rec.cons);
+        readResult(is, rec.industry);
+        readResult(is, rec.asmdb_cons);
+        readResult(is, rec.asmdb_cons_ideal);
+        readResult(is, rec.asmdb_ind);
+        readResult(is, rec.asmdb_ind_ideal);
+        is >> rec.static_bloat_cons >> rec.dynamic_bloat_cons >>
+            rec.static_bloat_ind >> rec.dynamic_bloat_ind >>
+            rec.insertions_ind >> rec.plan_min_distance_ind;
+        for (SimResult *r :
+             {&rec.cons, &rec.industry, &rec.asmdb_cons,
+              &rec.asmdb_cons_ideal, &rec.asmdb_ind,
+              &rec.asmdb_ind_ideal}) {
+            r->workload = rec.name;
+        }
+        rec.cons.config_label = "conservative-ftq2";
+        rec.industry.config_label = "industry-ftq24";
+        rec.asmdb_cons.config_label = "asmdb+conservative";
+        rec.asmdb_cons_ideal.config_label = "asmdb-noovh+conservative";
+        rec.asmdb_ind.config_label = "asmdb+industry";
+        rec.asmdb_ind_ideal.config_label = "asmdb-noovh+industry";
+    }
+    return static_cast<bool>(is);
+}
+
+void
+saveCampaign(const CampaignOptions &options, const CampaignResult &result)
+{
+    std::ofstream os(cachePath(options));
+    if (!os)
+        return;
+    os << kCacheVersion << ' ' << result.workloads.size() << '\n';
+    for (const auto &rec : result.workloads) {
+        os << rec.name << '\n';
+        writeResult(os, rec.cons);
+        writeResult(os, rec.industry);
+        writeResult(os, rec.asmdb_cons);
+        writeResult(os, rec.asmdb_cons_ideal);
+        writeResult(os, rec.asmdb_ind);
+        writeResult(os, rec.asmdb_ind_ideal);
+        os << rec.static_bloat_cons << ' ' << rec.dynamic_bloat_cons << ' '
+           << rec.static_bloat_ind << ' ' << rec.dynamic_bloat_ind << ' '
+           << rec.insertions_ind << ' ' << rec.plan_min_distance_ind
+           << '\n';
+    }
+}
+
+WorkloadRecord
+runOneWorkload(const synth::WorkloadSpec &spec, std::size_t instructions)
+{
+    WorkloadRecord rec;
+    rec.name = spec.name;
+    const Trace trace = synth::generateTrace(spec, instructions);
+
+    const SimConfig cons = SimConfig::conservative();
+    const SimConfig industry = SimConfig::industry();
+
+    {
+        Simulator sim(cons, trace);
+        rec.cons = sim.run();
+    }
+    {
+        Simulator sim(industry, trace);
+        rec.industry = sim.run();
+    }
+
+    // AsmDB pipeline per baseline (profiled on the machine it targets).
+    {
+        auto art = asmdb::runPipeline(trace, cons);
+        rec.static_bloat_cons = art.rewrite.staticBloat();
+        rec.dynamic_bloat_cons = art.rewrite.dynamicBloat();
+        {
+            Simulator sim(cons, art.rewrite.trace);
+            rec.asmdb_cons = sim.run();
+        }
+        {
+            Simulator sim(cons, trace);
+            sim.setSwPrefetchTriggers(&art.triggers);
+            rec.asmdb_cons_ideal = sim.run();
+        }
+    }
+    {
+        auto art = asmdb::runPipeline(trace, industry);
+        rec.static_bloat_ind = art.rewrite.staticBloat();
+        rec.dynamic_bloat_ind = art.rewrite.dynamicBloat();
+        rec.insertions_ind = art.plan.insertions.size();
+        rec.plan_min_distance_ind = art.plan.min_distance;
+        {
+            Simulator sim(industry, art.rewrite.trace);
+            rec.asmdb_ind = sim.run();
+        }
+        {
+            Simulator sim(industry, trace);
+            sim.setSwPrefetchTriggers(&art.triggers);
+            rec.asmdb_ind_ideal = sim.run();
+        }
+    }
+    return rec;
+}
+
+} // namespace
+
+CampaignOptions
+CampaignOptions::fromEnv()
+{
+    CampaignOptions options;
+    options.workloads = envSize("SIPRE_WORKLOADS", options.workloads);
+    options.instructions =
+        envSize("SIPRE_INSTRUCTIONS", options.instructions);
+    options.threads =
+        static_cast<unsigned>(envSize("SIPRE_THREADS", options.threads));
+    if (std::getenv("SIPRE_NO_CACHE") != nullptr)
+        options.use_cache = false;
+    return options;
+}
+
+double
+CampaignResult::geomeanSpeedup(SimResult WorkloadRecord::*config) const
+{
+    std::vector<double> speedups;
+    speedups.reserve(workloads.size());
+    for (const auto &rec : workloads) {
+        const double base = rec.cons.ipc();
+        const double ipc = (rec.*config).ipc();
+        if (base > 0.0 && ipc > 0.0)
+            speedups.push_back(ipc / base);
+    }
+    return geomean(speedups);
+}
+
+CampaignResult
+runStandardCampaign(const CampaignOptions &options, std::ostream *progress)
+{
+    CampaignResult result;
+    result.options = options;
+
+    if (options.use_cache && loadCampaign(options, result)) {
+        if (progress) {
+            *progress << "[campaign] loaded " << result.workloads.size()
+                      << " workloads from cache\n";
+        }
+        return result;
+    }
+    result.workloads.clear();
+
+    const auto suite = synth::cvp1LikeSuite(options.workloads);
+    result.workloads.resize(suite.size());
+
+    unsigned threads = options.threads;
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+        threads = std::min<unsigned>(
+            threads, static_cast<unsigned>(suite.size()));
+    }
+
+    std::mutex io_mutex;
+    std::size_t next = 0;
+    std::mutex next_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t index;
+            {
+                std::lock_guard<std::mutex> lock(next_mutex);
+                if (next >= suite.size())
+                    return;
+                index = next++;
+            }
+            result.workloads[index] =
+                runOneWorkload(suite[index], options.instructions);
+            if (progress) {
+                std::lock_guard<std::mutex> lock(io_mutex);
+                *progress << "[campaign] " << suite[index].name
+                          << " done (cons "
+                          << result.workloads[index].cons.ipc()
+                          << " IPC, industry "
+                          << result.workloads[index].industry.ipc()
+                          << " IPC)\n";
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+
+    if (options.use_cache)
+        saveCampaign(options, result);
+    return result;
+}
+
+} // namespace sipre

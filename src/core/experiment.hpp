@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The standard evaluation campaign behind every figure in the paper:
+ * for each workload, run the five configurations of Fig. 1
+ * (conservative baseline, AsmDB, AsmDB-no-overhead, industry FDP,
+ * AsmDB+FDP, AsmDB+FDP-no-overhead) and record everything the figures
+ * need. Workloads run in parallel and results are cached on disk so
+ * each per-figure benchmark binary can reuse one computation.
+ */
+#ifndef SIPRE_CORE_EXPERIMENT_HPP
+#define SIPRE_CORE_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sim_result.hpp"
+
+namespace sipre
+{
+
+/** Campaign knobs (also settable via environment, see fromEnv()). */
+struct CampaignOptions
+{
+    std::size_t workloads = 48;          ///< how many of the 48 to run
+    std::size_t instructions = 2'000'000;///< trace length per workload
+    unsigned threads = 0;                ///< 0 = hardware concurrency
+    bool use_cache = true;               ///< reuse/persist results file
+    std::string cache_dir = ".";
+
+    /**
+     * Read SIPRE_WORKLOADS / SIPRE_INSTRUCTIONS / SIPRE_THREADS /
+     * SIPRE_NO_CACHE from the environment on top of the defaults.
+     */
+    static CampaignOptions fromEnv();
+};
+
+/** All results for one workload across the five configurations. */
+struct WorkloadRecord
+{
+    std::string name;
+
+    SimResult cons;             ///< conservative FDP (FTQ=2) baseline
+    SimResult industry;         ///< industry FDP (FTQ=24) baseline
+    SimResult asmdb_cons;       ///< AsmDB on conservative
+    SimResult asmdb_cons_ideal; ///< AsmDB, no insertion overhead
+    SimResult asmdb_ind;        ///< AsmDB + industry FDP
+    SimResult asmdb_ind_ideal;  ///< AsmDB + FDP, no insertion overhead
+
+    // Plan/bloat measurements (Fig. 7), per profiling configuration.
+    double static_bloat_cons = 0.0;
+    double dynamic_bloat_cons = 0.0;
+    double static_bloat_ind = 0.0;
+    double dynamic_bloat_ind = 0.0;
+    std::uint64_t insertions_ind = 0;
+    std::uint64_t plan_min_distance_ind = 0;
+};
+
+/** The whole campaign. */
+struct CampaignResult
+{
+    CampaignOptions options;
+    std::vector<WorkloadRecord> workloads;
+
+    /** Geomean of per-workload (metric / conservative-IPC) speedups. */
+    double geomeanSpeedup(SimResult WorkloadRecord::*config) const;
+};
+
+/**
+ * Run (or load from cache) the standard campaign. Progress lines are
+ * written to `progress` when non-null.
+ */
+CampaignResult runStandardCampaign(const CampaignOptions &options,
+                                   std::ostream *progress = nullptr);
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_EXPERIMENT_HPP

@@ -1,0 +1,91 @@
+#include "core/metadata_preload.hpp"
+
+namespace sipre
+{
+
+MetadataPreloader::MetadataPreloader(
+    const MetadataPreloadConfig &config,
+    std::unordered_map<Addr, std::vector<Addr>> metadata)
+    : config_(config), metadata_(std::move(metadata)),
+      l1_table_(config.l1_table_entries)
+{
+}
+
+bool
+MetadataPreloader::l1Contains(Addr line) const
+{
+    for (const auto &entry : l1_table_) {
+        if (entry.line == line)
+            return true;
+    }
+    return false;
+}
+
+void
+MetadataPreloader::l1Insert(Addr line)
+{
+    L1Entry *victim = &l1_table_[0];
+    for (auto &entry : l1_table_) {
+        if (entry.line == line) {
+            entry.stamp = ++clock_;
+            return;
+        }
+        if (entry.line == kNoAddr) {
+            victim = &entry;
+            break;
+        }
+        if (entry.stamp < victim->stamp)
+            victim = &entry;
+    }
+    victim->line = line;
+    victim->stamp = ++clock_;
+}
+
+void
+MetadataPreloader::onL1iAccess(Addr line, Cycle now)
+{
+    auto it = metadata_.find(line);
+    if (it == metadata_.end())
+        return;
+    ++stats_.lookups;
+
+    if (l1Contains(line)) {
+        ++stats_.l1_hits;
+        l1Insert(line); // refresh recency
+        for (Addr target : it->second)
+            prefetch_queue_.push_back(target);
+        return;
+    }
+    // Request the metadata entry from the LLC preloader.
+    if (fill_in_flight_.insert(line).second)
+        fills_.push(PendingFill{now + config_.metadata_latency, line});
+}
+
+void
+MetadataPreloader::tick(Cycle now, MemoryHierarchy &memory)
+{
+    while (!fills_.empty() && fills_.top().ready <= now) {
+        const Addr line = fills_.top().line;
+        fills_.pop();
+        fill_in_flight_.erase(line);
+        l1Insert(line);
+        ++stats_.metadata_fills;
+        // Fire the prefetches now that the metadata arrived.
+        auto it = metadata_.find(line);
+        if (it != metadata_.end()) {
+            for (Addr target : it->second)
+                prefetch_queue_.push_back(target);
+        }
+    }
+
+    // Bounded prefetch-issue bandwidth (2 per cycle).
+    int budget = 2;
+    while (budget > 0 && !prefetch_queue_.empty()) {
+        memory.issueIPrefetch(prefetch_queue_.front(), now);
+        prefetch_queue_.erase(prefetch_queue_.begin());
+        ++stats_.prefetches_issued;
+        --budget;
+    }
+}
+
+} // namespace sipre

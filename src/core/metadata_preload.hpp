@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Metadata preloading: the first future direction the paper proposes
+ * (Sec. VI) to recover software prefetching's benefit on aggressive
+ * front-ends without paying the instruction-insertion overhead.
+ *
+ * Prefetch metadata (trigger line -> target lines) lives in a
+ * dedicated LLC-resident structure; a small on-core table caches
+ * recently used entries. An L1-I access probes the small table: a hit
+ * fires the prefetches immediately; a miss requests the entry from the
+ * LLC preloader (one LLC latency) and fires once it arrives.
+ */
+#ifndef SIPRE_CORE_METADATA_PRELOAD_HPP
+#define SIPRE_CORE_METADATA_PRELOAD_HPP
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "memory/hierarchy.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Metadata-preloader parameters. */
+struct MetadataPreloadConfig
+{
+    std::uint32_t l1_table_entries = 256; ///< on-core metadata cache
+    Cycle metadata_latency = 34;          ///< LLC metadata access time
+};
+
+/** Metadata-preloader statistics. */
+struct MetadataPreloadStats
+{
+    std::uint64_t lookups = 0;        ///< L1-I accesses with metadata
+    std::uint64_t l1_hits = 0;        ///< found in the on-core table
+    std::uint64_t metadata_fills = 0; ///< entries preloaded from LLC
+    std::uint64_t prefetches_issued = 0;
+};
+
+/**
+ * The preloading engine. Driven by the simulator: onL1iAccess() from
+ * the L1-I access hook, tick() once per cycle.
+ */
+class MetadataPreloader
+{
+  public:
+    /** `metadata` maps trigger line -> prefetch target addresses. */
+    MetadataPreloader(const MetadataPreloadConfig &config,
+                      std::unordered_map<Addr, std::vector<Addr>> metadata);
+
+    /** The L1-I saw a demand access to `line`. */
+    void onL1iAccess(Addr line, Cycle now);
+
+    /** Advance one cycle: complete metadata fills, issue prefetches. */
+    void tick(Cycle now, MemoryHierarchy &memory);
+
+    const MetadataPreloadStats &stats() const { return stats_; }
+
+  private:
+    struct PendingFill
+    {
+        Cycle ready;
+        Addr line;
+
+        bool
+        operator>(const PendingFill &other) const
+        {
+            return ready != other.ready ? ready > other.ready
+                                        : line > other.line;
+        }
+    };
+
+    bool l1Contains(Addr line) const;
+    void l1Insert(Addr line);
+
+    MetadataPreloadConfig config_;
+    std::unordered_map<Addr, std::vector<Addr>> metadata_;
+
+    // Small fully-associative LRU metadata cache.
+    struct L1Entry
+    {
+        Addr line = kNoAddr;
+        std::uint64_t stamp = 0;
+    };
+    std::vector<L1Entry> l1_table_;
+    std::uint64_t clock_ = 0;
+
+    std::priority_queue<PendingFill, std::vector<PendingFill>,
+                        std::greater<PendingFill>>
+        fills_;
+    std::unordered_set<Addr> fill_in_flight_;
+    std::vector<Addr> prefetch_queue_;
+    MetadataPreloadStats stats_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_METADATA_PRELOAD_HPP

@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace sipre
+{
+
+namespace
+{
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+double
+perKilo(std::uint64_t events, const SimResult &r)
+{
+    return r.effective_instructions == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(events) /
+                     static_cast<double>(r.effective_instructions);
+}
+
+} // namespace
+
+void
+printReport(const SimResult &r, std::ostream &os)
+{
+    const auto &f = r.frontend;
+    os << std::fixed << std::setprecision(2);
+    os << "=== " << r.workload << " / " << r.config_label << " ===\n";
+    os << "instructions " << r.effective_instructions << " (+"
+       << (r.instructions - r.effective_instructions)
+       << " sw prefetches), cycles " << r.cycles << ", IPC " << r.ipc()
+       << "\n\n";
+
+    os << "front-end state taxonomy (Sec. III):\n";
+    os << "  scenario 1 (shoot-through):  "
+       << pct(f.scenario1_cycles, r.cycles) << "%\n";
+    os << "  scenario 2 (stalling head):  "
+       << pct(f.scenario2_cycles, r.cycles) << "%\n";
+    os << "  scenario 3 (shadow stalls):  "
+       << pct(f.scenario3_cycles, r.cycles) << "%\n";
+    os << "  FTQ empty:                   "
+       << pct(f.ftq_empty_cycles, r.cycles) << "%\n\n";
+
+    os << "front-end events (per kilo-instruction):\n";
+    os << "  head stall cycles        "
+       << perKilo(f.head_stall_cycles, r) << "\n";
+    os << "  waiting entries (Fig10)  "
+       << perKilo(f.waiting_entry_events, r) << "\n";
+    os << "  partial heads   (Fig11)  "
+       << perKilo(f.partial_head_events, r) << "\n";
+    os << "  mispredict stalls        "
+       << perKilo(f.mispredict_stalls, r) << "\n";
+    os << "  BTB-miss stalls          "
+       << perKilo(f.btb_miss_stalls, r) << " (PFC resumed "
+       << f.pfc_resumes << ")\n";
+    os << "  fetch latency head/nonhead  "
+       << f.head_fetch_latency.mean() << " / "
+       << f.nonhead_fetch_latency.mean() << " cycles (p90 "
+       << f.head_latency_hist.percentileUpperBound(0.9) << " / "
+       << f.nonhead_latency_hist.percentileUpperBound(0.9) << ")\n";
+    os << "  L1-I fetches issued/merged  " << f.l1i_fetches_issued
+       << " / " << f.l1i_fetches_merged << "\n";
+    os << "  sw prefetches triggered     " << f.sw_prefetches_triggered
+       << "\n\n";
+
+    os << "branch prediction:\n";
+    os << "  cond MPKI " << r.branchMpki() << ", taken-BTB-miss/Ki "
+       << perKilo(r.branch.btb_miss_taken, r) << ", target-miss/Ki "
+       << perKilo(r.branch.target_mispredictions, r) << "\n\n";
+
+    os << "caches (demand miss per kilo-instruction):\n";
+    os << "  L1I " << r.l1iMpki() << "  (accesses " << r.l1i.accesses
+       << ", prefetch useful/late " << r.l1i.prefetch_useful << "/"
+       << r.l1i.prefetch_late << ")\n";
+    os << "  L1D " << perKilo(r.l1d.misses, r) << "   L2 "
+       << perKilo(r.l2.misses, r) << "   LLC "
+       << perKilo(r.llc.misses, r) << "\n";
+}
+
+} // namespace sipre

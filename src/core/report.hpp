@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Human-readable report of one simulation run: the full front-end
+ * characterization (scenario taxonomy, stall breakdown, fetch-latency
+ * split), cache/branch statistics, and IPC.
+ */
+#ifndef SIPRE_CORE_REPORT_HPP
+#define SIPRE_CORE_REPORT_HPP
+
+#include <iosfwd>
+
+#include "core/sim_result.hpp"
+
+namespace sipre
+{
+
+/** Print a multi-section report of a run to `os`. */
+void printReport(const SimResult &result, std::ostream &os);
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_REPORT_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aggregated results of one simulation run: the raw material for every
+ * figure in the paper's evaluation.
+ */
+#ifndef SIPRE_CORE_SIM_RESULT_HPP
+#define SIPRE_CORE_SIM_RESULT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "branch/unit.hpp"
+#include "frontend/frontend_stats.hpp"
+#include "memory/cache.hpp"
+
+namespace sipre
+{
+
+/** Everything measured during one Simulator::run(). */
+struct SimResult
+{
+    std::string workload;
+    std::string config_label;
+
+    std::uint64_t instructions = 0; ///< retired instructions
+    std::uint64_t cycles = 0;
+
+    /**
+     * Instructions counted for IPC purposes. When software prefetches
+     * are inserted into the trace, the paper excludes them from the IPC
+     * numerator ("We do not include the additional instructions AsmDB
+     * inserts when calculating its IPC"), so this holds the original
+     * (non-prefetch) instruction count.
+     */
+    std::uint64_t effective_instructions = 0;
+
+    FrontendStats frontend;
+    BackendStats backend;
+    BranchUnitStats branch;
+    BtbStats btb;
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats llc;
+
+    /** IPC over the paper's instruction accounting. */
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(effective_instructions) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** L1-I demand misses per kilo (effective) instruction. */
+    double
+    l1iMpki() const
+    {
+        return effective_instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(l1i.misses) /
+                         static_cast<double>(effective_instructions);
+    }
+
+    /** Conditional-branch mispredictions per kilo-instruction. */
+    double
+    branchMpki() const
+    {
+        return effective_instructions == 0
+                   ? 0.0
+                   : 1000.0 *
+                         static_cast<double>(branch.cond_mispredictions) /
+                         static_cast<double>(effective_instructions);
+    }
+};
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_SIM_RESULT_HPP

@@ -1,0 +1,130 @@
+#include "core/simulator.hpp"
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+namespace
+{
+/** Decode-queue capacity between fetch and dispatch. */
+constexpr std::size_t kDecodeQueueSize = 64;
+
+/** Cycles without retirement progress before declaring a deadlock. */
+constexpr Cycle kDeadlockThreshold = 1'000'000;
+} // namespace
+
+Simulator::Simulator(const SimConfig &config, const Trace &trace)
+    : config_(config), trace_(trace)
+{
+    memory_ = std::make_unique<MemoryHierarchy>(config_.memory);
+    decode_queue_ = std::make_unique<DecodeQueue>(kDecodeQueueSize);
+    frontend_ = std::make_unique<DecoupledFrontEnd>(
+        config_.frontend, trace_, *memory_, *decode_queue_);
+    backend_ = std::make_unique<Backend>(config_.backend, trace_, *memory_,
+                                         *decode_queue_);
+
+    backend_->onBranchDecoded = [this](std::uint64_t index, Cycle now) {
+        frontend_->onBranchDecoded(index, now);
+    };
+    backend_->onBranchExecuted = [this](std::uint64_t index, Cycle now) {
+        frontend_->onBranchExecuted(index, now);
+    };
+}
+
+void
+Simulator::setSwPrefetchTriggers(const SwPrefetchTriggers *triggers)
+{
+    frontend_->setSwPrefetchTriggers(triggers);
+}
+
+void
+Simulator::attachMetadataPreloader(
+    const MetadataPreloadConfig &config,
+    std::unordered_map<Addr, std::vector<Addr>> metadata)
+{
+    preloader_ =
+        std::make_unique<MetadataPreloader>(config, std::move(metadata));
+    // Chain onto any existing L1-I access hook (e.g. a HW prefetcher).
+    auto previous = memory_->l1i().onAccess;
+    memory_->l1i().onAccess = [this, previous](Addr line, AccessType type,
+                                               bool hit) {
+        if (previous)
+            previous(line, type, hit);
+        if (type == AccessType::kIFetch)
+            preloader_->onL1iAccess(line, current_cycle_);
+    };
+}
+
+void
+Simulator::setL1iMissHook(std::function<void(Addr)> hook)
+{
+    memory_->l1i().onDemandMiss =
+        [hook = std::move(hook)](Addr line, AccessType type) {
+            if (type == AccessType::kIFetch)
+                hook(line);
+        };
+}
+
+SimResult
+Simulator::run()
+{
+    const std::uint64_t total = trace_.size();
+    const std::uint64_t warmup = static_cast<std::uint64_t>(
+        static_cast<double>(total) * config_.warmup_fraction);
+    Cycle cycle = 0;
+    Cycle warmup_cycles = 0;
+    bool warm = warmup == 0;
+    std::uint64_t last_retired = 0;
+    Cycle last_progress = 0;
+
+    while (backend_->retired() < total) {
+        current_cycle_ = cycle;
+        memory_->tick(cycle);
+        if (preloader_)
+            preloader_->tick(cycle, *memory_);
+        backend_->tick(cycle);
+        frontend_->tick(cycle);
+
+        if (backend_->retired() != last_retired) {
+            last_retired = backend_->retired();
+            last_progress = cycle;
+        } else if (cycle - last_progress > kDeadlockThreshold) {
+            panic("simulator deadlock: no retirement progress");
+        }
+        ++cycle;
+
+        if (!warm && backend_->retired() >= warmup) {
+            // End of warmup: zero every event counter but keep all
+            // microarchitectural state (caches, BTB, predictor tables).
+            warm = true;
+            warmup_cycles = cycle;
+            frontend_->resetStats();
+            backend_->resetStats();
+            memory_->l1i().resetStats();
+            memory_->l1d().resetStats();
+            memory_->l2().resetStats();
+            memory_->llc().resetStats();
+            memory_->dram().resetStats();
+        }
+    }
+
+    SimResult result;
+    result.workload = trace_.name();
+    result.config_label = config_.label;
+    result.instructions = backend_->stats().retired;
+    result.effective_instructions =
+        result.instructions - backend_->stats().retired_sw_prefetches;
+    result.cycles = cycle - warmup_cycles;
+    result.frontend = frontend_->stats();
+    result.backend = backend_->stats();
+    result.branch = frontend_->branchUnit().stats();
+    result.btb = frontend_->branchUnit().btb().stats();
+    result.l1i = memory_->l1i().stats();
+    result.l1d = memory_->l1d().stats();
+    result.l2 = memory_->l2().stats();
+    result.llc = memory_->llc().stats();
+    return result;
+}
+
+} // namespace sipre

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Simulator facade: wires front-end, back-end, and memory together
+ * and runs a trace to completion. This is the primary public API of the
+ * library.
+ */
+#ifndef SIPRE_CORE_SIMULATOR_HPP
+#define SIPRE_CORE_SIMULATOR_HPP
+
+#include <functional>
+#include <memory>
+
+#include "backend/backend.hpp"
+#include "core/config.hpp"
+#include "core/metadata_preload.hpp"
+#include "core/sim_result.hpp"
+#include "frontend/frontend.hpp"
+#include "memory/hierarchy.hpp"
+#include "trace/trace.hpp"
+
+namespace sipre
+{
+
+/**
+ * One simulated core executing one trace.
+ *
+ * Typical use:
+ * @code
+ *   Trace trace = synth::generateTrace(spec, 1'000'000);
+ *   Simulator sim(SimConfig::industry(), trace);
+ *   SimResult result = sim.run();
+ * @endcode
+ */
+class Simulator
+{
+  public:
+    Simulator(const SimConfig &config, const Trace &trace);
+
+    /**
+     * Attach a no-overhead software-prefetch trigger map (AsmDB's
+     * idealized mode). Must be called before run(). The map must
+     * outlive the simulator.
+     */
+    void setSwPrefetchTriggers(const SwPrefetchTriggers *triggers);
+
+    /**
+     * Subscribe to L1-I demand misses (the AsmDB profiler's hook).
+     * Fires with the missing line address.
+     */
+    void setL1iMissHook(std::function<void(Addr line_addr)> hook);
+
+    /**
+     * Attach a metadata preloader (paper Sec. VI): prefetch metadata
+     * keyed by trigger line, preloaded from the LLC instead of being
+     * carried by inserted instructions. Call before run().
+     */
+    void attachMetadataPreloader(
+        const MetadataPreloadConfig &config,
+        std::unordered_map<Addr, std::vector<Addr>> metadata);
+
+    /** Stats of the attached preloader (null when none attached). */
+    const MetadataPreloadStats *metadataStats() const
+    {
+        return preloader_ ? &preloader_->stats() : nullptr;
+    }
+
+    /** Run the whole trace to retirement and collect results. */
+    SimResult run();
+
+    /** Access to internals for tests and advanced instrumentation. */
+    MemoryHierarchy &memory() { return *memory_; }
+    DecoupledFrontEnd &frontend() { return *frontend_; }
+    Backend &backend() { return *backend_; }
+
+  private:
+    SimConfig config_;
+    const Trace &trace_;
+    std::unique_ptr<MemoryHierarchy> memory_;
+    std::unique_ptr<DecodeQueue> decode_queue_;
+    std::unique_ptr<DecoupledFrontEnd> frontend_;
+    std::unique_ptr<Backend> backend_;
+    std::unique_ptr<MetadataPreloader> preloader_;
+    Cycle current_cycle_ = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_SIMULATOR_HPP

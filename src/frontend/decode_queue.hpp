@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The decode queue between the decoupled front-end and the back-end.
+ */
+#ifndef SIPRE_FRONTEND_DECODE_QUEUE_HPP
+#define SIPRE_FRONTEND_DECODE_QUEUE_HPP
+
+#include <cstdint>
+
+#include "util/circular_buffer.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** One instruction in flight between fetch and dispatch. */
+struct DecodedUop
+{
+    std::uint64_t trace_index = 0;
+    Cycle ready_at = 0; ///< earliest cycle the back-end may dispatch it
+};
+
+/** Bounded FIFO between front-end (producer) and back-end (consumer). */
+using DecodeQueue = CircularBuffer<DecodedUop>;
+
+} // namespace sipre
+
+#endif // SIPRE_FRONTEND_DECODE_QUEUE_HPP

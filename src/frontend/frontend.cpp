@@ -1,0 +1,441 @@
+#include "frontend/frontend.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+namespace
+{
+
+constexpr Addr
+lineOf(Addr addr)
+{
+    return addr & ~Addr{63};
+}
+
+/** Is the branch's target known by the time it is decoded? */
+bool
+targetKnownAtDecode(const TraceInstruction &br)
+{
+    switch (br.cls) {
+      case InstClass::kCondBranch:
+      case InstClass::kDirectJump:
+      case InstClass::kCall:
+      case InstClass::kReturn: // the RAS supplies the target
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+DecoupledFrontEnd::DecoupledFrontEnd(const FrontendConfig &config,
+                                     const Trace &trace,
+                                     MemoryHierarchy &memory,
+                                     DecodeQueue &decode_queue)
+    : config_(config), trace_(trace), memory_(memory),
+      decode_queue_(decode_queue), unit_(config.branch),
+      ftq_(config.ftq_entries)
+{
+    SIPRE_ASSERT(config_.ftq_entries >= 1, "FTQ needs at least one entry");
+    SIPRE_ASSERT(config_.max_block_instrs >= 1, "block cap must be >= 1");
+    if (config_.itlb)
+        itlb_ = std::make_unique<Tlb>(config_.itlb_config);
+}
+
+void
+DecoupledFrontEnd::tick(Cycle now)
+{
+    drainCompletions(now);
+    deliverToDecode(now);
+    allocateBlocks(now);
+    issueLineFetches(now);
+    issueWrongPathFetches(now);
+    classifyCycle(now);
+}
+
+void
+DecoupledFrontEnd::issueWrongPathFetches(Cycle now)
+{
+    if (stall_ == StallReason::kNone || !config_.wrong_path_fetch)
+        return;
+    // Drain the shadow walk one line per cycle: the wrong path shares
+    // the FDP's fetch engine, it does not get extra bandwidth.
+    if (wrong_path_next_ >= wrong_path_lines_.size() ||
+        !memory_.ifetchCanAccept()) {
+        return;
+    }
+    memory_.issueIPrefetch(wrong_path_lines_[wrong_path_next_++], now);
+    ++stats_.wrong_path_prefetches;
+}
+
+void
+DecoupledFrontEnd::shadowWalk(Addr start_pc, std::size_t max_blocks)
+{
+    // Follow the *predicted* path from start_pc using only state the
+    // front-end actually has (BTB, direction predictor, RAS top): this
+    // is what the machine would fetch while it does not yet know the
+    // prediction was wrong. Instructions are probed at 4-byte slots, as
+    // in the fixed-width ISA the traces model.
+    wrong_path_lines_.clear();
+    wrong_path_next_ = 0;
+    Addr pc = start_pc;
+    for (std::size_t b = 0; b < max_blocks; ++b) {
+        const Addr line = pc & ~Addr{63};
+        if (wrong_path_lines_.empty() || wrong_path_lines_.back() != line)
+            wrong_path_lines_.push_back(line);
+        Addr next = pc + Addr{config_.max_block_instrs} * 4;
+        Addr last_byte = next - 1;
+        for (std::uint32_t k = 0; k < config_.max_block_instrs; ++k) {
+            const Addr cur = pc + Addr{k} * 4;
+            const auto pred = unit_.shadowProbe(cur);
+            if (pred.has_value()) {
+                next = pred->taken ? pred->target : cur + 4;
+                last_byte = cur + 3; // block ends at the branch
+                break;
+            }
+        }
+        const Addr end_line = last_byte & ~Addr{63};
+        if (end_line != line && wrong_path_lines_.back() != end_line)
+            wrong_path_lines_.push_back(end_line);
+        pc = next;
+    }
+}
+
+void
+DecoupledFrontEnd::drainCompletions(Cycle now)
+{
+    auto &completed = memory_.ifetchCompleted();
+    for (const MemRequest &req : completed) {
+        inflight_lines_.erase(req.line_addr);
+        for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
+            FtqEntry &entry = ftq_.at(pos);
+            bool touched = false;
+            for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
+                if (entry.lines[i] == req.line_addr &&
+                    entry.line_state[i] == LineState::kInFlight) {
+                    entry.line_state[i] = LineState::kReady;
+                    touched = true;
+                }
+            }
+            if (touched && entry.fetchDone() &&
+                entry.fetch_complete_cycle == kNoCycle) {
+                entry.fetch_complete_cycle = now;
+                const double latency =
+                    static_cast<double>(now - entry.alloc_cycle);
+                if (pos == 0 || entry.became_head_cycle != kNoCycle) {
+                    stats_.head_fetch_latency.add(latency);
+                    stats_.head_latency_hist.add(
+                        static_cast<std::uint64_t>(latency));
+                } else {
+                    stats_.nonhead_fetch_latency.add(latency);
+                    stats_.nonhead_latency_hist.add(
+                        static_cast<std::uint64_t>(latency));
+                }
+                firePredecode(entry, now);
+            }
+        }
+    }
+    completed.clear();
+}
+
+void
+DecoupledFrontEnd::firePredecode(const FtqEntry &entry, Cycle now)
+{
+    // The pre-decoder sees the fetched bytes: software prefetches fire
+    // here, and (with PFC) a BTB-missed taken branch is corrected here.
+    // A software-prefetch target may encode an I-SPY-style coalesced
+    // range in its low bits: line-aligned address | (lines - 1).
+    auto fire = [this, now](Addr encoded_target) {
+        const Addr line = encoded_target & ~Addr{63};
+        const Addr lines = (encoded_target & Addr{63}) + 1;
+        for (Addr k = 0; k < lines; ++k)
+            memory_.issueIPrefetch(line + k * 64, now);
+        ++stats_.sw_prefetches_triggered;
+    };
+    for (std::uint64_t i = entry.first_index;
+         i < entry.first_index + entry.count; ++i) {
+        const TraceInstruction &inst = trace_[i];
+        if (inst.isSwPrefetch())
+            fire(inst.target);
+        if (triggers_ != nullptr) {
+            auto it = triggers_->find(inst.pc);
+            if (it != triggers_->end()) {
+                for (Addr target : it->second)
+                    fire(target);
+            }
+        }
+    }
+
+    if (config_.pfc && stall_ == StallReason::kBtbMissTaken &&
+        entry.ends_in_branch &&
+        entry.branch_index == stall_branch_index_ &&
+        targetKnownAtDecode(trace_[entry.branch_index])) {
+        ++stats_.pfc_resumes;
+        resumeFromStall(now);
+    }
+}
+
+void
+DecoupledFrontEnd::resumeFromStall(Cycle now)
+{
+    SIPRE_ASSERT(stall_ != StallReason::kNone, "resume without a stall");
+    auto it = pending_branches_.find(stall_branch_index_);
+    SIPRE_ASSERT(it != pending_branches_.end(),
+                 "stalling branch lost its pending record");
+    const TraceInstruction &br = trace_[stall_branch_index_];
+
+    unit_.repairHistory(it->second.checkpoint, br, /*btb_hit_now=*/true);
+    // Make the branch visible to the BTB immediately so tight loops
+    // around the same branch hit on re-encounter.
+    if (br.taken)
+        unit_.btb().update(br.pc, br.target, br.cls);
+
+    if (stall_ == StallReason::kMispredict)
+        stats_.stall_cycles_mispredict += now - stall_begin_;
+    else
+        stats_.stall_cycles_btb_miss += now - stall_begin_;
+    stall_ = StallReason::kNone;
+    wrong_path_lines_.clear();
+    wrong_path_next_ = 0;
+}
+
+void
+DecoupledFrontEnd::deliverToDecode(Cycle now)
+{
+    std::uint32_t budget = config_.fetch_width;
+    while (budget > 0 && !ftq_.empty() && !decode_queue_.full()) {
+        FtqEntry &head = ftq_.front();
+        if (head.became_head_cycle == kNoCycle) {
+            head.became_head_cycle = now;
+            if (!head.fetchDone() && !head.counted_partial) {
+                // Scenario 3 signature: promoted while still fetching.
+                head.counted_partial = true;
+                ++stats_.partial_head_events;
+            }
+        }
+        if (!head.fetchDone())
+            break;
+
+        while (budget > 0 && !decode_queue_.full() &&
+               head.delivered < head.count) {
+            DecodedUop uop;
+            uop.trace_index = head.first_index + head.delivered;
+            uop.ready_at = now + config_.decode_latency;
+            decode_queue_.push(uop);
+            ++head.delivered;
+            --budget;
+            ++stats_.instructions_delivered;
+        }
+        delivered_index_ = head.first_index + head.delivered;
+        if (head.fullyDelivered())
+            ftq_.pop();
+        else
+            break;
+    }
+}
+
+void
+DecoupledFrontEnd::allocateBlocks(Cycle now)
+{
+    for (std::uint32_t n = 0; n < config_.blocks_per_cycle; ++n) {
+        if (ftq_.full() || stall_ != StallReason::kNone ||
+            fetch_index_ >= trace_.size()) {
+            return;
+        }
+
+        FtqEntry entry;
+        entry.first_index = fetch_index_;
+        entry.start_pc = trace_[fetch_index_].pc;
+        entry.alloc_cycle = now;
+
+        Addr last_byte = entry.start_pc;
+        while (fetch_index_ < trace_.size() &&
+               entry.count < config_.max_block_instrs) {
+            const TraceInstruction &inst = trace_[fetch_index_];
+            ++entry.count;
+            ++fetch_index_;
+            entry.end_pc = inst.pc;
+            last_byte = inst.pc + inst.size - 1;
+
+            if (inst.isBranch()) {
+                entry.ends_in_branch = true;
+                entry.branch_index = fetch_index_ - 1;
+
+                PendingBranch pending;
+                pending.checkpoint = unit_.checkpoint();
+                pending.pred = unit_.predictAndSpeculate(inst);
+
+                const bool actual_taken = inst.taken;
+                const Addr actual_target =
+                    actual_taken ? inst.target : inst.nextPc();
+                bool wrong =
+                    pending.pred.predicted_taken != actual_taken ||
+                    (actual_taken &&
+                     pending.pred.predicted_target != actual_target);
+                if (wrong && config_.oracle_bp) {
+                    // Limit-study mode: follow the committed path with
+                    // no stall, but keep speculative state consistent
+                    // with that path.
+                    unit_.repairHistory(pending.checkpoint, inst,
+                                        pending.pred.btb_hit);
+                    if (inst.taken)
+                        unit_.btb().update(inst.pc, inst.target,
+                                           inst.cls);
+                    wrong = false;
+                }
+                if (wrong) {
+                    pending.stalling = true;
+                    if (!pending.pred.btb_hit && actual_taken) {
+                        stall_ = StallReason::kBtbMissTaken;
+                        ++stats_.btb_miss_stalls;
+                    } else {
+                        stall_ = StallReason::kMispredict;
+                        ++stats_.mispredict_stalls;
+                    }
+                    stall_branch_index_ = entry.branch_index;
+                    stall_begin_ = now;
+                    // The hardware keeps fetching down the predicted
+                    // (wrong) path until the branch resolves; walk it
+                    // with the predictors, bounded by the FTQ space
+                    // that remains for wrong-path blocks.
+                    if (config_.wrong_path_fetch) {
+                        const Addr wrong_pc =
+                            pending.pred.predicted_taken
+                                ? pending.pred.predicted_target
+                                : inst.nextPc();
+                        shadowWalk(wrong_pc,
+                                   std::min<std::size_t>(
+                                       config_.ftq_entries,
+                                       config_.wrong_path_depth));
+                    }
+                }
+                pending_branches_.emplace(entry.branch_index,
+                                          std::move(pending));
+                break;
+            }
+        }
+
+        entry.lines[0] = lineOf(entry.start_pc);
+        const Addr end_line = lineOf(last_byte);
+        entry.num_lines = 1;
+        if (end_line != entry.lines[0]) {
+            entry.lines[1] = end_line;
+            entry.num_lines = 2;
+        }
+
+        ftq_.push(entry);
+        ++stats_.blocks_allocated;
+    }
+}
+
+void
+DecoupledFrontEnd::issueLineFetches(Cycle now)
+{
+    for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
+        FtqEntry &entry = ftq_.at(pos);
+        for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
+            if (entry.line_state[i] == LineState::kNotIssued &&
+                itlb_ != nullptr) {
+                const Cycle walk = itlb_->lookup(entry.lines[i]);
+                if (walk > 0) {
+                    entry.line_state[i] = LineState::kWaitingTlb;
+                    entry.issue_ready[i] = now + walk;
+                    ++stats_.itlb_walks;
+                    continue;
+                }
+            }
+            if (entry.line_state[i] == LineState::kWaitingTlb) {
+                if (entry.issue_ready[i] > now)
+                    continue;
+                entry.line_state[i] = LineState::kNotIssued;
+            }
+            if (entry.line_state[i] != LineState::kNotIssued)
+                continue;
+            const Addr line = entry.lines[i];
+            if (auto it = inflight_lines_.find(line);
+                it != inflight_lines_.end()) {
+                // Another FTQ entry already requested this line: merge.
+                entry.line_state[i] = LineState::kInFlight;
+                ++it->second;
+                ++stats_.l1i_fetches_merged;
+                continue;
+            }
+            if (!memory_.ifetchCanAccept())
+                return; // port backpressure: retry next cycle
+            memory_.issueIFetch(line, now);
+            inflight_lines_.emplace(line, 1);
+            entry.line_state[i] = LineState::kInFlight;
+            ++stats_.l1i_fetches_issued;
+        }
+    }
+}
+
+void
+DecoupledFrontEnd::classifyCycle(Cycle now)
+{
+    (void)now;
+    if (ftq_.empty()) {
+        ++stats_.ftq_empty_cycles;
+        return;
+    }
+
+    const FtqEntry &head = ftq_.front();
+    if (head.fetchDone()) {
+        ++stats_.scenario1_cycles;
+        return;
+    }
+
+    ++stats_.head_stall_cycles;
+    bool any_other_unready = false;
+    for (std::size_t pos = 1; pos < ftq_.size(); ++pos) {
+        FtqEntry &entry = ftq_.at(pos);
+        if (entry.fetchDone()) {
+            if (!entry.counted_waiting) {
+                entry.counted_waiting = true;
+                ++stats_.waiting_entry_events;
+            }
+        } else {
+            any_other_unready = true;
+        }
+    }
+    if (any_other_unready)
+        ++stats_.scenario3_cycles;
+    else
+        ++stats_.scenario2_cycles;
+}
+
+void
+DecoupledFrontEnd::onBranchDecoded(std::uint64_t trace_index, Cycle now)
+{
+    if (config_.pfc)
+        return; // PFC already corrected at pre-decode
+    if (stall_ == StallReason::kBtbMissTaken &&
+        stall_branch_index_ == trace_index &&
+        targetKnownAtDecode(trace_[trace_index])) {
+        resumeFromStall(now);
+    }
+}
+
+void
+DecoupledFrontEnd::onBranchExecuted(std::uint64_t trace_index, Cycle now)
+{
+    auto it = pending_branches_.find(trace_index);
+    if (it == pending_branches_.end())
+        return;
+
+    const TraceInstruction &br = trace_[trace_index];
+    unit_.resolve(br, it->second.pred);
+
+    if (stall_ != StallReason::kNone &&
+        stall_branch_index_ == trace_index) {
+        resumeFromStall(now);
+    }
+    pending_branches_.erase(it);
+}
+
+} // namespace sipre

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The decoupled front-end (FDP) model.
+ *
+ * Implements the industry-standard fetch-directed-prefetching front-end
+ * of Ishii et al. that the paper's methodology builds on: the branch
+ * prediction structures run ahead of fetch and fill the FTQ with basic
+ * blocks; every FTQ entry issues its cache lines to the L1-I as soon as
+ * it is allocated (out of order, with same-line merging); instructions
+ * leave the FTQ head in order once their lines arrive. Mispredictions
+ * and BTB misses on taken branches stall fetch-ahead until the branch
+ * is corrected (post-fetch correction, decode, or execution).
+ *
+ * Because the simulator is trace-driven, the predicted path and the
+ * committed path coincide until the first mispredicted branch; wrong
+ * path fetch is modeled as a fetch bubble (the ChampSim approach).
+ */
+#ifndef SIPRE_FRONTEND_FRONTEND_HPP
+#define SIPRE_FRONTEND_FRONTEND_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/unit.hpp"
+#include "frontend/decode_queue.hpp"
+#include "frontend/frontend_stats.hpp"
+#include "frontend/ftq.hpp"
+#include "memory/hierarchy.hpp"
+#include "memory/tlb.hpp"
+#include "trace/trace.hpp"
+
+namespace sipre
+{
+
+/** Map from trigger PC to prefetch target addresses (no-overhead mode). */
+using SwPrefetchTriggers = std::unordered_map<Addr, std::vector<Addr>>;
+
+/** Front-end configuration. */
+struct FrontendConfig
+{
+    std::uint32_t ftq_entries = 24;     ///< 2 = conservative, 24 = industry
+    std::uint32_t max_block_instrs = 8; ///< basic-block cap per FTQ entry
+    std::uint32_t fetch_width = 6;      ///< instrs to decode per cycle
+    std::uint32_t blocks_per_cycle = 3; ///< FTQ allocations per cycle
+    Cycle decode_latency = 5;           ///< fetch-to-dispatch pipe depth
+    bool pfc = true;                    ///< post-fetch correction enabled
+
+    /**
+     * Model wrong-path fetch during mispredict/BTB-miss stalls: the
+     * front-end cannot know it is wrong, so it keeps issuing sequential
+     * line fetches down the (wrong) predicted path, which prefetches
+     * soon-needed code. Depth is bounded by the FTQ size, so a deep FTQ
+     * prefetches far more of the wrong path than a conservative one.
+     */
+    bool wrong_path_fetch = true;
+
+    /**
+     * Blocks of wrong path followed per stall (also bounded by free FTQ
+     * space). Real wrong paths diverge from useful code quickly, so the
+     * effective useful depth is small.
+     */
+    std::uint32_t wrong_path_depth = 2;
+
+    /**
+     * Oracle branch prediction (limit studies): the front-end follows
+     * the committed path with no misprediction or BTB-miss stalls.
+     * Predictors still train normally.
+     */
+    bool oracle_bp = false;
+
+    /** Model an instruction TLB in front of L1-I line fetches. */
+    bool itlb = false;
+    TlbConfig itlb_config{};
+
+    BranchUnitConfig branch;
+};
+
+/**
+ * The decoupled front-end. Owns the FTQ and the branch unit; talks to
+ * the shared MemoryHierarchy instruction port and fills the shared
+ * DecodeQueue.
+ */
+class DecoupledFrontEnd
+{
+  public:
+    DecoupledFrontEnd(const FrontendConfig &config, const Trace &trace,
+                      MemoryHierarchy &memory, DecodeQueue &decode_queue);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /**
+     * The back-end decoded the instruction at trace_index (it entered
+     * the ROB). Resumes a BTB-miss stall when PFC is disabled.
+     */
+    void onBranchDecoded(std::uint64_t trace_index, Cycle now);
+
+    /**
+     * The back-end executed the branch at trace_index: train the
+     * predictors and, if fetch-ahead is stalled on this branch, repair
+     * the history and resume.
+     */
+    void onBranchExecuted(std::uint64_t trace_index, Cycle now);
+
+    /** No-overhead software prefetching: trigger map keyed by PC. */
+    void setSwPrefetchTriggers(const SwPrefetchTriggers *triggers)
+    {
+        triggers_ = triggers;
+    }
+
+    /** True when every trace instruction has been delivered to decode. */
+    bool done() const { return delivered_index_ >= trace_.size(); }
+
+    const FrontendStats &stats() const { return stats_; }
+    const BranchUnit &branchUnit() const { return unit_; }
+
+    /** The instruction TLB (null when FrontendConfig::itlb is false). */
+    const Tlb *itlb() const { return itlb_ ? itlb_.get() : nullptr; }
+    BranchUnit &branchUnit() { return unit_; }
+
+    /** Zero all event counters (end-of-warmup). State is kept warm. */
+    void
+    resetStats()
+    {
+        stats_ = FrontendStats{};
+        unit_.resetStats();
+    }
+    const Ftq &ftq() const { return ftq_; }
+
+  private:
+    /** Why fetch-ahead is currently stalled. */
+    enum class StallReason : std::uint8_t {
+        kNone,
+        kMispredict,  ///< resume when the branch executes
+        kBtbMissTaken ///< resume at pre-decode (PFC) or decode
+    };
+
+    struct PendingBranch
+    {
+        BranchPrediction pred;
+        BranchCheckpoint checkpoint;
+        bool stalling = false;
+    };
+
+    void drainCompletions(Cycle now);
+    void deliverToDecode(Cycle now);
+    void allocateBlocks(Cycle now);
+    void issueLineFetches(Cycle now);
+    void issueWrongPathFetches(Cycle now);
+    void shadowWalk(Addr start_pc, std::size_t max_blocks);
+    void classifyCycle(Cycle now);
+    void firePredecode(const FtqEntry &entry, Cycle now);
+    void resumeFromStall(Cycle now);
+
+    FrontendConfig config_;
+    const Trace &trace_;
+    MemoryHierarchy &memory_;
+    DecodeQueue &decode_queue_;
+    BranchUnit unit_;
+    Ftq ftq_;
+    FrontendStats stats_;
+
+    std::uint64_t fetch_index_ = 0;     ///< next instruction to enter FTQ
+    std::uint64_t delivered_index_ = 0; ///< next instruction to decode
+
+    StallReason stall_ = StallReason::kNone;
+    std::uint64_t stall_branch_index_ = 0;
+    Cycle stall_begin_ = 0;
+    std::vector<Addr> wrong_path_lines_; ///< shadow-walk result, drained
+    std::size_t wrong_path_next_ = 0;
+
+    std::unordered_map<std::uint64_t, PendingBranch> pending_branches_;
+
+    /** Lines with an in-flight FTQ-issued request (for merging). */
+    std::unordered_map<Addr, std::uint32_t> inflight_lines_;
+
+    const SwPrefetchTriggers *triggers_ = nullptr;
+    std::unique_ptr<Tlb> itlb_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_FRONTEND_FRONTEND_HPP

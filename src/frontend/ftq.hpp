@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Fetch Target Queue: the structure at the center of the paper's
+ * characterization. Each entry represents one basic block (up to eight
+ * instructions) on the predicted path; entries issue their cache lines
+ * to the L1-I out of order but deliver instructions to decode in order.
+ */
+#ifndef SIPRE_FRONTEND_FTQ_HPP
+#define SIPRE_FRONTEND_FTQ_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "branch/unit.hpp"
+#include "util/circular_buffer.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Fetch state of one cache line needed by an FTQ entry. */
+enum class LineState : std::uint8_t {
+    kNotIssued,
+    kWaitingTlb, ///< ITLB walk in progress; issue deferred
+    kInFlight,
+    kReady
+};
+
+/** One FTQ entry: a basic block on the predicted path. */
+struct FtqEntry
+{
+    std::uint64_t first_index = 0; ///< trace index of the first instruction
+    std::uint32_t count = 0;       ///< instructions in the block
+    Addr start_pc = 0;
+    Addr end_pc = 0;               ///< pc of the last instruction
+
+    std::array<Addr, 2> lines{kNoAddr, kNoAddr};
+    std::array<LineState, 2> line_state{LineState::kNotIssued,
+                                        LineState::kNotIssued};
+    std::array<Cycle, 2> issue_ready{0, 0}; ///< earliest issue (ITLB)
+    std::uint8_t num_lines = 0;
+
+    Cycle alloc_cycle = 0;
+    Cycle fetch_complete_cycle = kNoCycle;
+    Cycle became_head_cycle = kNoCycle;
+
+    std::uint32_t delivered = 0;   ///< instructions already sent to decode
+
+    // Terminating-branch bookkeeping (valid when ends_in_branch).
+    bool ends_in_branch = false;
+    std::uint64_t branch_index = 0;
+
+    // Characterization flags (Figs. 10/11 are event counts, so each
+    // entry contributes at most once to each).
+    bool counted_waiting = false;
+    bool counted_partial = false;
+
+    /** All needed lines have been fetched. */
+    bool
+    fetchDone() const
+    {
+        for (std::uint8_t i = 0; i < num_lines; ++i) {
+            if (line_state[i] != LineState::kReady)
+                return false;
+        }
+        return true;
+    }
+
+    /** All instructions have been handed to decode. */
+    bool fullyDelivered() const { return delivered == count; }
+};
+
+/** The FTQ is a bounded FIFO of FtqEntry. */
+using Ftq = CircularBuffer<FtqEntry>;
+
+} // namespace sipre
+
+#endif // SIPRE_FRONTEND_FTQ_HPP

@@ -1,0 +1,322 @@
+#include "memory/cache.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+Cache::Cache(CacheConfig config, MemoryDevice *lower)
+    : config_(std::move(config)), lower_(lower)
+{
+    const std::uint32_t line_size = 1u << config_.line_bits;
+    SIPRE_ASSERT(config_.size_bytes % (line_size * config_.ways) == 0,
+                 "cache size must be a multiple of ways * line size");
+    sets_ = config_.size_bytes / (line_size * config_.ways);
+    SIPRE_ASSERT(isPowerOfTwo(sets_), "cache set count must be a power of 2");
+    line_shift_ = config_.line_bits;
+    lines_.resize(std::size_t{sets_} * config_.ways);
+    repl_ = makeReplacementPolicy(config_.policy, sets_, config_.ways,
+                                  /*seed=*/mix64(sets_ ^ config_.ways));
+    mshrs_.resize(config_.mshrs);
+    SIPRE_ASSERT(config_.tags_per_cycle > 0, "need tag bandwidth");
+    SIPRE_ASSERT(config_.queue_size > 0, "need a nonempty input queue");
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr >> line_shift_) &
+                                      (sets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr line_addr) const
+{
+    return line_addr >> line_shift_;
+}
+
+Cache::Line *
+Cache::lookup(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    const Addr tag = tagOf(line_addr);
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[std::size_t{set} * config_.ways + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::lookup(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->lookup(line_addr);
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return lookup(line_addr) != nullptr;
+}
+
+bool
+Cache::mshrPending(Addr line_addr) const
+{
+    for (const auto &mshr : mshrs_) {
+        if (mshr.valid && mshr.line_addr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line_addr)
+{
+    for (auto &mshr : mshrs_) {
+        if (mshr.valid && mshr.line_addr == line_addr)
+            return &mshr;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr(Addr line_addr)
+{
+    if (mshrs_in_use_ == config_.mshrs)
+        return nullptr;
+    for (auto &mshr : mshrs_) {
+        if (!mshr.valid) {
+            mshr.valid = true;
+            mshr.line_addr = line_addr;
+            mshr.prefetch_only = true;
+            mshr.waiters.clear();
+            ++mshrs_in_use_;
+            return &mshr;
+        }
+    }
+    panic("MSHR accounting out of sync");
+}
+
+bool
+Cache::canAccept() const
+{
+    return input_.size() < config_.queue_size;
+}
+
+void
+Cache::enqueue(MemRequest req)
+{
+    SIPRE_ASSERT(canAccept(), "enqueue into a full cache queue");
+    input_.push_back(req);
+}
+
+void
+Cache::schedule(Cycle ready, bool is_forward, const MemRequest &req)
+{
+    sched_.push(Scheduled{ready, seq_++, is_forward, req});
+}
+
+void
+Cache::deliver(MemRequest &req)
+{
+    if (req.requester != nullptr) {
+        req.requester->handleFill(req);
+    } else if (onComplete && req.type != AccessType::kWriteback) {
+        onComplete(req);
+    }
+}
+
+void
+Cache::processRequest(MemRequest &req, Cycle now)
+{
+    if (req.type == AccessType::kWriteback) {
+        ++stats_.writebacks_in;
+        if (Line *line = lookup(req.line_addr)) {
+            line->dirty = true;
+        } else {
+            // No allocation on writeback miss; pass it down.
+            writebacks_.push_back(req);
+        }
+        return;
+    }
+
+    const bool is_prefetch = req.type == AccessType::kPrefetch;
+    Line *line = lookup(req.line_addr);
+
+    if (onAccess && !is_prefetch)
+        onAccess(req.line_addr, req.type, line != nullptr);
+    if (is_prefetch)
+        ++stats_.prefetch_requests;
+    else
+        ++stats_.accesses;
+
+    if (line != nullptr) {
+        // Hit: complete after this level's latency.
+        if (is_prefetch) {
+            ++stats_.prefetch_hits;
+        } else {
+            ++stats_.hits;
+            if (line->prefetched) {
+                line->prefetched = false;
+                ++stats_.prefetch_useful;
+            }
+            if (req.type == AccessType::kStore)
+                line->dirty = true;
+            const std::uint32_t set = setIndex(req.line_addr);
+            const std::uint32_t way = static_cast<std::uint32_t>(
+                line - &lines_[std::size_t{set} * config_.ways]);
+            repl_->onHit(set, way);
+        }
+        req.served_by = config_.level_tag;
+        req.complete_cycle = now + config_.latency;
+        schedule(req.complete_cycle, /*is_forward=*/false, req);
+        return;
+    }
+
+    // Miss: merge into an existing MSHR or allocate a new one.
+    if (Mshr *mshr = findMshr(req.line_addr)) {
+        if (!is_prefetch && mshr->prefetch_only) {
+            // A demand caught up with an in-flight prefetch: late prefetch.
+            mshr->prefetch_only = false;
+            ++stats_.misses;
+            ++stats_.prefetch_late;
+            if (onDemandMiss)
+                onDemandMiss(req.line_addr, req.type);
+        } else if (!is_prefetch) {
+            ++stats_.mshr_merges;
+        }
+        mshr->waiters.push_back(req);
+        return;
+    }
+
+    Mshr *mshr = allocMshr(req.line_addr);
+    SIPRE_ASSERT(mshr != nullptr,
+                 "processRequest called without a free MSHR");
+    mshr->prefetch_only = is_prefetch;
+    mshr->waiters.push_back(req);
+    if (!is_prefetch) {
+        ++stats_.misses;
+        if (onDemandMiss)
+            onDemandMiss(req.line_addr, req.type);
+    }
+
+    // Forward a fresh request to the lower level after the tag latency.
+    MemRequest down = req;
+    down.requester = this;
+    schedule(now + config_.latency, /*is_forward=*/true, down);
+}
+
+void
+Cache::tick(Cycle now)
+{
+    // 1. Fire everything that becomes ready this cycle.
+    while (!sched_.empty() && sched_.top().ready <= now) {
+        Scheduled item = sched_.top();
+        sched_.pop();
+        if (item.is_forward) {
+            if (lower_ != nullptr && lower_->canAccept()) {
+                lower_->enqueue(item.req);
+            } else {
+                // Back-pressure: retry next cycle.
+                item.ready = now + 1;
+                sched_.push(item);
+                break;
+            }
+        } else {
+            deliver(item.req);
+        }
+    }
+
+    // 2. Drain pending writebacks (bounded per cycle).
+    for (int i = 0; i < 2 && !writebacks_.empty(); ++i) {
+        if (lower_ == nullptr) {
+            writebacks_.pop_front();
+            continue;
+        }
+        if (!lower_->canAccept())
+            break;
+        lower_->enqueue(writebacks_.front());
+        writebacks_.pop_front();
+        ++stats_.writebacks_out;
+    }
+
+    // 3. Look up new requests with limited tag bandwidth. A request that
+    //    needs an MSHR when none is free blocks the queue head.
+    for (std::uint32_t i = 0;
+         i < config_.tags_per_cycle && !input_.empty(); ++i) {
+        MemRequest &head = input_.front();
+        const bool will_miss = lookup(head.line_addr) == nullptr &&
+                               head.type != AccessType::kWriteback;
+        if (will_miss && findMshr(head.line_addr) == nullptr &&
+            mshrs_in_use_ == config_.mshrs) {
+            break; // head-of-line blocking until an MSHR frees up
+        }
+        MemRequest req = head;
+        input_.pop_front();
+        processRequest(req, now);
+    }
+}
+
+void
+Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    Line *slot = nullptr;
+    std::uint32_t way = 0;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[std::size_t{set} * config_.ways + w];
+        if (!line.valid) {
+            slot = &line;
+            way = w;
+            break;
+        }
+    }
+    if (slot == nullptr) {
+        way = repl_->victim(set);
+        slot = &lines_[std::size_t{set} * config_.ways + way];
+        ++stats_.evictions;
+        if (slot->dirty && lower_ != nullptr) {
+            MemRequest wb;
+            // The stored tag is the full line number, so shifting it back
+            // reconstructs the complete line address.
+            wb.line_addr = slot->tag << line_shift_;
+            wb.type = AccessType::kWriteback;
+            writebacks_.push_back(wb);
+        }
+    }
+    slot->valid = true;
+    slot->tag = tagOf(line_addr);
+    slot->dirty = dirty;
+    slot->prefetched = prefetched;
+    repl_->onFill(set, way);
+}
+
+void
+Cache::handleFill(const MemRequest &fill)
+{
+    Mshr *mshr = findMshr(fill.line_addr);
+    SIPRE_ASSERT(mshr != nullptr, "fill without a matching MSHR");
+
+    bool dirty = false;
+    for (const auto &w : mshr->waiters)
+        dirty |= w.type == AccessType::kStore;
+    installLine(fill.line_addr, dirty, mshr->prefetch_only);
+    if (mshr->prefetch_only)
+        ++stats_.prefetch_fills;
+
+    // Complete every merged waiter with the fill's timing.
+    std::vector<MemRequest> waiters = std::move(mshr->waiters);
+    mshr->valid = false;
+    mshr->waiters.clear();
+    --mshrs_in_use_;
+
+    for (auto &w : waiters) {
+        w.complete_cycle = fill.complete_cycle;
+        w.served_by = fill.served_by;
+        deliver(w);
+    }
+}
+
+} // namespace sipre

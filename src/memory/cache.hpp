@@ -1,0 +1,169 @@
+/**
+ * @file
+ * A generic set-associative, write-back, MSHR-based timing cache.
+ *
+ * The same class models the L1-I, L1-D, L2, and LLC; only the
+ * configuration differs. Requests are accepted into a bounded input
+ * queue, looked up with limited tag bandwidth per cycle, and either
+ * complete after the hit latency or allocate an MSHR and travel to the
+ * next level. Fills propagate back up synchronously through the
+ * requester chain, so a request's total latency is the sum of the tag
+ * latencies on its way down plus the serving level's latency.
+ */
+#ifndef SIPRE_MEMORY_CACHE_HPP
+#define SIPRE_MEMORY_CACHE_HPP
+
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "memory/device.hpp"
+#include "memory/replacement.hpp"
+#include "memory/request.hpp"
+
+namespace sipre
+{
+
+/** Static configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t size_bytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t line_bits = 6;       ///< 64-byte lines
+    Cycle latency = 4;                 ///< tag+data latency of this level
+    std::uint32_t mshrs = 16;
+    std::uint32_t queue_size = 32;     ///< input-queue capacity
+    std::uint32_t tags_per_cycle = 2;  ///< lookups per cycle
+    ReplPolicyKind policy = ReplPolicyKind::kLru;
+    ServedBy level_tag = ServedBy::kL1;
+};
+
+/** Event counters exposed by each cache level. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;       ///< demand lookups (hit+miss+merge)
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;         ///< demand misses (incl. late-pf hits)
+    std::uint64_t mshr_merges = 0;    ///< demand merged into demand MSHR
+    std::uint64_t prefetch_requests = 0;
+    std::uint64_t prefetch_hits = 0;  ///< prefetch found line present
+    std::uint64_t prefetch_fills = 0;
+    std::uint64_t prefetch_useful = 0;///< demand hit on a prefetched line
+    std::uint64_t prefetch_late = 0;  ///< demand merged into prefetch MSHR
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks_out = 0;
+    std::uint64_t writebacks_in = 0;
+};
+
+/**
+ * One timing cache level. See file comment for the flow.
+ */
+class Cache : public MemoryDevice
+{
+  public:
+    Cache(CacheConfig config, MemoryDevice *lower);
+
+    // MemoryDevice interface -------------------------------------------
+    bool canAccept() const override;
+    void enqueue(MemRequest req) override;
+    void tick(Cycle now) override;
+
+    /** Receive a fill from the lower level (called by the lower device). */
+    void handleFill(const MemRequest &fill);
+
+    // Introspection -----------------------------------------------------
+    /** Tag probe with no side effects: is the line present? */
+    bool contains(Addr line_addr) const;
+
+    /** Is there an MSHR in flight for this line? */
+    bool mshrPending(Addr line_addr) const;
+
+    std::uint32_t sets() const { return sets_; }
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Zero the event counters (end-of-warmup). Cache contents are
+     * kept, but per-line `prefetched` flags are cleared so that
+     * prefetch_useful only counts fills observed within the window.
+     */
+    void
+    resetStats()
+    {
+        stats_ = CacheStats{};
+        for (auto &line : lines_)
+            line.prefetched = false;
+    }
+
+    /** Fired once per *primary* demand miss (and per late prefetch). */
+    std::function<void(Addr line_addr, AccessType type)> onDemandMiss;
+
+    /** Fired on every demand lookup: (line, type, hit). */
+    std::function<void(Addr line_addr, AccessType type, bool hit)> onAccess;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    struct Mshr
+    {
+        Addr line_addr = 0;
+        bool valid = false;
+        bool prefetch_only = true; ///< no demand waiter yet
+        std::vector<MemRequest> waiters;
+    };
+
+    struct Scheduled
+    {
+        Cycle ready;
+        std::uint64_t seq;     ///< FIFO tie-break for determinism
+        bool is_forward;       ///< forward to lower level vs complete
+        MemRequest req;
+
+        bool
+        operator>(const Scheduled &other) const
+        {
+            return ready != other.ready ? ready > other.ready
+                                        : seq > other.seq;
+        }
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    Addr tagOf(Addr line_addr) const;
+    Line *lookup(Addr line_addr);
+    const Line *lookup(Addr line_addr) const;
+    Mshr *findMshr(Addr line_addr);
+    Mshr *allocMshr(Addr line_addr);
+    void processRequest(MemRequest &req, Cycle now);
+    void installLine(Addr line_addr, bool dirty, bool prefetched);
+    void deliver(MemRequest &req);
+    void schedule(Cycle ready, bool is_forward, const MemRequest &req);
+
+    CacheConfig config_;
+    MemoryDevice *lower_;
+    std::uint32_t sets_;
+    std::uint32_t line_shift_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::deque<MemRequest> input_;
+    std::deque<MemRequest> writebacks_;
+    std::vector<Mshr> mshrs_;
+    std::uint32_t mshrs_in_use_ = 0;
+    std::priority_queue<Scheduled, std::vector<Scheduled>,
+                        std::greater<Scheduled>>
+        sched_;
+    std::uint64_t seq_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_CACHE_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Abstract interface implemented by every timing component in the
+ * memory hierarchy (caches and DRAM).
+ */
+#ifndef SIPRE_MEMORY_DEVICE_HPP
+#define SIPRE_MEMORY_DEVICE_HPP
+
+#include <functional>
+
+#include "memory/request.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/**
+ * A cycle-ticked memory device. Requests flow downward via enqueue();
+ * completions flow upward either to the requesting Cache (fill path) or
+ * to onComplete (top-of-hierarchy ports).
+ */
+class MemoryDevice
+{
+  public:
+    virtual ~MemoryDevice() = default;
+
+    /** True when the device can take one more request this cycle. */
+    virtual bool canAccept() const = 0;
+
+    /** Hand a request to this device. @pre canAccept(). */
+    virtual void enqueue(MemRequest req) = 0;
+
+    /** Advance one cycle; may deliver completions synchronously. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Completion callback for requests with no requester cache. */
+    std::function<void(const MemRequest &)> onComplete;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_DEVICE_HPP

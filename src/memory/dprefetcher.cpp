@@ -1,0 +1,61 @@
+#include "memory/dprefetcher.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+std::unique_ptr<DataPrefetcher>
+makeDataPrefetcher(DPrefetcherKind kind)
+{
+    switch (kind) {
+      case DPrefetcherKind::kNone:
+        return nullptr;
+      case DPrefetcherKind::kIpStride:
+        return std::make_unique<IpStridePrefetcher>();
+    }
+    panic("unknown data prefetcher kind");
+}
+
+IpStridePrefetcher::IpStridePrefetcher(std::uint32_t entries,
+                                       unsigned degree)
+    : table_(entries), degree_(degree)
+{
+    SIPRE_ASSERT(isPowerOfTwo(entries), "stride table must be 2^n");
+}
+
+void
+IpStridePrefetcher::onLoad(Addr pc, Addr addr, bool)
+{
+    Entry &entry = table_[mix64(pc >> 2) & (table_.size() - 1)];
+    if (entry.tag != pc) {
+        entry = Entry{};
+        entry.tag = pc;
+        entry.last_addr = addr;
+        return;
+    }
+
+    const std::int64_t stride = static_cast<std::int64_t>(addr) -
+                                static_cast<std::int64_t>(entry.last_addr);
+    if (stride != 0 && stride == entry.stride) {
+        if (entry.confidence < 3)
+            ++entry.confidence;
+    } else {
+        entry.confidence = entry.confidence > 0 ? entry.confidence - 1 : 0;
+        entry.stride = stride;
+    }
+    entry.last_addr = addr;
+
+    if (entry.confidence >= 2 && entry.stride != 0) {
+        for (unsigned d = 1; d <= degree_; ++d) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(addr) +
+                entry.stride * static_cast<std::int64_t>(d);
+            if (target > 0)
+                emit(static_cast<Addr>(target));
+        }
+    }
+}
+
+} // namespace sipre

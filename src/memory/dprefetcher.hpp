@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Data-side (L1-D) prefetchers. The paper's study is about instruction
+ * prefetching; a basic IP-stride data prefetcher is provided so users
+ * can check that the front-end findings are robust to a busier data
+ * side (ablation material, off by default).
+ */
+#ifndef SIPRE_MEMORY_DPREFETCHER_HPP
+#define SIPRE_MEMORY_DPREFETCHER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Which data prefetcher is attached to the L1-D. */
+enum class DPrefetcherKind : std::uint8_t { kNone, kIpStride };
+
+/**
+ * Data prefetcher interface: observes load accesses (with the load PC)
+ * and emits candidate addresses the hierarchy issues as kPrefetch.
+ */
+class DataPrefetcher
+{
+  public:
+    virtual ~DataPrefetcher() = default;
+
+    /** A demand load at `pc` accessed `addr`; `hit` is the L1-D outcome. */
+    virtual void onLoad(Addr pc, Addr addr, bool hit) = 0;
+
+    /** Candidate addresses to prefetch; caller drains and clears. */
+    std::vector<Addr> &candidates() { return candidates_; }
+
+  protected:
+    void emit(Addr addr) { candidates_.push_back(addr); }
+
+  private:
+    std::vector<Addr> candidates_;
+};
+
+std::unique_ptr<DataPrefetcher> makeDataPrefetcher(DPrefetcherKind kind);
+
+/**
+ * Classic IP-stride prefetcher: a per-PC table tracking the last
+ * address and stride; two consecutive matching strides arm the entry
+ * and prefetch `degree` strides ahead.
+ */
+class IpStridePrefetcher : public DataPrefetcher
+{
+  public:
+    explicit IpStridePrefetcher(std::uint32_t entries = 256,
+                                unsigned degree = 2);
+    void onLoad(Addr pc, Addr addr, bool hit) override;
+
+  private:
+    struct Entry
+    {
+        Addr tag = kNoAddr;
+        Addr last_addr = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    std::vector<Entry> table_;
+    unsigned degree_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_DPREFETCHER_HPP

@@ -1,0 +1,86 @@
+#include "memory/dram.hpp"
+
+#include "memory/cache.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+Dram::Dram(DramConfig config)
+    : config_(config), open_row_(config.banks, ~std::uint64_t{0})
+{
+    SIPRE_ASSERT(config_.banks > 0, "DRAM needs at least one bank");
+    SIPRE_ASSERT(config_.queue_size > 0, "DRAM needs a request queue");
+}
+
+std::uint32_t
+Dram::bankOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr >> 6) % config_.banks);
+}
+
+std::uint64_t
+Dram::rowOf(Addr line_addr) const
+{
+    return line_addr >> config_.row_bits;
+}
+
+bool
+Dram::canAccept() const
+{
+    return queue_.size() < config_.queue_size;
+}
+
+void
+Dram::enqueue(MemRequest req)
+{
+    SIPRE_ASSERT(canAccept(), "enqueue into a full DRAM queue");
+    if (req.type == AccessType::kWriteback) {
+        // Absorb writebacks: they consume a row activation but produce
+        // no response and (in this model) no channel occupancy.
+        ++stats_.writebacks;
+        const std::uint32_t bank = bankOf(req.line_addr);
+        open_row_[bank] = rowOf(req.line_addr);
+        return;
+    }
+    queue_.push_back(req);
+}
+
+void
+Dram::tick(Cycle now)
+{
+    while (!sched_.empty() && sched_.top().ready <= now) {
+        Scheduled item = sched_.top();
+        sched_.pop();
+        MemRequest &req = item.req;
+        if (req.requester != nullptr) {
+            req.requester->handleFill(req);
+        } else if (onComplete) {
+            onComplete(req);
+        }
+    }
+
+    if (!queue_.empty() && now >= next_issue_) {
+        MemRequest req = queue_.front();
+        queue_.pop_front();
+        ++stats_.reads;
+
+        const std::uint32_t bank = bankOf(req.line_addr);
+        const std::uint64_t row = rowOf(req.line_addr);
+        Cycle latency = config_.row_hit_latency;
+        if (open_row_[bank] != row) {
+            latency += config_.row_miss_extra;
+            open_row_[bank] = row;
+            ++stats_.row_misses;
+        } else {
+            ++stats_.row_hits;
+        }
+
+        req.served_by = ServedBy::kDram;
+        req.complete_cycle = now + latency;
+        sched_.push(Scheduled{req.complete_cycle, seq_++, req});
+        next_issue_ = now + config_.issue_gap;
+    }
+}
+
+} // namespace sipre

@@ -1,0 +1,142 @@
+#include "memory/hierarchy.hpp"
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+{
+    dram_ = std::make_unique<Dram>(config.dram);
+    llc_ = std::make_unique<Cache>(config.llc, dram_.get());
+    l2_ = std::make_unique<Cache>(config.l2, llc_.get());
+    l1i_ = std::make_unique<Cache>(config.l1i, l2_.get());
+    l1d_ = std::make_unique<Cache>(config.l1d, l2_.get());
+    iprefetcher_ = makeInstrPrefetcher(config.l1i_prefetcher);
+    dprefetcher_ = makeDataPrefetcher(config.l1d_prefetcher);
+
+    l1i_->onComplete = [this](const MemRequest &req) {
+        if (req.type != AccessType::kPrefetch)
+            ifetch_done_.push_back(req);
+    };
+    l1d_->onComplete = [this](const MemRequest &req) {
+        if (req.type == AccessType::kLoad)
+            data_done_.push_back(req);
+    };
+    if (iprefetcher_ != nullptr) {
+        l1i_->onAccess = [this](Addr line, AccessType, bool hit) {
+            iprefetcher_->onAccess(line, hit, now_);
+        };
+    }
+}
+
+ReqId
+MemoryHierarchy::issueIFetch(Addr addr, Cycle now)
+{
+    SIPRE_ASSERT(l1i_->canAccept(), "I-fetch issued with a full L1I queue");
+    MemRequest req;
+    req.id = next_id_++;
+    req.line_addr = lineOf(addr);
+    req.type = AccessType::kIFetch;
+    req.issue_cycle = now;
+    l1i_->enqueue(req);
+    return req.id;
+}
+
+ReqId
+MemoryHierarchy::issueIPrefetch(Addr addr, Cycle now)
+{
+    const Addr line = lineOf(addr);
+    // Drop prefetches for lines already present or in flight.
+    if (l1i_->contains(line) || l1i_->mshrPending(line) ||
+        !l1i_->canAccept()) {
+        return 0;
+    }
+    MemRequest req;
+    req.id = next_id_++;
+    req.line_addr = line;
+    req.type = AccessType::kPrefetch;
+    req.issue_cycle = now;
+    l1i_->enqueue(req);
+    return req.id;
+}
+
+ReqId
+MemoryHierarchy::issueLoad(Addr addr, Cycle now, Addr pc)
+{
+    SIPRE_ASSERT(l1d_->canAccept(), "load issued with a full L1D queue");
+    MemRequest req;
+    req.id = next_id_++;
+    req.line_addr = lineOf(addr);
+    req.type = AccessType::kLoad;
+    req.issue_cycle = now;
+    if (dprefetcher_ != nullptr && pc != 0) {
+        dprefetcher_->onLoad(pc, addr,
+                             l1d_->contains(req.line_addr));
+    }
+    l1d_->enqueue(req);
+    return req.id;
+}
+
+ReqId
+MemoryHierarchy::issueDPrefetch(Addr addr, Cycle now)
+{
+    const Addr line = lineOf(addr);
+    if (l1d_->contains(line) || l1d_->mshrPending(line) ||
+        !l1d_->canAccept()) {
+        return 0;
+    }
+    MemRequest req;
+    req.id = next_id_++;
+    req.line_addr = line;
+    req.type = AccessType::kPrefetch;
+    req.issue_cycle = now;
+    l1d_->enqueue(req);
+    return req.id;
+}
+
+ReqId
+MemoryHierarchy::issueStore(Addr addr, Cycle now)
+{
+    SIPRE_ASSERT(l1d_->canAccept(), "store issued with a full L1D queue");
+    MemRequest req;
+    req.id = next_id_++;
+    req.line_addr = lineOf(addr);
+    req.type = AccessType::kStore;
+    req.issue_cycle = now;
+    l1d_->enqueue(req);
+    return req.id;
+}
+
+void
+MemoryHierarchy::tick(Cycle now)
+{
+    now_ = now;
+    dram_->tick(now);
+    llc_->tick(now);
+    l2_->tick(now);
+    l1d_->tick(now);
+    l1i_->tick(now);
+
+    if (iprefetcher_ != nullptr) {
+        auto &cands = iprefetcher_->candidates();
+        for (Addr line : cands)
+            issueIPrefetch(line, now);
+        cands.clear();
+    }
+    if (dprefetcher_ != nullptr) {
+        auto &cands = dprefetcher_->candidates();
+        for (Addr addr : cands)
+            issueDPrefetch(addr, now);
+        cands.clear();
+    }
+}
+
+Cycle
+MemoryHierarchy::llcAccessLatency() const
+{
+    return l1i_->config().latency + l2_->config().latency +
+           llc_->config().latency;
+}
+
+} // namespace sipre

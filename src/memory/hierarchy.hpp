@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The assembled memory hierarchy: L1-I and L1-D over a unified L2, LLC,
+ * and DRAM, with an optional hardware instruction prefetcher at the
+ * L1-I. This is the single entry point the CPU model talks to.
+ */
+#ifndef SIPRE_MEMORY_HIERARCHY_HPP
+#define SIPRE_MEMORY_HIERARCHY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "memory/cache.hpp"
+#include "memory/dram.hpp"
+#include "memory/dprefetcher.hpp"
+#include "memory/iprefetcher.hpp"
+
+namespace sipre
+{
+
+/** Configuration of the whole hierarchy (defaults per Table I). */
+struct HierarchyConfig
+{
+    CacheConfig l1i{.name = "L1I",
+                    .size_bytes = 32 * 1024,
+                    .ways = 8,
+                    .latency = 4,
+                    .mshrs = 32,
+                    .queue_size = 64,
+                    .tags_per_cycle = 2,
+                    .level_tag = ServedBy::kL1};
+    CacheConfig l1d{.name = "L1D",
+                    .size_bytes = 48 * 1024,
+                    .ways = 12,
+                    .latency = 5,
+                    .mshrs = 16,
+                    .queue_size = 64,
+                    .tags_per_cycle = 2,
+                    .level_tag = ServedBy::kL1};
+    CacheConfig l2{.name = "L2",
+                   .size_bytes = 512 * 1024,
+                   .ways = 8,
+                   .latency = 10,
+                   .mshrs = 32,
+                   .queue_size = 64,
+                   .tags_per_cycle = 2,
+                   .level_tag = ServedBy::kL2};
+    CacheConfig llc{.name = "LLC",
+                    .size_bytes = 2 * 1024 * 1024,
+                    .ways = 16,
+                    .latency = 20,
+                    .mshrs = 64,
+                    .queue_size = 64,
+                    .tags_per_cycle = 2,
+                    .level_tag = ServedBy::kLlc};
+    DramConfig dram{};
+    IPrefetcherKind l1i_prefetcher = IPrefetcherKind::kNone;
+    DPrefetcherKind l1d_prefetcher = DPrefetcherKind::kNone;
+};
+
+/**
+ * Owns and wires the cache levels; exposes an instruction port (I-fetch
+ * and I-prefetch into the L1-I) and a data port (loads/stores into the
+ * L1-D). Completions are delivered into per-port vectors that the CPU
+ * drains once per cycle.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config);
+
+    // --- instruction port ------------------------------------------------
+    bool ifetchCanAccept() const { return l1i_->canAccept(); }
+
+    /** Issue a demand instruction fetch for the line containing addr. */
+    ReqId issueIFetch(Addr addr, Cycle now);
+
+    /** Issue a (software or hardware) prefetch into the L1-I. */
+    ReqId issueIPrefetch(Addr addr, Cycle now);
+
+    /** Completed I-fetch requests; drain and clear() each cycle. */
+    std::vector<MemRequest> &ifetchCompleted() { return ifetch_done_; }
+
+    // --- data port ---------------------------------------------------------
+    bool dataCanAccept() const { return l1d_->canAccept(); }
+    ReqId issueLoad(Addr addr, Cycle now, Addr pc = 0);
+    ReqId issueStore(Addr addr, Cycle now);
+
+    /** Issue a prefetch into the L1-D (data prefetcher path). */
+    ReqId issueDPrefetch(Addr addr, Cycle now);
+
+    /** Completed load requests; drain and clear() each cycle. */
+    std::vector<MemRequest> &dataCompleted() { return data_done_; }
+
+    /** Advance the whole hierarchy one cycle. */
+    void tick(Cycle now);
+
+    // --- introspection ------------------------------------------------------
+    Cache &l1i() { return *l1i_; }
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    Cache &llc() { return *llc_; }
+    Dram &dram() { return *dram_; }
+    const Cache &l1i() const { return *l1i_; }
+
+    /** Round-trip latency of an LLC hit as seen from the core. */
+    Cycle llcAccessLatency() const;
+
+  private:
+    Addr lineOf(Addr addr) const { return addr & ~Addr{63}; }
+
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1i_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<InstrPrefetcher> iprefetcher_;
+    std::unique_ptr<DataPrefetcher> dprefetcher_;
+    std::vector<MemRequest> ifetch_done_;
+    std::vector<MemRequest> data_done_;
+    ReqId next_id_ = 1;
+    Cycle now_ = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_HIERARCHY_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Hardware instruction prefetchers attached to the L1-I.
+ *
+ * These serve as the hardware-prefetching baselines discussed in the
+ * paper's related work: a simple next-line prefetcher and an
+ * EIP-flavored entangling prefetcher (Fig. 1's "EIP" comparator).
+ */
+#ifndef SIPRE_MEMORY_IPREFETCHER_HPP
+#define SIPRE_MEMORY_IPREFETCHER_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/circular_buffer.hpp"
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Which hardware instruction prefetcher is attached to the L1-I. */
+enum class IPrefetcherKind : std::uint8_t { kNone, kNextLine, kEipLite };
+
+/**
+ * L1-I prefetcher interface: observes demand accesses and fills, emits
+ * candidate line addresses that the hierarchy issues as kPrefetch.
+ */
+class InstrPrefetcher
+{
+  public:
+    virtual ~InstrPrefetcher() = default;
+
+    /** A demand I-fetch looked up `line`; `hit` is the tag outcome. */
+    virtual void onAccess(Addr line_addr, bool hit, Cycle now) = 0;
+
+    /** Candidate lines to prefetch; the caller drains and clears this. */
+    std::vector<Addr> &candidates() { return candidates_; }
+
+  protected:
+    void emit(Addr line_addr) { candidates_.push_back(line_addr); }
+
+  private:
+    std::vector<Addr> candidates_;
+};
+
+std::unique_ptr<InstrPrefetcher> makeInstrPrefetcher(IPrefetcherKind kind);
+
+/** Prefetch the next `degree` sequential lines on every demand miss. */
+class NextLinePrefetcher : public InstrPrefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 2) : degree_(degree) {}
+    void onAccess(Addr line_addr, bool hit, Cycle now) override;
+
+  private:
+    unsigned degree_;
+};
+
+/**
+ * EIP-lite: an entangling instruction prefetcher.
+ *
+ * On a demand miss to line X, the prefetcher "entangles" X with a line
+ * that was demand-accessed roughly one memory latency earlier (the
+ * trigger). Future accesses to the trigger prefetch X ahead of its use.
+ * A small set-associative entangling table holds up to kWays destination
+ * lines per trigger.
+ */
+class EipLitePrefetcher : public InstrPrefetcher
+{
+  public:
+    EipLitePrefetcher(std::uint32_t table_entries = 2048,
+                      std::uint32_t history_depth = 16,
+                      Cycle target_distance = 40);
+    void onAccess(Addr line_addr, bool hit, Cycle now) override;
+
+  private:
+    static constexpr std::uint32_t kWays = 3;
+
+    struct Entry
+    {
+        Addr trigger = kNoAddr;
+        std::array<Addr, kWays> targets{kNoAddr, kNoAddr, kNoAddr};
+        std::uint8_t next_slot = 0;
+    };
+
+    struct HistoryItem
+    {
+        Addr line = kNoAddr;
+        Cycle when = 0;
+    };
+
+    Entry &entryFor(Addr trigger);
+
+    std::vector<Entry> table_;
+    CircularBuffer<HistoryItem> history_;
+    Cycle target_distance_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_IPREFETCHER_HPP

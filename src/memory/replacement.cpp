@@ -1,0 +1,168 @@
+#include "memory/replacement.hpp"
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::uint32_t sets,
+                      std::uint32_t ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplPolicyKind::kLru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplPolicyKind::kRandom:
+        return std::make_unique<RandomPolicy>(ways, seed);
+      case ReplPolicyKind::kSrrip:
+        return std::make_unique<SrripPolicy>(sets, ways);
+      case ReplPolicyKind::kDrrip:
+        return std::make_unique<DrripPolicy>(sets, ways, seed);
+    }
+    panic("unknown replacement policy");
+}
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways), stamps_(std::size_t{sets} * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamps_[std::size_t{set} * ways_ + way] = ++clock_;
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set)
+{
+    std::uint32_t victim_way = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const std::uint64_t stamp = stamps_[std::size_t{set} * ways_ + w];
+        if (stamp < oldest) {
+            oldest = stamp;
+            victim_way = w;
+        }
+    }
+    return victim_way;
+}
+
+RandomPolicy::RandomPolicy(std::uint32_t ways, std::uint64_t seed)
+    : ways_(ways), rng_(seed ^ 0x4e914c00ULL)
+{
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t)
+{
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+}
+
+DrripPolicy::DrripPolicy(std::uint32_t sets, std::uint32_t ways,
+                         std::uint64_t seed)
+    : sets_(sets), ways_(ways), rrpv_(std::size_t{sets} * ways, kMaxRrpv),
+      rng_(seed ^ 0xd44122b9ULL)
+{
+}
+
+DrripPolicy::SetRole
+DrripPolicy::roleOf(std::uint32_t set) const
+{
+    // Simple static dueling: every 32nd set leads SRRIP, the set right
+    // after it leads BRRIP.
+    if (set % 32 == 0)
+        return SetRole::kSrripLeader;
+    if (set % 32 == 1)
+        return SetRole::kBrripLeader;
+    return SetRole::kFollower;
+}
+
+void
+DrripPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    bool use_brrip;
+    switch (roleOf(set)) {
+      case SetRole::kSrripLeader:
+        use_brrip = false;
+        psel_.update(false);
+        break;
+      case SetRole::kBrripLeader:
+        use_brrip = true;
+        psel_.update(true);
+        break;
+      default:
+        use_brrip = psel_.value() > 0;
+        break;
+    }
+    // SRRIP inserts "long" (max-1); BRRIP inserts "distant" (max) with
+    // an occasional long insertion.
+    std::uint8_t rrpv = kMaxRrpv - 1;
+    if (use_brrip && !rng_.chance(1.0 / 32.0))
+        rrpv = kMaxRrpv;
+    rrpv_[std::size_t{set} * ways_ + way] = rrpv;
+}
+
+void
+DrripPolicy::onHit(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[std::size_t{set} * ways_ + way] = 0;
+}
+
+std::uint32_t
+DrripPolicy::victim(std::uint32_t set)
+{
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[std::size_t{set} * ways_ + w] == kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            ++rrpv_[std::size_t{set} * ways_ + w];
+    }
+}
+
+SrripPolicy::SrripPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways), rrpv_(std::size_t{sets} * ways, kMaxRrpv)
+{
+}
+
+void
+SrripPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[std::size_t{set} * ways_ + way] = kMaxRrpv - 1;
+}
+
+void
+SrripPolicy::onHit(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[std::size_t{set} * ways_ + way] = 0;
+}
+
+std::uint32_t
+SrripPolicy::victim(std::uint32_t set)
+{
+    // Age until some way reaches the maximum re-reference interval.
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[std::size_t{set} * ways_ + w] == kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            ++rrpv_[std::size_t{set} * ways_ + w];
+    }
+}
+
+} // namespace sipre

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cache replacement policies (LRU, random, SRRIP) behind one interface.
+ */
+#ifndef SIPRE_MEMORY_REPLACEMENT_HPP
+#define SIPRE_MEMORY_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sat_counter.hpp"
+
+namespace sipre
+{
+
+/** Which replacement policy a cache uses. */
+enum class ReplPolicyKind : std::uint8_t { kLru, kRandom, kSrrip, kDrrip };
+
+/**
+ * Per-set replacement state. The cache asks for a victim way only after
+ * checking for invalid ways itself, so policies may assume a full set.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A line was installed into (set, way). */
+    virtual void onFill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A line at (set, way) was hit by a demand access. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose the victim way in a full set. */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+};
+
+/** Factory for the policy implementations. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplPolicyKind kind, std::uint32_t sets, std::uint32_t ways,
+    std::uint64_t seed = 0);
+
+/** True-LRU via per-way recency stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways);
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    void onHit(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_; // sets * ways
+};
+
+/** Uniform-random victim selection (deterministic via seeded Rng). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t ways, std::uint64_t seed);
+    void onFill(std::uint32_t, std::uint32_t) override {}
+    void onHit(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    std::uint32_t ways_;
+    Rng rng_;
+};
+
+/**
+ * Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion, with a
+ * policy-selection counter updated on misses in the leader sets.
+ */
+class DrripPolicy : public ReplacementPolicy
+{
+  public:
+    DrripPolicy(std::uint32_t sets, std::uint32_t ways,
+                std::uint64_t seed);
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    void onHit(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+    enum class SetRole : std::uint8_t { kFollower, kSrripLeader,
+                                        kBrripLeader };
+
+    SetRole roleOf(std::uint32_t set) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<std::uint8_t> rrpv_;
+    SignedSatCounter psel_{10, 0}; ///< >0 favors BRRIP insertion
+    Rng rng_;
+};
+
+/** Static RRIP (2-bit re-reference interval prediction). */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    SrripPolicy(std::uint32_t sets, std::uint32_t ways);
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    void onHit(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+    std::uint32_t ways_;
+    std::vector<std::uint8_t> rrpv_; // sets * ways
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_REPLACEMENT_HPP

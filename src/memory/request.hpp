@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory request record shared by every level of the hierarchy.
+ */
+#ifndef SIPRE_MEMORY_REQUEST_HPP
+#define SIPRE_MEMORY_REQUEST_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+class Cache; // forward declaration; see memory/cache.hpp
+
+/** What kind of access a request performs. */
+enum class AccessType : std::uint8_t {
+    kIFetch,    ///< instruction-fetch demand (from the FTQ)
+    kLoad,      ///< data load
+    kStore,     ///< data store (write-allocate)
+    kPrefetch,  ///< prefetch (hardware or software initiated)
+    kWriteback  ///< dirty-line writeback travelling downward
+};
+
+std::string_view accessTypeName(AccessType type);
+
+/** Which level of the hierarchy ultimately served a request. */
+enum class ServedBy : std::uint8_t {
+    kL1 = 0,
+    kL2,
+    kLlc,
+    kDram,
+    kUnknown
+};
+
+/**
+ * One in-flight memory access. Requests are small value types that are
+ * copied into queues/MSHRs; completion is reported to `requester` (an
+ * upper-level cache awaiting a fill) or, when requester is null, to the
+ * owning device's top-level completion callback.
+ */
+struct MemRequest
+{
+    ReqId id = 0;
+    Addr line_addr = 0;           ///< line-aligned address
+    AccessType type = AccessType::kIFetch;
+    Cycle issue_cycle = 0;        ///< cycle enqueued at the first level
+    Cycle complete_cycle = 0;     ///< filled in at completion
+    ServedBy served_by = ServedBy::kUnknown;
+    Cache *requester = nullptr;   ///< upper cache awaiting the fill
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_REQUEST_HPP

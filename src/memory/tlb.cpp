@@ -1,0 +1,55 @@
+#include "memory/tlb.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    SIPRE_ASSERT(config_.entries % config_.ways == 0,
+                 "TLB entries must divide into ways");
+    sets_ = config_.entries / config_.ways;
+    SIPRE_ASSERT(isPowerOfTwo(sets_), "TLB set count must be 2^n");
+    table_.resize(config_.entries);
+}
+
+bool
+Tlb::contains(Addr addr) const
+{
+    const Addr page = pageOf(addr);
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(page & (sets_ - 1));
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (table_[std::size_t{set} * config_.ways + w].page == page)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+Tlb::lookup(Addr addr)
+{
+    ++stats_.lookups;
+    const Addr page = pageOf(addr);
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(page & (sets_ - 1));
+    Way *victim = &table_[std::size_t{set} * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Way &way = table_[std::size_t{set} * config_.ways + w];
+        if (way.page == page) {
+            way.stamp = ++clock_;
+            return 0;
+        }
+        if (way.stamp < victim->stamp)
+            victim = &way;
+    }
+    ++stats_.misses;
+    ++stats_.walks;
+    victim->page = page;
+    victim->stamp = ++clock_;
+    return config_.walk_latency;
+}
+
+} // namespace sipre

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A small set-associative TLB with a fixed page-walk latency, used as
+ * the instruction TLB in the front-end (the "Instr. TLB" box of the
+ * paper's Fig. 2). Disabled by default in the presets (the paper's
+ * characterization does not isolate ITLB effects); enable it for the
+ * ablation study.
+ */
+#ifndef SIPRE_MEMORY_TLB_HPP
+#define SIPRE_MEMORY_TLB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** TLB parameters. */
+struct TlbConfig
+{
+    std::uint32_t entries = 64;
+    std::uint32_t ways = 4;
+    std::uint32_t page_bits = 12; ///< 4 KiB pages
+    Cycle walk_latency = 30;      ///< page-walk cost on a miss
+};
+
+/** TLB statistics. */
+struct TlbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t walks = 0;
+};
+
+/**
+ * Set-associative, LRU TLB. Timing contract: lookup() returns the
+ * extra latency the access pays (0 on a hit, walk_latency on a miss;
+ * misses install the translation immediately so concurrent accesses to
+ * the same page pay once).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /** Translate addr; returns the added latency for this access. */
+    Cycle lookup(Addr addr);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    const TlbStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TlbStats{}; }
+
+  private:
+    struct Way
+    {
+        Addr page = kNoAddr;
+        std::uint64_t stamp = 0;
+    };
+
+    Addr pageOf(Addr addr) const { return addr >> config_.page_bits; }
+
+    TlbConfig config_;
+    std::uint32_t sets_;
+    std::vector<Way> table_;
+    std::uint64_t clock_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_MEMORY_TLB_HPP

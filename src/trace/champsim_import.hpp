@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Importer for ChampSim's public binary trace format, so real ChampSim
+ * traces (the paper's actual vehicle) can be run through this
+ * simulator. The importer converts the 64-byte `trace_instr_format`
+ * records into sipre TraceInstructions:
+ *
+ *  - branch classes are inferred from the IP/SP/FLAGS register usage,
+ *    following ChampSim's own decision tree;
+ *  - instruction sizes (absent from the format) are derived from
+ *    sequential-pair PC deltas, with a 4-byte fallback;
+ *  - multi-operand memory instructions are reduced to the first memory
+ *    operand (loads win over stores when both are present);
+ *  - any residual control-flow discontinuity is repaired by marking
+ *    the instruction a taken direct jump, so the imported trace always
+ *    satisfies validateTrace().
+ */
+#ifndef SIPRE_TRACE_CHAMPSIM_IMPORT_HPP
+#define SIPRE_TRACE_CHAMPSIM_IMPORT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace sipre
+{
+
+/** The on-disk ChampSim record (64 bytes, little-endian hosts). */
+struct ChampsimRecord
+{
+    std::uint64_t ip;
+    std::uint8_t is_branch;
+    std::uint8_t branch_taken;
+    std::uint8_t destination_registers[2];
+    std::uint8_t source_registers[4];
+    std::uint64_t destination_memory[2];
+    std::uint64_t source_memory[4];
+};
+static_assert(sizeof(ChampsimRecord) == 64,
+              "ChampSim record layout drifted");
+
+/** ChampSim's special register numbers. */
+inline constexpr std::uint8_t kChampsimStackPointer = 6;
+inline constexpr std::uint8_t kChampsimFlags = 25;
+inline constexpr std::uint8_t kChampsimInstructionPointer = 26;
+
+/**
+ * Import a stream of ChampSim records (already decompressed). Returns
+ * the number of instructions imported; the result replaces `trace`'s
+ * contents and always passes validateTrace().
+ */
+std::size_t importChampsimTrace(std::istream &is, Trace &trace,
+                                std::size_t max_instructions = 0);
+
+/** Convenience: import from a (raw, uncompressed) file. */
+bool importChampsimFile(const std::string &path, Trace &trace,
+                        std::size_t max_instructions = 0);
+
+} // namespace sipre
+
+#endif // SIPRE_TRACE_CHAMPSIM_IMPORT_HPP

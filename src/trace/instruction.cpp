@@ -1,0 +1,42 @@
+#include "trace/instruction.hpp"
+
+namespace sipre
+{
+
+std::string_view
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::kAlu:
+        return "alu";
+      case InstClass::kFp:
+        return "fp";
+      case InstClass::kMul:
+        return "mul";
+      case InstClass::kDiv:
+        return "div";
+      case InstClass::kLoad:
+        return "load";
+      case InstClass::kStore:
+        return "store";
+      case InstClass::kCondBranch:
+        return "cond_branch";
+      case InstClass::kDirectJump:
+        return "direct_jump";
+      case InstClass::kIndirectJump:
+        return "indirect_jump";
+      case InstClass::kCall:
+        return "call";
+      case InstClass::kIndirectCall:
+        return "indirect_call";
+      case InstClass::kReturn:
+        return "return";
+      case InstClass::kSwPrefetch:
+        return "sw_prefetch";
+      case InstClass::kNumClasses:
+        break;
+    }
+    return "invalid";
+}
+
+} // namespace sipre

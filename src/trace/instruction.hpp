@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The dynamic instruction record: the unit of the trace substrate.
+ *
+ * The format mirrors what the CVP-1 championship traces provide (PC,
+ * instruction class, register operands, memory effective address, branch
+ * outcome and target), extended with a software-prefetch class so that
+ * the AsmDB rewriter can inject prefetches directly into a trace — the
+ * same methodology the paper uses ("we generate instruction traces ...
+ * with inserted prefetches ... shifting instruction address").
+ */
+#ifndef SIPRE_TRACE_INSTRUCTION_HPP
+#define SIPRE_TRACE_INSTRUCTION_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** Instruction classes distinguished by the timing model. */
+enum class InstClass : std::uint8_t {
+    kAlu = 0,        ///< integer ALU op
+    kFp,             ///< floating-point op
+    kMul,            ///< integer multiply
+    kDiv,            ///< divide (long latency)
+    kLoad,           ///< memory load
+    kStore,          ///< memory store
+    kCondBranch,     ///< conditional direct branch
+    kDirectJump,     ///< unconditional direct jump
+    kIndirectJump,   ///< unconditional indirect jump
+    kCall,           ///< direct call (pushes return address)
+    kIndirectCall,   ///< indirect call
+    kReturn,         ///< return (pops return address)
+    kSwPrefetch,     ///< software instruction-prefetch (AsmDB-inserted)
+    kNumClasses
+};
+
+/** Human-readable class name (for debug output). */
+std::string_view instClassName(InstClass cls);
+
+/** True for every control-flow class (including calls/returns). */
+constexpr bool
+isBranchClass(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::kCondBranch:
+      case InstClass::kDirectJump:
+      case InstClass::kIndirectJump:
+      case InstClass::kCall:
+      case InstClass::kIndirectCall:
+      case InstClass::kReturn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True when the branch target comes from a register (not the encoding). */
+constexpr bool
+isIndirectClass(InstClass cls)
+{
+    return cls == InstClass::kIndirectJump ||
+           cls == InstClass::kIndirectCall || cls == InstClass::kReturn;
+}
+
+/** True when the class always transfers control (not conditional). */
+constexpr bool
+isUnconditionalClass(InstClass cls)
+{
+    return isBranchClass(cls) && cls != InstClass::kCondBranch;
+}
+
+/**
+ * One executed (retired-path) instruction.
+ *
+ * The trace records the committed path only; wrong-path execution is
+ * modeled in the timing simulator as fetch bubbles, as in ChampSim.
+ */
+struct TraceInstruction
+{
+    Addr pc = 0;            ///< virtual address of the instruction
+    Addr target = 0;        ///< branch target / sw-prefetch target address
+    Addr mem_addr = 0;      ///< load/store effective address (0 if none)
+    InstClass cls = InstClass::kAlu;
+    std::uint8_t size = 4;  ///< instruction bytes
+    bool taken = false;     ///< branch outcome (committed)
+    RegId dst = kNoReg;     ///< destination register (kNoReg if none)
+    std::array<RegId, 2> src{kNoReg, kNoReg}; ///< source registers
+
+    bool isBranch() const { return isBranchClass(cls); }
+    bool isIndirect() const { return isIndirectClass(cls); }
+    bool isUnconditional() const { return isUnconditionalClass(cls); }
+    bool isLoad() const { return cls == InstClass::kLoad; }
+    bool isStore() const { return cls == InstClass::kStore; }
+    bool isMemory() const { return isLoad() || isStore(); }
+    bool isSwPrefetch() const { return cls == InstClass::kSwPrefetch; }
+
+    /** Address of the sequential successor. */
+    Addr nextPc() const { return pc + size; }
+};
+
+} // namespace sipre
+
+#endif // SIPRE_TRACE_INSTRUCTION_HPP

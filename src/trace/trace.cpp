@@ -1,0 +1,132 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace sipre
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'I', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+/** Packed on-disk record (fixed layout, little-endian hosts only). */
+struct PackedRecord
+{
+    std::uint64_t pc;
+    std::uint64_t target;
+    std::uint64_t mem_addr;
+    std::uint8_t cls;
+    std::uint8_t size;
+    std::uint8_t taken;
+    std::uint8_t dst;
+    std::uint8_t src0;
+    std::uint8_t src1;
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(PackedRecord) == 32, "trace record layout drifted");
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+Trace::save(const std::string &path) const
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+        return false;
+    if (std::fwrite(&kVersion, sizeof kVersion, 1, f.get()) != 1)
+        return false;
+
+    const std::uint32_t name_len = static_cast<std::uint32_t>(name_.size());
+    if (std::fwrite(&name_len, sizeof name_len, 1, f.get()) != 1)
+        return false;
+    if (name_len > 0 &&
+        std::fwrite(name_.data(), 1, name_len, f.get()) != name_len)
+        return false;
+    if (std::fwrite(&seed_, sizeof seed_, 1, f.get()) != 1)
+        return false;
+
+    const std::uint64_t count = instructions_.size();
+    if (std::fwrite(&count, sizeof count, 1, f.get()) != 1)
+        return false;
+
+    for (const auto &inst : instructions_) {
+        PackedRecord rec{};
+        rec.pc = inst.pc;
+        rec.target = inst.target;
+        rec.mem_addr = inst.mem_addr;
+        rec.cls = static_cast<std::uint8_t>(inst.cls);
+        rec.size = inst.size;
+        rec.taken = inst.taken ? 1 : 0;
+        rec.dst = inst.dst;
+        rec.src0 = inst.src[0];
+        rec.src1 = inst.src[1];
+        if (std::fwrite(&rec, sizeof rec, 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+Trace::load(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0)
+        return false;
+    std::uint32_t version = 0;
+    if (std::fread(&version, sizeof version, 1, f.get()) != 1 ||
+        version != kVersion)
+        return false;
+
+    std::uint32_t name_len = 0;
+    if (std::fread(&name_len, sizeof name_len, 1, f.get()) != 1)
+        return false;
+    name_.resize(name_len);
+    if (name_len > 0 &&
+        std::fread(name_.data(), 1, name_len, f.get()) != name_len)
+        return false;
+    if (std::fread(&seed_, sizeof seed_, 1, f.get()) != 1)
+        return false;
+
+    std::uint64_t count = 0;
+    if (std::fread(&count, sizeof count, 1, f.get()) != 1)
+        return false;
+
+    instructions_.clear();
+    instructions_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord rec{};
+        if (std::fread(&rec, sizeof rec, 1, f.get()) != 1)
+            return false;
+        TraceInstruction inst;
+        inst.pc = rec.pc;
+        inst.target = rec.target;
+        inst.mem_addr = rec.mem_addr;
+        inst.cls = static_cast<InstClass>(rec.cls);
+        inst.size = rec.size;
+        inst.taken = rec.taken != 0;
+        inst.dst = rec.dst;
+        inst.src = {rec.src0, rec.src1};
+        instructions_.push_back(inst);
+    }
+    return true;
+}
+
+} // namespace sipre

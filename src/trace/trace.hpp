@@ -1,0 +1,76 @@
+/**
+ * @file
+ * In-memory instruction trace with a binary on-disk format.
+ */
+#ifndef SIPRE_TRACE_TRACE_HPP
+#define SIPRE_TRACE_TRACE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hpp"
+
+namespace sipre
+{
+
+/**
+ * An ordered sequence of retired-path instructions plus identifying
+ * metadata. Traces are value types; the simulator holds them by
+ * reference and never mutates them.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    std::uint64_t seed() const { return seed_; }
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+    std::size_t size() const { return instructions_.size(); }
+    bool empty() const { return instructions_.empty(); }
+
+    const TraceInstruction &operator[](std::size_t i) const
+    {
+        return instructions_[i];
+    }
+
+    const std::vector<TraceInstruction> &instructions() const
+    {
+        return instructions_;
+    }
+
+    void
+    append(const TraceInstruction &inst)
+    {
+        instructions_.push_back(inst);
+    }
+
+    void reserve(std::size_t n) { instructions_.reserve(n); }
+    void clear() { instructions_.clear(); }
+
+    auto begin() const { return instructions_.begin(); }
+    auto end() const { return instructions_.end(); }
+
+    /**
+     * Serialize to the sipre binary trace format (magic "SIPT", version,
+     * metadata, then packed records). Returns false on I/O failure.
+     */
+    bool save(const std::string &path) const;
+
+    /** Deserialize from the binary format. Returns false on failure. */
+    bool load(const std::string &path);
+
+  private:
+    std::string name_;
+    std::uint64_t seed_ = 0;
+    std::vector<TraceInstruction> instructions_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_TRACE_TRACE_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small bit-manipulation helpers (masks, log2, address hashing).
+ */
+#ifndef SIPRE_UTIL_BITS_HPP
+#define SIPRE_UTIL_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+/** True when v is a power of two (v > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor log2 of a power-of-two value. */
+inline unsigned
+log2Exact(std::uint64_t v)
+{
+    SIPRE_ASSERT(isPowerOfTwo(v), "log2Exact requires a power of two");
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Mask covering the low n bits. n may be 0..64. */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+len) of v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & lowMask(len);
+}
+
+/**
+ * Cheap 64-bit mix function (xorshift-multiply), used to index hashed
+ * predictor tables. Not cryptographic; just well distributed.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Fold a 64-bit value down to n bits by xoring n-bit chunks together. */
+inline std::uint64_t
+foldBits(std::uint64_t v, unsigned n)
+{
+    SIPRE_ASSERT(n >= 1 && n <= 63, "foldBits width out of range");
+    std::uint64_t out = 0;
+    while (v != 0) {
+        out ^= v & lowMask(n);
+        v >>= n;
+    }
+    return out;
+}
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_BITS_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic()-class failures indicate a simulator bug (assertion style);
+ * fatal()-class failures indicate a user/configuration error.
+ */
+#ifndef SIPRE_UTIL_LOGGING_HPP
+#define SIPRE_UTIL_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sipre
+{
+
+/** Abort the process: an internal invariant was violated (simulator bug). */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit with an error: the user supplied an invalid configuration. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Print a non-fatal warning for questionable-but-survivable conditions. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace sipre
+
+/**
+ * Internal-invariant check that stays enabled in release builds.
+ * Use for conditions that indicate a simulator bug if false.
+ */
+#define SIPRE_ASSERT(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream oss_;                                         \
+            oss_ << __FILE__ << ":" << __LINE__ << ": " << (msg)             \
+                 << " [" #cond "]";                                          \
+            ::sipre::panic(oss_.str());                                      \
+        }                                                                    \
+    } while (0)
+
+#endif // SIPRE_UTIL_LOGGING_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Saturating counters used throughout the branch predictors.
+ */
+#ifndef SIPRE_UTIL_SAT_COUNTER_HPP
+#define SIPRE_UTIL_SAT_COUNTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+/**
+ * Unsigned saturating counter with a configurable bit width.
+ *
+ * The counter saturates at [0, 2^bits - 1]. taken() is true in the upper
+ * half of the range, matching the usual 2-bit-counter convention.
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        SIPRE_ASSERT(bits >= 1 && bits <= 16, "counter width out of range");
+        SIPRE_ASSERT(initial <= max_, "initial value exceeds saturation");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Update toward taken/not-taken. */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** Predicted direction: true when in the upper half of the range. */
+    bool taken() const { return value_ > max_ / 2; }
+
+    /** True when fully saturated in either direction. */
+    bool saturated() const { return value_ == 0 || value_ == max_; }
+
+    unsigned value() const { return value_; }
+    unsigned max() const { return max_; }
+
+    /** Force a value (used to bias initial predictor state). */
+    void
+    set(unsigned v)
+    {
+        SIPRE_ASSERT(v <= max_, "SatCounter::set beyond saturation");
+        value_ = v;
+    }
+
+  private:
+    unsigned max_;
+    unsigned value_;
+};
+
+/**
+ * Signed saturating counter (e.g.\ perceptron weights).
+ *
+ * Saturates at [-2^(bits-1), 2^(bits-1) - 1].
+ */
+class SignedSatCounter
+{
+  public:
+    explicit SignedSatCounter(unsigned bits = 8, int initial = 0)
+        : min_(-(1 << (bits - 1))), max_((1 << (bits - 1)) - 1),
+          value_(initial)
+    {
+        SIPRE_ASSERT(bits >= 2 && bits <= 16, "counter width out of range");
+        SIPRE_ASSERT(initial >= min_ && initial <= max_,
+                     "initial value outside saturation range");
+    }
+
+    void
+    add(int delta)
+    {
+        long v = static_cast<long>(value_) + delta;
+        if (v > max_)
+            v = max_;
+        if (v < min_)
+            v = min_;
+        value_ = static_cast<int>(v);
+    }
+
+    /** Move one step toward positive (taken) or negative (not taken). */
+    void
+    update(bool toward_positive)
+    {
+        add(toward_positive ? 1 : -1);
+    }
+
+    int value() const { return value_; }
+    int min() const { return min_; }
+    int max() const { return max_; }
+    bool saturated() const { return value_ == min_ || value_ == max_; }
+
+  private:
+    int min_;
+    int max_;
+    int value_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_SAT_COUNTER_HPP

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lightweight statistics accumulators: running means, histograms,
+ * and the geometric-mean helper used by the evaluation harness.
+ */
+#ifndef SIPRE_UTIL_STATISTICS_HPP
+#define SIPRE_UTIL_STATISTICS_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+/** Streaming mean/min/max/sum accumulator. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        if (count_ == 0) {
+            min_ = max_ = x;
+        } else {
+            if (x < min_)
+                min_ = x;
+            if (x > max_)
+                max_ = x;
+        }
+        sum_ += x;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    void
+    reset()
+    {
+        *this = RunningStat{};
+    }
+
+    /** Rebuild from serialized aggregates (campaign cache loading). */
+    void
+    restore(std::uint64_t count, double sum, double min_v, double max_v)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min_v;
+        max_ = max_v;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucket_width * buckets); values past
+ * the end land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width, std::size_t buckets)
+        : width_(bucket_width), counts_(buckets + 1, 0)
+    {
+        SIPRE_ASSERT(bucket_width > 0, "Histogram bucket width must be > 0");
+        SIPRE_ASSERT(buckets > 0, "Histogram needs at least one bucket");
+    }
+
+    void
+    add(std::uint64_t value)
+    {
+        std::size_t idx = static_cast<std::size_t>(value / width_);
+        if (idx >= counts_.size() - 1)
+            idx = counts_.size() - 1; // overflow bucket
+        ++counts_[idx];
+        sum_ += value;
+        ++total_;
+    }
+
+    std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+    std::size_t buckets() const { return counts_.size() - 1; }
+    std::uint64_t overflow() const { return counts_.back(); }
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ == 0 ? 0.0 : double(sum_) / total_; }
+
+    /** Smallest value v such that at least frac of samples are <= bucket end. */
+    std::uint64_t
+    percentileUpperBound(double frac) const
+    {
+        SIPRE_ASSERT(frac >= 0.0 && frac <= 1.0, "percentile out of range");
+        const std::uint64_t goal =
+            static_cast<std::uint64_t>(std::ceil(frac * total_));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= goal)
+                return (i + 1) * width_;
+        }
+        return counts_.size() * width_;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric mean of a set of (positive) ratios. Returns 0 when empty. */
+inline double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        SIPRE_ASSERT(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_STATISTICS_HPP

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    SIPRE_ASSERT(!headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SIPRE_ASSERT(cells.size() == headers_.size(),
+                 "Table row width does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::pct(double ratio, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << (ratio * 100.0)
+        << "%";
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace sipre

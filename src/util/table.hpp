@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Text-table and CSV emitters used by the benchmark harness to print
+ * the paper's figure/table series.
+ */
+#ifndef SIPRE_UTIL_TABLE_HPP
+#define SIPRE_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sipre
+{
+
+/**
+ * A simple column-aligned table builder.
+ *
+ * Usage: set headers, addRow() repeatedly, then print() / printCsv().
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Convenience: format a percentage (0.20 -> "20.0%"). */
+    static std::string pct(double ratio, int precision = 1);
+
+    /** Emit an aligned, human-readable table. */
+    void print(std::ostream &os) const;
+
+    /** Emit RFC-4180-ish CSV (no quoting of commas; keep cells simple). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_TABLE_HPP

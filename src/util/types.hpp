@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every sipre subsystem.
+ */
+#ifndef SIPRE_UTIL_TYPES_HPP
+#define SIPRE_UTIL_TYPES_HPP
+
+#include <cstdint>
+
+namespace sipre
+{
+
+/** A byte address in the simulated (virtual) address space. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. Cycle 0 is the first simulated cycle. */
+using Cycle = std::uint64_t;
+
+/** An opaque identifier for an in-flight memory request. */
+using ReqId = std::uint64_t;
+
+/** Sentinel for "no cycle scheduled". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+/** Architectural register identifier; kNoReg means "unused operand". */
+using RegId = std::uint8_t;
+inline constexpr RegId kNoReg = 0xff;
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_TYPES_HPP

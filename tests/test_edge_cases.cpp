@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Edge cases across the AsmDB pipeline and extensions: empty plans,
+ * zero-round feedback, target caps, and degenerate configurations.
+ */
+#include <gtest/gtest.h>
+
+#include "asmdb/extensions.hpp"
+#include "asmdb/pipeline.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace sipre::asmdb
+{
+namespace
+{
+
+Trace
+tinyWorkload()
+{
+    const auto spec = synth::makeWorkloadSpec(
+        "secret_int_124", synth::Archetype::kInteger, 0x517e2023ULL);
+    return synth::generateTrace(spec, 60'000);
+}
+
+TEST(EdgeCases, CoalesceEmptyPlan)
+{
+    const AsmdbPlan empty;
+    EXPECT_TRUE(coalescePlan(empty).insertions.empty());
+}
+
+TEST(EdgeCases, RewriteWithEmptyPlanIsIdentityPlusNothing)
+{
+    const Trace trace = tinyWorkload();
+    const AsmdbPlan empty;
+    const CodeLayout layout(empty);
+    const RewriteResult result = rewriteTrace(trace, empty, layout);
+    EXPECT_EQ(result.trace.size(), trace.size());
+    EXPECT_EQ(result.inserted_dynamic, 0u);
+    EXPECT_DOUBLE_EQ(result.staticBloat(), 0.0);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(result.trace[i].pc, trace[i].pc);
+}
+
+TEST(EdgeCases, PlannerHonorsMaxTargets)
+{
+    const Trace trace = tinyWorkload();
+    std::unordered_map<Addr, std::uint64_t> misses;
+    {
+        Simulator sim(SimConfig::conservative(), trace);
+        sim.setL1iMissHook([&misses](Addr line) { ++misses[line]; });
+        sim.run();
+    }
+    ASSERT_GT(misses.size(), 2u);
+    const Cfg cfg = Cfg::build(trace, misses);
+
+    AsmdbParams one_target;
+    one_target.max_targets = 1;
+    const AsmdbPlan plan = buildPlan(cfg, misses, 1.0, 34, one_target);
+    std::unordered_set<Addr> targets;
+    for (const auto &ins : plan.insertions)
+        targets.insert(ins.target_line);
+    EXPECT_LE(targets.size(), 1u);
+}
+
+TEST(EdgeCases, FeedbackZeroRoundsEqualsPlainPipeline)
+{
+    const Trace trace = tinyWorkload();
+    const SimConfig config = SimConfig::conservative();
+    FeedbackParams feedback;
+    feedback.rounds = 0;
+    const auto fb = runFeedbackDirected(trace, config, {}, feedback);
+    const auto plain = runPipeline(trace, config);
+    EXPECT_EQ(fb.plan.insertions.size(), plain.plan.insertions.size());
+    EXPECT_EQ(fb.dropped_insertions, 0u);
+    std::string err;
+    EXPECT_TRUE(validateTrace(fb.rewrite.trace, &err)) << err;
+}
+
+TEST(EdgeCases, MetadataPreloaderWithEmptyPlanIsInert)
+{
+    const Trace trace = tinyWorkload();
+    Simulator sim(SimConfig::industry(), trace);
+    sim.attachMetadataPreloader(MetadataPreloadConfig{}, {});
+    const SimResult result = sim.run();
+    ASSERT_NE(sim.metadataStats(), nullptr);
+    EXPECT_EQ(sim.metadataStats()->lookups, 0u);
+    EXPECT_EQ(sim.metadataStats()->prefetches_issued, 0u);
+    EXPECT_GT(result.ipc(), 0.1);
+}
+
+TEST(EdgeCases, PipelineOnCryptoFindsFewTargets)
+{
+    // Crypto kernels have tiny I-footprints: the plan should be small
+    // and the rewrite near-identity, not a crash or a bloat explosion.
+    const auto spec = synth::makeWorkloadSpec(
+        "secret_crypto52", synth::Archetype::kCrypto, 0x517e2023ULL);
+    const Trace trace = synth::generateTrace(spec, 60'000);
+    const auto artifacts = runPipeline(trace, SimConfig::industry());
+    EXPECT_LT(artifacts.rewrite.dynamicBloat(), 0.10);
+    std::string err;
+    EXPECT_TRUE(validateTrace(artifacts.rewrite.trace, &err)) << err;
+}
+
+TEST(EdgeCases, SingleEntryFtqRuns)
+{
+    const Trace trace = tinyWorkload();
+    Simulator sim(SimConfig::withFtqDepth(1), trace);
+    const SimResult result = sim.run();
+    EXPECT_GT(result.ipc(), 0.05);
+}
+
+TEST(EdgeCases, WideFtqRuns)
+{
+    const Trace trace = tinyWorkload();
+    Simulator sim(SimConfig::withFtqDepth(64), trace);
+    const SimResult result = sim.run();
+    EXPECT_GT(result.ipc(), 0.1);
+}
+
+} // namespace
+} // namespace sipre::asmdb

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: program-model structural
+ * invariants, trace validity and determinism across all archetypes, and
+ * the paper's L1-I MPKI band (2-28) property.
+ */
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "trace/synth/program_model.hpp"
+#include "trace/synth/workload.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace sipre::synth
+{
+namespace
+{
+
+ProgramParams
+smallParams()
+{
+    ProgramParams p;
+    p.levels = 3;
+    p.functions_per_level = 16;
+    p.min_blocks = 3;
+    p.max_blocks = 6;
+    p.min_body = 2;
+    p.max_body = 5;
+    return p;
+}
+
+// ---------------------------------------------------------- program model
+
+TEST(ProgramModel, LayoutIsContiguousAndSorted)
+{
+    const auto prog = ProgramModel::build(smallParams(), 1);
+    Addr prev_end = ProgramModel::kCodeBase;
+    for (const auto &fn : prog.functions()) {
+        EXPECT_GE(fn.entry, prev_end);
+        Addr cursor = fn.entry;
+        for (const auto &block : fn.blocks) {
+            EXPECT_EQ(block.addr, cursor);
+            cursor += block.sizeBytes();
+        }
+        prev_end = cursor;
+    }
+    EXPECT_EQ(prog.codeEnd(), (prev_end + 15) & ~Addr{15});
+    EXPECT_GT(prog.codeBytes(), 0u);
+}
+
+TEST(ProgramModel, CalleesAreStrictlyDeeper)
+{
+    const auto prog = ProgramModel::build(smallParams(), 2);
+    for (std::size_t id = 1; id < prog.functions().size(); ++id) {
+        const auto &fn = prog.functions()[id];
+        for (const auto &block : fn.blocks) {
+            for (const auto callee : block.callees) {
+                ASSERT_LT(callee, prog.functions().size());
+                EXPECT_GT(prog.function(callee).level, fn.level)
+                    << "call DAG must be acyclic by level";
+            }
+        }
+    }
+}
+
+TEST(ProgramModel, LeafLevelHasNoCalls)
+{
+    const auto prog = ProgramModel::build(smallParams(), 3);
+    for (const auto &fn : prog.functions()) {
+        if (fn.level + 1 < 3)
+            continue;
+        for (const auto &block : fn.blocks) {
+            EXPECT_NE(block.term, TermKind::kCall);
+            EXPECT_NE(block.term, TermKind::kIndirectCall);
+        }
+    }
+}
+
+TEST(ProgramModel, ForwardTargetsStayInFunction)
+{
+    const auto prog = ProgramModel::build(smallParams(), 4);
+    for (const auto &fn : prog.functions()) {
+        for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+            const auto &block = fn.blocks[i];
+            if (block.term == TermKind::kCondForward ||
+                block.term == TermKind::kJump) {
+                EXPECT_GT(block.target_block, i);
+                EXPECT_LT(block.target_block, fn.blocks.size());
+            }
+            if (block.term == TermKind::kCondLoopBack &&
+                block.loop_trips != 0xffff) {
+                EXPECT_EQ(block.target_block, i) << "self-loop only";
+            }
+            for (const auto target : block.multi_targets)
+                EXPECT_LT(target, fn.blocks.size());
+        }
+    }
+}
+
+TEST(ProgramModel, SchedulesIndexValidTargets)
+{
+    const auto prog = ProgramModel::build(smallParams(), 5);
+    for (const auto &fn : prog.functions()) {
+        for (const auto &block : fn.blocks) {
+            const std::size_t universe =
+                block.term == TermKind::kIndirectJump
+                    ? block.multi_targets.size()
+                    : block.callees.size();
+            for (const auto slot : block.schedule)
+                EXPECT_LT(slot, universe);
+        }
+    }
+}
+
+TEST(ProgramModel, DeterministicFromSeed)
+{
+    const auto a = ProgramModel::build(smallParams(), 42);
+    const auto b = ProgramModel::build(smallParams(), 42);
+    ASSERT_EQ(a.functions().size(), b.functions().size());
+    EXPECT_EQ(a.codeBytes(), b.codeBytes());
+    for (std::size_t i = 0; i < a.functions().size(); ++i) {
+        EXPECT_EQ(a.functions()[i].entry, b.functions()[i].entry);
+        EXPECT_EQ(a.functions()[i].blocks.size(),
+                  b.functions()[i].blocks.size());
+    }
+}
+
+TEST(ProgramModel, PyramidShrinksLevels)
+{
+    ProgramParams p = smallParams();
+    p.levels = 3;
+    p.functions_per_level = 64;
+    p.level_shrink = 2.0;
+    const auto prog = ProgramModel::build(p, 6);
+    std::array<std::size_t, 3> per_level{};
+    for (std::size_t id = 1; id < prog.functions().size(); ++id)
+        ++per_level[prog.functions()[id].level];
+    EXPECT_EQ(per_level[0], 64u);
+    EXPECT_EQ(per_level[1], 32u);
+    EXPECT_EQ(per_level[2], 16u);
+}
+
+// ------------------------------------------------------------- workloads
+
+class ArchetypeTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ArchetypeTest, GeneratesValidTrace)
+{
+    const std::string name = GetParam();
+    Archetype arch = Archetype::kServer;
+    if (name.find("crypto") != std::string::npos)
+        arch = Archetype::kCrypto;
+    else if (name.find("int") != std::string::npos)
+        arch = Archetype::kInteger;
+
+    const auto spec = makeWorkloadSpec(name, arch, 0x517e2023ULL);
+    const Trace trace = generateTrace(spec, 50'000);
+    ASSERT_EQ(trace.size(), 50'000u);
+    std::string err;
+    EXPECT_TRUE(validateTrace(trace, &err)) << err;
+}
+
+TEST_P(ArchetypeTest, DeterministicGeneration)
+{
+    const auto spec =
+        makeWorkloadSpec(GetParam(), Archetype::kServer, 0x517e2023ULL);
+    const Trace a = generateTrace(spec, 20'000);
+    const Trace b = generateTrace(spec, 20'000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].pc, b[i].pc);
+        ASSERT_EQ(a[i].mem_addr, b[i].mem_addr);
+        ASSERT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, ArchetypeTest,
+                         ::testing::Values("public_srv_60",
+                                           "secret_crypto52",
+                                           "secret_int_124",
+                                           "secret_srv12",
+                                           "secret_srv85"));
+
+TEST(WorkloadSuite, Has48NamedWorkloads)
+{
+    const auto suite = cvp1LikeSuite();
+    ASSERT_EQ(suite.size(), 48u);
+    EXPECT_EQ(suite.front().name, "public_srv_60");
+    EXPECT_EQ(suite.back().name, "secret_srv85");
+    std::unordered_set<std::string> names;
+    for (const auto &spec : suite)
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), 48u) << "names must be unique";
+}
+
+TEST(WorkloadSuite, TruncatedSuite)
+{
+    EXPECT_EQ(cvp1LikeSuite(5).size(), 5u);
+    EXPECT_EQ(cvp1LikeSuite(100).size(), 48u);
+}
+
+TEST(WorkloadSuite, ArchetypesFollowNames)
+{
+    for (const auto &spec : cvp1LikeSuite()) {
+        if (spec.name.find("crypto") != std::string::npos)
+            EXPECT_EQ(spec.archetype, Archetype::kCrypto);
+        else if (spec.name.find("int") != std::string::npos)
+            EXPECT_EQ(spec.archetype, Archetype::kInteger);
+        else
+            EXPECT_EQ(spec.archetype, Archetype::kServer);
+    }
+}
+
+TEST(WorkloadSuite, SeedsDifferAcrossWorkloads)
+{
+    const auto suite = cvp1LikeSuite();
+    std::unordered_set<std::uint64_t> seeds;
+    for (const auto &spec : suite)
+        seeds.insert(spec.seed);
+    EXPECT_EQ(seeds.size(), suite.size());
+}
+
+/**
+ * The paper's workload-selection property: traces have large instruction
+ * working sets with L1-I MPKI in roughly the 2-28 band. We check with a
+ * functional (no-timing) 32 KiB 8-way LRU I-cache model.
+ */
+class MpkiBandTest : public ::testing::TestWithParam<int>
+{
+};
+
+double
+functionalL1iMpki(const Trace &trace)
+{
+    constexpr std::uint32_t kSets = 64, kWays = 8;
+    struct Way
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t stamp = 0;
+    };
+    std::vector<Way> cache(kSets * kWays);
+    std::uint64_t clock = 0, misses = 0;
+    Addr prev_line = kNoAddr;
+    for (const auto &inst : trace) {
+        const Addr line = inst.pc >> 6;
+        if (line == prev_line)
+            continue;
+        prev_line = line;
+        const std::uint32_t set = line % kSets;
+        Way *victim = &cache[set * kWays];
+        bool hit = false;
+        for (std::uint32_t w = 0; w < kWays; ++w) {
+            Way &way = cache[set * kWays + w];
+            if (way.tag == line) {
+                way.stamp = ++clock;
+                hit = true;
+                break;
+            }
+            if (way.stamp < victim->stamp)
+                victim = &way;
+        }
+        if (!hit) {
+            victim->tag = line;
+            victim->stamp = ++clock;
+            ++misses;
+        }
+    }
+    return 1000.0 * static_cast<double>(misses) /
+           static_cast<double>(trace.size());
+}
+
+TEST_P(MpkiBandTest, WithinPaperBand)
+{
+    const auto suite = cvp1LikeSuite();
+    const auto &spec = suite[static_cast<std::size_t>(GetParam())];
+    const Trace trace = generateTrace(spec, 400'000);
+    const double mpki = functionalL1iMpki(trace);
+    EXPECT_GE(mpki, 1.0) << spec.name;
+    EXPECT_LE(mpki, 40.0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sampled, MpkiBandTest,
+                         ::testing::Values(0, 1, 4, 10, 16, 24, 32, 40,
+                                           47));
+
+} // namespace
+} // namespace sipre::synth

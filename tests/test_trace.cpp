@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the trace substrate: instruction records, binary I/O,
+ * structural validation, and summary statistics.
+ */
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace sipre
+{
+namespace
+{
+
+TraceInstruction
+makeAlu(Addr pc)
+{
+    TraceInstruction inst;
+    inst.pc = pc;
+    inst.cls = InstClass::kAlu;
+    inst.dst = 1;
+    inst.src = {2, 3};
+    return inst;
+}
+
+TraceInstruction
+makeBranch(Addr pc, bool taken, Addr target,
+           InstClass cls = InstClass::kCondBranch)
+{
+    TraceInstruction inst;
+    inst.pc = pc;
+    inst.cls = cls;
+    inst.taken = taken;
+    inst.target = target;
+    return inst;
+}
+
+TraceInstruction
+makeLoad(Addr pc, Addr addr)
+{
+    TraceInstruction inst;
+    inst.pc = pc;
+    inst.cls = InstClass::kLoad;
+    inst.mem_addr = addr;
+    inst.dst = 4;
+    inst.src = {5, kNoReg};
+    return inst;
+}
+
+// --------------------------------------------------------- classification
+
+TEST(Instruction, BranchClassification)
+{
+    EXPECT_TRUE(isBranchClass(InstClass::kCondBranch));
+    EXPECT_TRUE(isBranchClass(InstClass::kReturn));
+    EXPECT_TRUE(isBranchClass(InstClass::kIndirectCall));
+    EXPECT_FALSE(isBranchClass(InstClass::kAlu));
+    EXPECT_FALSE(isBranchClass(InstClass::kSwPrefetch));
+}
+
+TEST(Instruction, IndirectClassification)
+{
+    EXPECT_TRUE(isIndirectClass(InstClass::kReturn));
+    EXPECT_TRUE(isIndirectClass(InstClass::kIndirectJump));
+    EXPECT_FALSE(isIndirectClass(InstClass::kCall));
+    EXPECT_FALSE(isIndirectClass(InstClass::kCondBranch));
+}
+
+TEST(Instruction, UnconditionalClassification)
+{
+    EXPECT_TRUE(isUnconditionalClass(InstClass::kDirectJump));
+    EXPECT_FALSE(isUnconditionalClass(InstClass::kCondBranch));
+    EXPECT_FALSE(isUnconditionalClass(InstClass::kMul));
+}
+
+TEST(Instruction, NextPc)
+{
+    auto inst = makeAlu(0x1000);
+    EXPECT_EQ(inst.nextPc(), 0x1004u);
+}
+
+TEST(Instruction, ClassNamesAreStable)
+{
+    EXPECT_EQ(instClassName(InstClass::kAlu), "alu");
+    EXPECT_EQ(instClassName(InstClass::kSwPrefetch), "sw_prefetch");
+    EXPECT_EQ(instClassName(InstClass::kReturn), "return");
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace trace("roundtrip");
+    trace.setSeed(0xdeadbeef);
+    trace.append(makeAlu(0x1000));
+    trace.append(makeLoad(0x1004, 0x20000));
+    trace.append(makeBranch(0x1008, true, 0x1000));
+
+    const std::string path = ::testing::TempDir() + "sipre_trace_rt.bin";
+    ASSERT_TRUE(trace.save(path));
+
+    Trace loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.name(), "roundtrip");
+    EXPECT_EQ(loaded.seed(), 0xdeadbeefu);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].pc, trace[i].pc);
+        EXPECT_EQ(loaded[i].cls, trace[i].cls);
+        EXPECT_EQ(loaded[i].taken, trace[i].taken);
+        EXPECT_EQ(loaded[i].target, trace[i].target);
+        EXPECT_EQ(loaded[i].mem_addr, trace[i].mem_addr);
+        EXPECT_EQ(loaded[i].dst, trace[i].dst);
+        EXPECT_EQ(loaded[i].src, trace[i].src);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    const std::string path = ::testing::TempDir() + "sipre_trace_bad.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    Trace t;
+    EXPECT_FALSE(t.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileFails)
+{
+    Trace t;
+    EXPECT_FALSE(t.load("/nonexistent/path/trace.bin"));
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(Validate, AcceptsWellFormedTrace)
+{
+    Trace trace;
+    trace.append(makeAlu(0x1000));
+    trace.append(makeBranch(0x1004, true, 0x2000));
+    trace.append(makeAlu(0x2000));
+    trace.append(makeBranch(0x2004, false, 0x3000));
+    trace.append(makeAlu(0x2008));
+    std::string err;
+    EXPECT_TRUE(validateTrace(trace, &err)) << err;
+}
+
+TEST(Validate, RejectsBrokenControlFlow)
+{
+    Trace trace;
+    trace.append(makeAlu(0x1000));
+    trace.append(makeAlu(0x2000)); // gap without a branch
+    std::string err;
+    EXPECT_FALSE(validateTrace(trace, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Validate, RejectsNotTakenUnconditional)
+{
+    Trace trace;
+    auto jump = makeBranch(0x1000, false, 0x2000, InstClass::kDirectJump);
+    trace.append(jump);
+    EXPECT_FALSE(validateTrace(trace));
+}
+
+TEST(Validate, RejectsMemoryWithoutAddress)
+{
+    Trace trace;
+    auto load = makeLoad(0x1000, 0);
+    trace.append(load);
+    EXPECT_FALSE(validateTrace(trace));
+}
+
+TEST(Validate, RejectsNonMemoryWithAddress)
+{
+    Trace trace;
+    auto alu = makeAlu(0x1000);
+    alu.mem_addr = 0x1234;
+    trace.append(alu);
+    EXPECT_FALSE(validateTrace(trace));
+}
+
+TEST(Validate, RejectsTakenBranchWithoutTarget)
+{
+    Trace trace;
+    trace.append(makeBranch(0x1000, true, 0));
+    EXPECT_FALSE(validateTrace(trace));
+}
+
+TEST(Validate, RejectsSwPrefetchWithoutTarget)
+{
+    Trace trace;
+    TraceInstruction pf;
+    pf.pc = 0x1000;
+    pf.cls = InstClass::kSwPrefetch;
+    pf.target = 0;
+    trace.append(pf);
+    EXPECT_FALSE(validateTrace(trace));
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(TraceStats, CountsMixAndFootprint)
+{
+    Trace trace;
+    trace.append(makeAlu(0x1000));
+    trace.append(makeLoad(0x1004, 0x9000));
+    trace.append(makeBranch(0x1008, true, 0x1000));
+    trace.append(makeAlu(0x1000)); // repeat: same static pc
+    trace.append(makeLoad(0x1004, 0x9040));
+    trace.append(makeBranch(0x1008, false, 0x1000));
+    trace.append(makeAlu(0x100c));
+
+    const TraceStats s = computeTraceStats(trace);
+    EXPECT_EQ(s.dynamic_instructions, 7u);
+    EXPECT_EQ(s.static_instructions, 4u);
+    EXPECT_EQ(s.code_footprint_bytes, 16u);
+    EXPECT_EQ(s.branches, 2u);
+    EXPECT_EQ(s.taken_branches, 1u);
+    EXPECT_EQ(s.conditional_branches, 2u);
+    EXPECT_EQ(s.loads, 2u);
+    EXPECT_EQ(s.stores, 0u);
+    EXPECT_NEAR(s.branchFraction(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(TraceStats, FootprintLinesSpanBoundaries)
+{
+    Trace trace;
+    auto inst = makeAlu(0x103e); // 2 bytes before a line boundary
+    inst.size = 4;               // straddles into the next line
+    trace.append(inst);
+    const TraceStats s = computeTraceStats(trace);
+    EXPECT_EQ(s.code_footprint_lines, 2u);
+}
+
+TEST(TraceStats, CountsSwPrefetches)
+{
+    Trace trace;
+    TraceInstruction pf;
+    pf.pc = 0x1000;
+    pf.cls = InstClass::kSwPrefetch;
+    pf.target = 0x5000;
+    trace.append(pf);
+    const TraceStats s = computeTraceStats(trace);
+    EXPECT_EQ(s.sw_prefetches, 1u);
+}
+
+} // namespace
+} // namespace sipre

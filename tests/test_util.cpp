@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit and property tests for the util module: RNG, saturating
+ * counters, circular buffer, bit helpers, statistics, tables.
+ */
+#include <deque>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/circular_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/sat_counter.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+
+namespace sipre
+{
+namespace
+{
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(17);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LE(rng.geometric(0.99, 5), 5u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.geometric(0.0, 5), 0u);
+}
+
+// ----------------------------------------------------------- SatCounter
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.taken()); // 1 of max 3
+    c.increment();
+    EXPECT_TRUE(c.taken()); // 2 of max 3
+}
+
+TEST(SatCounter, UpdateMovesTowardOutcome)
+{
+    SatCounter c(3, 4);
+    c.update(true);
+    EXPECT_EQ(c.value(), 5u);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SignedSatCounter, Saturation)
+{
+    SignedSatCounter w(6, 0);
+    for (int i = 0; i < 100; ++i)
+        w.add(1);
+    EXPECT_EQ(w.value(), 31);
+    for (int i = 0; i < 200; ++i)
+        w.add(-1);
+    EXPECT_EQ(w.value(), -32);
+    EXPECT_TRUE(w.saturated());
+}
+
+TEST(SignedSatCounter, AddClampsLargeDeltas)
+{
+    SignedSatCounter w(4, 0);
+    w.add(1000);
+    EXPECT_EQ(w.value(), 7);
+    w.add(-1000);
+    EXPECT_EQ(w.value(), -8);
+}
+
+// ------------------------------------------------------- CircularBuffer
+
+TEST(CircularBuffer, PushPopFifoOrder)
+{
+    CircularBuffer<int> buf(4);
+    for (int i = 0; i < 4; ++i)
+        buf.push(i);
+    EXPECT_TRUE(buf.full());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(buf.pop(), i);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(CircularBuffer, LogicalIndexing)
+{
+    CircularBuffer<int> buf(4);
+    buf.push(10);
+    buf.push(20);
+    buf.push(30);
+    buf.pop();
+    buf.push(40);
+    EXPECT_EQ(buf.at(0), 20);
+    EXPECT_EQ(buf.at(1), 30);
+    EXPECT_EQ(buf.at(2), 40);
+    EXPECT_EQ(buf.front(), 20);
+    EXPECT_EQ(buf.back(), 40);
+}
+
+TEST(CircularBuffer, TruncateDropsYoungest)
+{
+    CircularBuffer<int> buf(8);
+    for (int i = 0; i < 6; ++i)
+        buf.push(i);
+    buf.truncate(2);
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf.back(), 3);
+}
+
+TEST(CircularBuffer, MatchesReferenceDeque)
+{
+    // Property test against std::deque under random operations.
+    CircularBuffer<int> buf(16);
+    std::deque<int> ref;
+    Rng rng(23);
+    for (int step = 0; step < 5000; ++step) {
+        const auto op = rng.below(3);
+        if (op == 0 && !buf.full()) {
+            const int v = static_cast<int>(rng.below(1000));
+            buf.push(v);
+            ref.push_back(v);
+        } else if (op == 1 && !buf.empty()) {
+            ASSERT_EQ(buf.pop(), ref.front());
+            ref.pop_front();
+        } else if (op == 2 && !buf.empty()) {
+            const auto pos = rng.below(buf.size());
+            ASSERT_EQ(buf.at(pos), ref[pos]);
+        }
+        ASSERT_EQ(buf.size(), ref.size());
+    }
+}
+
+// ------------------------------------------------------------------ bits
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+}
+
+TEST(Bits, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0ull);
+    EXPECT_EQ(lowMask(4), 0xfull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(Bits, BitsExtract)
+{
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcull);
+    EXPECT_EQ(bits(~0ull, 60, 4), 0xfull);
+}
+
+TEST(Bits, FoldPreservesXorParity)
+{
+    // Folding by 1 bit yields the parity of the value.
+    EXPECT_EQ(foldBits(0b1011, 1), 1ull);
+    EXPECT_EQ(foldBits(0b1010, 1), 0ull);
+}
+
+TEST(Bits, FoldStaysInWidth)
+{
+    Rng rng(29);
+    for (int i = 0; i < 200; ++i) {
+        const auto v = rng.next();
+        for (unsigned n : {4u, 8u, 12u, 16u})
+            EXPECT_LE(foldBits(v, n), lowMask(n));
+    }
+}
+
+TEST(Bits, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(RunningStat, Aggregates)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, RestoreRoundTrip)
+{
+    RunningStat s;
+    s.add(2.0);
+    s.add(8.0);
+    RunningStat t;
+    t.restore(s.count(), s.sum(), s.min(), s.max());
+    EXPECT_DOUBLE_EQ(t.mean(), s.mean());
+    EXPECT_DOUBLE_EQ(t.max(), s.max());
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,40) + ovf
+    h.add(5);
+    h.add(15);
+    h.add(35);
+    h.add(100);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i);
+    EXPECT_LE(h.percentileUpperBound(0.5), 51u);
+    EXPECT_GE(h.percentileUpperBound(0.99), 98u);
+}
+
+TEST(Geomean, KnownValues)
+{
+    const double vals[] = {1.0, 4.0};
+    EXPECT_NEAR(geomean(vals), 2.0, 1e-12);
+}
+
+TEST(Geomean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.204, 1), "20.4%");
+}
+
+} // namespace
+} // namespace sipre

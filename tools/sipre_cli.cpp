@@ -1,0 +1,224 @@
+/**
+ * @file
+ * sipre command-line driver: run any workload under any configuration
+ * and print the full characterization report. The scripting-friendly
+ * entry point for one-off experiments.
+ *
+ * Usage:
+ *   sipre_cli [--workload NAME] [--ftq N] [--instructions N]
+ *             [--mode base|asmdb|noovh|metadata|feedback]
+ *             [--predictor perceptron|tage|gshare|bimodal]
+ *             [--hw-prefetcher none|nextline|eip]
+ *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path]
+ *             [--save-trace PATH] [--load-trace PATH] [--list]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "asmdb/extensions.hpp"
+#include "asmdb/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/simulator.hpp"
+#include "trace/champsim_import.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --list                     list the 48 workloads and exit\n"
+        "  --workload NAME            workload to run (default "
+        "secret_srv12)\n"
+        "  --ftq N                    FTQ depth (default 24)\n"
+        "  --instructions N           trace length (default 2000000)\n"
+        "  --mode MODE                base|asmdb|noovh|metadata|feedback\n"
+        "  --predictor KIND           perceptron|tage|gshare|bimodal\n"
+        "  --hw-prefetcher KIND       none|nextline|eip\n"
+        "  --no-pfc                   disable post-fetch correction\n"
+        "  --no-ghr-filter            disable the GHR BTB-miss filter\n"
+        "  --no-wrong-path            disable wrong-path shadow fetch\n"
+        "  --save-trace PATH          write the generated trace and exit\n"
+        "  --load-trace PATH          run a previously saved trace\n"
+        "  --load-champsim PATH       run a raw ChampSim-format trace\n",
+        argv0);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "secret_srv12";
+    std::string mode = "base";
+    std::string save_path, load_path, champsim_path;
+    std::size_t instructions = 2'000'000;
+    SimConfig config = SimConfig::industry();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &spec : synth::cvp1LikeSuite())
+                std::printf("%s\n", spec.name.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--ftq") {
+            config.frontend.ftq_entries =
+                static_cast<std::uint32_t>(std::stoul(next()));
+            config.label = "ftq" +
+                           std::to_string(config.frontend.ftq_entries);
+        } else if (arg == "--instructions") {
+            instructions = std::stoull(next());
+        } else if (arg == "--mode") {
+            mode = next();
+        } else if (arg == "--predictor") {
+            const std::string kind = next();
+            if (kind == "perceptron")
+                config.frontend.branch.direction =
+                    DirectionPredictorKind::kHashedPerceptron;
+            else if (kind == "tage")
+                config.frontend.branch.direction =
+                    DirectionPredictorKind::kTageLite;
+            else if (kind == "gshare")
+                config.frontend.branch.direction =
+                    DirectionPredictorKind::kGshare;
+            else if (kind == "bimodal")
+                config.frontend.branch.direction =
+                    DirectionPredictorKind::kBimodal;
+            else
+                usage(argv[0]);
+        } else if (arg == "--hw-prefetcher") {
+            const std::string kind = next();
+            if (kind == "none")
+                config.memory.l1i_prefetcher = IPrefetcherKind::kNone;
+            else if (kind == "nextline")
+                config.memory.l1i_prefetcher =
+                    IPrefetcherKind::kNextLine;
+            else if (kind == "eip")
+                config.memory.l1i_prefetcher = IPrefetcherKind::kEipLite;
+            else
+                usage(argv[0]);
+        } else if (arg == "--no-pfc") {
+            config.frontend.pfc = false;
+        } else if (arg == "--no-ghr-filter") {
+            config.frontend.branch.ghr_filter_btb_miss = false;
+        } else if (arg == "--no-wrong-path") {
+            config.frontend.wrong_path_fetch = false;
+        } else if (arg == "--save-trace") {
+            save_path = next();
+        } else if (arg == "--load-trace") {
+            load_path = next();
+        } else if (arg == "--load-champsim") {
+            champsim_path = next();
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    // Obtain the trace.
+    Trace trace;
+    if (!champsim_path.empty()) {
+        if (!importChampsimFile(champsim_path, trace, instructions)) {
+            std::fprintf(stderr, "error: cannot import %s\n",
+                         champsim_path.c_str());
+            return 1;
+        }
+    } else if (!load_path.empty()) {
+        if (!trace.load(load_path)) {
+            std::fprintf(stderr, "error: cannot load trace %s\n",
+                         load_path.c_str());
+            return 1;
+        }
+    } else {
+        const auto suite = synth::cvp1LikeSuite();
+        const synth::WorkloadSpec *spec = nullptr;
+        for (const auto &s : suite) {
+            if (s.name == workload)
+                spec = &s;
+        }
+        if (spec == nullptr) {
+            std::fprintf(stderr,
+                         "error: unknown workload %s (try --list)\n",
+                         workload.c_str());
+            return 1;
+        }
+        trace = synth::generateTrace(*spec, instructions);
+    }
+    if (!save_path.empty()) {
+        if (!trace.save(save_path)) {
+            std::fprintf(stderr, "error: cannot save trace to %s\n",
+                         save_path.c_str());
+            return 1;
+        }
+        std::printf("saved %zu instructions to %s\n", trace.size(),
+                    save_path.c_str());
+        return 0;
+    }
+
+    // Run the requested mode.
+    if (mode == "base") {
+        Simulator sim(config, trace);
+        printReport(sim.run(), std::cout);
+    } else if (mode == "asmdb" || mode == "noovh" ||
+               mode == "metadata") {
+        const auto artifacts = asmdb::runPipeline(trace, config);
+        std::printf("AsmDB plan: %zu insertions, static bloat %.1f%%, "
+                    "dynamic bloat %.1f%%\n\n",
+                    artifacts.plan.insertions.size(),
+                    100.0 * artifacts.rewrite.staticBloat(),
+                    100.0 * artifacts.rewrite.dynamicBloat());
+        if (mode == "asmdb") {
+            Simulator sim(config, artifacts.rewrite.trace);
+            printReport(sim.run(), std::cout);
+        } else if (mode == "noovh") {
+            Simulator sim(config, trace);
+            sim.setSwPrefetchTriggers(&artifacts.triggers);
+            printReport(sim.run(), std::cout);
+        } else {
+            Simulator sim(config, trace);
+            sim.attachMetadataPreloader(
+                MetadataPreloadConfig{},
+                asmdb::buildMetadataMap(artifacts.plan));
+            const SimResult result = sim.run();
+            printReport(result, std::cout);
+            const auto *stats = sim.metadataStats();
+            std::printf("\nmetadata preloader: %llu lookups, %llu L1 "
+                        "hits, %llu fills, %llu prefetches\n",
+                        static_cast<unsigned long long>(stats->lookups),
+                        static_cast<unsigned long long>(stats->l1_hits),
+                        static_cast<unsigned long long>(
+                            stats->metadata_fills),
+                        static_cast<unsigned long long>(
+                            stats->prefetches_issued));
+        }
+    } else if (mode == "feedback") {
+        const auto fb = asmdb::runFeedbackDirected(trace, config);
+        std::printf("feedback-directed: insertions per round:");
+        for (const auto n : fb.insertions_per_round)
+            std::printf(" %zu", n);
+        std::printf(" (dropped %llu)\n\n",
+                    static_cast<unsigned long long>(
+                        fb.dropped_insertions));
+        Simulator sim(config, fb.rewrite.trace);
+        printReport(sim.run(), std::cout);
+    } else {
+        usage(argv[0]);
+    }
+    return 0;
+}
