@@ -1,5 +1,7 @@
 #include "backend/backend.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace sipre
@@ -90,6 +92,40 @@ Backend::tick(Cycle now)
         ++stats_.rob_full_cycles;
 }
 
+Cycle
+Backend::nextEventCycle(Cycle now) const
+{
+    // Retirement: a completed head retires next cycle.
+    if (!rob_.empty() && rob_.front().state == State::kDone)
+        return now + 1;
+
+    // Issue: a waiting instruction with possibly-ready sources inside
+    // the scheduler window is (re)considered every cycle. The flag is
+    // maintained by issue()/dispatch() so no window rescan is needed.
+    if (ready_waiting_)
+        return now + 1;
+
+    // Fixed-latency completions.
+    if (!exec_done_.empty() && exec_done_.top().ready <= now + 1)
+        return now + 1;
+
+    // Dispatch: blocked on the decode head's ready_at (or, when the ROB
+    // is full, on a retirement event reported above / a memory fill
+    // reported by the hierarchy).
+    const bool can_dispatch = !decode_queue_.empty() && !rob_.full();
+    if (can_dispatch && decode_queue_.front().ready_at <= now + 1)
+        return now + 1;
+
+    Cycle next = kNoCycle;
+    if (!exec_done_.empty())
+        next = std::max(now + 1, exec_done_.top().ready);
+    if (can_dispatch) {
+        next = std::min(next,
+                        std::max(now + 1, decode_queue_.front().ready_at));
+    }
+    return next;
+}
+
 void
 Backend::complete(Cycle now)
 {
@@ -134,6 +170,7 @@ Backend::issue(Cycle now)
     std::uint32_t budget = config_.issue_width;
     std::uint32_t load_ports = config_.load_ports;
     std::uint32_t store_ports = config_.store_ports;
+    bool leftover = false;
 
     // Scan a bounded scheduler window from the oldest instruction.
     const std::size_t window =
@@ -147,8 +184,10 @@ Backend::issue(Cycle now)
 
         const TraceInstruction &inst = trace_[entry.trace_index];
         if (inst.isLoad()) {
-            if (load_ports == 0 || !memory_.dataCanAccept())
+            if (load_ports == 0 || !memory_.dataCanAccept()) {
+                leftover = true; // ready but port/queue-blocked
                 continue;
+            }
             const ReqId id =
                 memory_.issueLoad(inst.mem_addr, now, inst.pc);
             inflight_loads_.emplace(id, entry.seq);
@@ -156,8 +195,10 @@ Backend::issue(Cycle now)
             --load_ports;
             ++stats_.loads_issued;
         } else if (inst.isStore()) {
-            if (store_ports == 0 || !memory_.dataCanAccept())
+            if (store_ports == 0 || !memory_.dataCanAccept()) {
+                leftover = true; // ready but port/queue-blocked
                 continue;
+            }
             memory_.issueStore(inst.mem_addr, now);
             entry.state = State::kExecuting;
             exec_done_.push(ExecEvent{now + config_.alu_latency, entry.seq});
@@ -170,6 +211,9 @@ Backend::issue(Cycle now)
         }
         --budget;
     }
+    // Budget exhaustion may leave further ready entries unscanned;
+    // conservatively keep the backend ticking in that case.
+    ready_waiting_ = leftover || budget == 0;
 }
 
 void
@@ -194,6 +238,12 @@ Backend::dispatch(Cycle now)
         rob_.push(entry);
         ++stats_.dispatched;
         --budget;
+
+        // A newly dispatched entry with no outstanding producers can
+        // issue next cycle; note it for the O(1) nextEventCycle().
+        if (!ready_waiting_ && rob_.size() <= config_.sched_window &&
+            sourcesReady(entry))
+            ready_waiting_ = true;
 
         if (inst.isBranch() && onBranchDecoded)
             onBranchDecoded(uop.trace_index, now);

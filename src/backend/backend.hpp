@@ -69,6 +69,28 @@ class Backend
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle at which the back-end can make progress
+     * (retire, complete, issue, or dispatch); kNoCycle when nothing is
+     * pending locally. A tick at any earlier cycle must be a no-op
+     * apart from the per-cycle occupancy counters, which the simulator
+     * accounts for in bulk via accountSkippedCycles().
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account the per-cycle occupancy counters for `count` skipped
+     * cycles during which the back-end provably did nothing.
+     */
+    void
+    accountSkippedCycles(Cycle count)
+    {
+        if (rob_.empty())
+            stats_.empty_rob_cycles += count;
+        if (rob_.full())
+            stats_.rob_full_cycles += count;
+    }
+
     /** Instructions retired since construction (never reset). */
     std::uint64_t retired() const { return retired_total_; }
 
@@ -134,6 +156,15 @@ class Backend
     DecodeQueue &decode_queue_;
 
     CircularBuffer<RobEntry> rob_;
+    /**
+     * True when some kWaiting entry inside the scheduler window may
+     * have ready sources — maintained as a byproduct of issue() (port
+     * or L1-D backpressure leftovers) and dispatch() (newly dispatched
+     * entries with no outstanding producers), so nextEventCycle() can
+     * answer in O(1) instead of rescanning the window. Conservative
+     * true is always safe; it only costs a no-op tick.
+     */
+    bool ready_waiting_ = true;
     std::uint64_t next_seq_ = 0;
     std::uint64_t retired_total_ = 0;
     std::priority_queue<ExecEvent, std::vector<ExecEvent>,

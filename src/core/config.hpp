@@ -32,6 +32,17 @@ struct SimConfig
     double warmup_fraction = 0.2;
 
     /**
+     * Event-driven cycle skipping: when every component reports that it
+     * cannot make progress before cycle T, jump the clock straight to T
+     * instead of ticking the dead cycles one by one. Results are
+     * bit-identical to the cycle-by-cycle reference loop (per-cycle
+     * counters are accounted in bulk over the skipped span). Set to
+     * false — or export SIPRE_NO_SKIP=1 — to force the reference loop
+     * for debugging.
+     */
+    bool fast_forward = true;
+
+    /**
      * The conservative front-end of prior software-prefetching work:
      * identical machine, but the FTQ holds only two basic blocks so
      * fetch can barely run ahead of decode.

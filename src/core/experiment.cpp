@@ -1,8 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -19,18 +23,50 @@ namespace sipre
 namespace
 {
 
-constexpr int kCacheVersion = 3;
-
+/**
+ * Parse a size from the environment. Only fully numeric values are
+ * accepted; anything else (including trailing junk like "100k") keeps
+ * the fallback and warns on stderr, so a typo degrades loudly instead
+ * of silently running a different experiment.
+ */
 std::size_t
 envSize(const char *name, std::size_t fallback)
 {
     const char *value = std::getenv(name);
     if (value == nullptr || *value == '\0')
         return fallback;
+    for (const char *p = value; *p != '\0'; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p))) {
+            std::cerr << "[sipre] ignoring " << name << "='" << value
+                      << "': not a non-negative integer, using "
+                      << fallback << "\n";
+            return fallback;
+        }
+    }
     return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
 }
 
 // ------------------------------------------------------------ serializer
+
+void
+writeHistogram(std::ostream &os, const Histogram &h)
+{
+    os << h.sum();
+    for (std::size_t i = 0; i <= h.buckets(); ++i)
+        os << ' ' << h.count(i);
+}
+
+void
+readHistogram(std::istream &is, Histogram &h)
+{
+    std::uint64_t sum = 0;
+    is >> sum;
+    std::vector<std::uint64_t> counts(h.buckets() + 1, 0);
+    for (auto &c : counts)
+        is >> c;
+    if (is)
+        h.restore(counts, sum);
+}
 
 void
 writeFrontend(std::ostream &os, const FrontendStats &f)
@@ -51,7 +87,10 @@ writeFrontend(std::ostream &os, const FrontendStats &f)
        << f.nonhead_fetch_latency.count() << ' '
        << f.nonhead_fetch_latency.sum() << ' '
        << f.nonhead_fetch_latency.min() << ' '
-       << f.nonhead_fetch_latency.max();
+       << f.nonhead_fetch_latency.max() << ' ' << f.itlb_walks << ' ';
+    writeHistogram(os, f.head_latency_hist);
+    os << ' ';
+    writeHistogram(os, f.nonhead_latency_hist);
 }
 
 void
@@ -68,9 +107,11 @@ readFrontend(std::istream &is, FrontendStats &f)
         f.btb_miss_stalls >> f.stall_cycles_mispredict >>
         f.stall_cycles_btb_miss >> f.pfc_resumes >>
         f.wrong_path_prefetches >> hc >> hs >> hmin >> hmax >> nc >> ns >>
-        nmin >> nmax;
+        nmin >> nmax >> f.itlb_walks;
     f.head_fetch_latency.restore(hc, hs, hmin, hmax);
     f.nonhead_fetch_latency.restore(nc, ns, nmin, nmax);
+    readHistogram(is, f.head_latency_hist);
+    readHistogram(is, f.nonhead_latency_hist);
 }
 
 void
@@ -96,6 +137,8 @@ readCache(std::istream &is, CacheStats &c)
 void
 writeResult(std::ostream &os, const SimResult &r)
 {
+    // Both labels are single whitespace-free tokens by construction.
+    os << r.workload << ' ' << r.config_label << ' ';
     os << r.instructions << ' ' << r.effective_instructions << ' '
        << r.cycles << ' ';
     writeFrontend(os, r.frontend);
@@ -108,6 +151,8 @@ writeResult(std::ostream &os, const SimResult &r)
     os << r.branch.cond_predictions << ' ' << r.branch.cond_mispredictions
        << ' ' << r.branch.btb_miss_taken << ' '
        << r.branch.target_mispredictions << ' ';
+    os << r.btb.lookups << ' ' << r.btb.hits << ' ' << r.btb.updates
+       << ' ' << r.btb.evictions << ' ';
     writeCache(os, r.l1i);
     os << ' ';
     writeCache(os, r.l1d);
@@ -121,6 +166,7 @@ writeResult(std::ostream &os, const SimResult &r)
 void
 readResult(std::istream &is, SimResult &r)
 {
+    is >> r.workload >> r.config_label;
     is >> r.instructions >> r.effective_instructions >> r.cycles;
     readFrontend(is, r.frontend);
     is >> r.backend.retired >> r.backend.retired_sw_prefetches >>
@@ -129,32 +175,35 @@ readResult(std::istream &is, SimResult &r)
         r.backend.empty_rob_cycles;
     is >> r.branch.cond_predictions >> r.branch.cond_mispredictions >>
         r.branch.btb_miss_taken >> r.branch.target_mispredictions;
+    is >> r.btb.lookups >> r.btb.hits >> r.btb.updates >> r.btb.evictions;
     readCache(is, r.l1i);
     readCache(is, r.l1d);
     readCache(is, r.l2);
     readCache(is, r.llc);
 }
 
+} // namespace
+
 std::string
-cachePath(const CampaignOptions &options)
+campaignCachePath(const CampaignOptions &options)
 {
     std::ostringstream oss;
-    oss << options.cache_dir << "/sipre_campaign_v" << kCacheVersion
-        << "_w" << options.workloads << "_i" << options.instructions
-        << ".cache";
+    oss << options.cache_dir << "/sipre_campaign_v"
+        << kCampaignCacheVersion << "_w" << options.workloads << "_i"
+        << options.instructions << ".cache";
     return oss.str();
 }
 
 bool
 loadCampaign(const CampaignOptions &options, CampaignResult &result)
 {
-    std::ifstream is(cachePath(options));
+    std::ifstream is(campaignCachePath(options));
     if (!is)
         return false;
     std::size_t n = 0;
     int version = 0;
     is >> version >> n;
-    if (version != kCacheVersion || n != options.workloads)
+    if (version != kCampaignCacheVersion || n != options.workloads)
         return false;
     result.workloads.resize(n);
     for (auto &rec : result.workloads) {
@@ -168,18 +217,6 @@ loadCampaign(const CampaignOptions &options, CampaignResult &result)
         is >> rec.static_bloat_cons >> rec.dynamic_bloat_cons >>
             rec.static_bloat_ind >> rec.dynamic_bloat_ind >>
             rec.insertions_ind >> rec.plan_min_distance_ind;
-        for (SimResult *r :
-             {&rec.cons, &rec.industry, &rec.asmdb_cons,
-              &rec.asmdb_cons_ideal, &rec.asmdb_ind,
-              &rec.asmdb_ind_ideal}) {
-            r->workload = rec.name;
-        }
-        rec.cons.config_label = "conservative-ftq2";
-        rec.industry.config_label = "industry-ftq24";
-        rec.asmdb_cons.config_label = "asmdb+conservative";
-        rec.asmdb_cons_ideal.config_label = "asmdb-noovh+conservative";
-        rec.asmdb_ind.config_label = "asmdb+industry";
-        rec.asmdb_ind_ideal.config_label = "asmdb-noovh+industry";
     }
     return static_cast<bool>(is);
 }
@@ -187,10 +224,13 @@ loadCampaign(const CampaignOptions &options, CampaignResult &result)
 void
 saveCampaign(const CampaignOptions &options, const CampaignResult &result)
 {
-    std::ofstream os(cachePath(options));
+    std::ofstream os(campaignCachePath(options));
     if (!os)
         return;
-    os << kCacheVersion << ' ' << result.workloads.size() << '\n';
+    // Doubles (bloat ratios, latency sums) must survive the text
+    // round-trip exactly; max_digits10 guarantees that.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << kCampaignCacheVersion << ' ' << result.workloads.size() << '\n';
     for (const auto &rec : result.workloads) {
         os << rec.name << '\n';
         writeResult(os, rec.cons);
@@ -206,15 +246,21 @@ saveCampaign(const CampaignOptions &options, const CampaignResult &result)
     }
 }
 
+namespace
+{
+
 WorkloadRecord
-runOneWorkload(const synth::WorkloadSpec &spec, std::size_t instructions)
+runOneWorkload(const synth::WorkloadSpec &spec, std::size_t instructions,
+               bool fast_forward)
 {
     WorkloadRecord rec;
     rec.name = spec.name;
     const Trace trace = synth::generateTrace(spec, instructions);
 
-    const SimConfig cons = SimConfig::conservative();
-    const SimConfig industry = SimConfig::industry();
+    SimConfig cons = SimConfig::conservative();
+    SimConfig industry = SimConfig::industry();
+    cons.fast_forward = fast_forward;
+    industry.fast_forward = fast_forward;
 
     {
         Simulator sim(cons, trace);
@@ -327,8 +373,8 @@ runStandardCampaign(const CampaignOptions &options, std::ostream *progress)
                     return;
                 index = next++;
             }
-            result.workloads[index] =
-                runOneWorkload(suite[index], options.instructions);
+            result.workloads[index] = runOneWorkload(
+                suite[index], options.instructions, options.fast_forward);
             if (progress) {
                 std::lock_guard<std::mutex> lock(io_mutex);
                 *progress << "[campaign] " << suite[index].name

@@ -27,6 +27,7 @@ struct CampaignOptions
     std::size_t instructions = 2'000'000;///< trace length per workload
     unsigned threads = 0;                ///< 0 = hardware concurrency
     bool use_cache = true;               ///< reuse/persist results file
+    bool fast_forward = true;            ///< event-driven cycle skipping
     std::string cache_dir = ".";
 
     /**
@@ -73,6 +74,28 @@ struct CampaignResult
  */
 CampaignResult runStandardCampaign(const CampaignOptions &options,
                                    std::ostream *progress = nullptr);
+
+// ------------------------------------------------------- results cache
+//
+// The on-disk campaign cache is exposed so tests can exercise the
+// round-trip directly and tools can inspect or pre-seed cache files.
+
+/** Bumped whenever the serialized layout changes; stale files reload. */
+inline constexpr int kCampaignCacheVersion = 4;
+
+/** File the campaign for `options` persists to / loads from. */
+std::string campaignCachePath(const CampaignOptions &options);
+
+/**
+ * Load a previously saved campaign for `options`. Returns false (and
+ * leaves `result` unspecified) on a missing file, a version or
+ * workload-count mismatch, or a truncated/garbled payload.
+ */
+bool loadCampaign(const CampaignOptions &options, CampaignResult &result);
+
+/** Persist `result` to campaignCachePath(options). Best-effort. */
+void saveCampaign(const CampaignOptions &options,
+                  const CampaignResult &result);
 
 } // namespace sipre
 

@@ -13,6 +13,7 @@
 #ifndef SIPRE_CORE_METADATA_PRELOAD_HPP
 #define SIPRE_CORE_METADATA_PRELOAD_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
 #include <unordered_map>
@@ -57,6 +58,21 @@ class MetadataPreloader
 
     /** Advance one cycle: complete metadata fills, issue prefetches. */
     void tick(Cycle now, MemoryHierarchy &memory);
+
+    /**
+     * Earliest future cycle at which the preloader can make progress
+     * (a metadata fill arriving or queued prefetches draining);
+     * kNoCycle when idle.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (!prefetch_queue_.empty())
+            return now + 1;
+        if (!fills_.empty())
+            return std::max(now + 1, fills_.top().ready);
+        return kNoCycle;
+    }
 
     const MetadataPreloadStats &stats() const { return stats_; }
 

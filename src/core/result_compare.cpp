@@ -1,0 +1,179 @@
+#include "core/result_compare.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace sipre
+{
+
+namespace
+{
+
+/** Accumulates the first mismatch; later checks become no-ops. */
+class Differ
+{
+  public:
+    template <typename T>
+    void
+    check(const std::string &field, const T &a, const T &b)
+    {
+        if (!diff_.empty() || a == b)
+            return;
+        std::ostringstream oss;
+        oss << std::setprecision(std::numeric_limits<double>::max_digits10)
+            << field << ": " << a << " != " << b;
+        diff_ = oss.str();
+    }
+
+    void
+    check(const std::string &field, const RunningStat &a,
+          const RunningStat &b)
+    {
+        check(field + ".count", a.count(), b.count());
+        check(field + ".sum", a.sum(), b.sum());
+        check(field + ".min", a.min(), b.min());
+        check(field + ".max", a.max(), b.max());
+    }
+
+    void
+    check(const std::string &field, const Histogram &a, const Histogram &b)
+    {
+        check(field + ".width", a.width(), b.width());
+        check(field + ".buckets", a.buckets(), b.buckets());
+        check(field + ".total", a.total(), b.total());
+        check(field + ".sum", a.sum(), b.sum());
+        check(field + ".overflow", a.overflow(), b.overflow());
+        if (!diff_.empty())
+            return;
+        for (std::size_t i = 0; i < a.buckets(); ++i) {
+            check(field + ".count[" + std::to_string(i) + "]", a.count(i),
+                  b.count(i));
+        }
+    }
+
+    void
+    check(const std::string &field, const CacheStats &a,
+          const CacheStats &b)
+    {
+        check(field + ".accesses", a.accesses, b.accesses);
+        check(field + ".hits", a.hits, b.hits);
+        check(field + ".misses", a.misses, b.misses);
+        check(field + ".mshr_merges", a.mshr_merges, b.mshr_merges);
+        check(field + ".prefetch_requests", a.prefetch_requests,
+              b.prefetch_requests);
+        check(field + ".prefetch_hits", a.prefetch_hits, b.prefetch_hits);
+        check(field + ".prefetch_fills", a.prefetch_fills,
+              b.prefetch_fills);
+        check(field + ".prefetch_useful", a.prefetch_useful,
+              b.prefetch_useful);
+        check(field + ".prefetch_late", a.prefetch_late, b.prefetch_late);
+        check(field + ".evictions", a.evictions, b.evictions);
+        check(field + ".writebacks_out", a.writebacks_out,
+              b.writebacks_out);
+        check(field + ".writebacks_in", a.writebacks_in, b.writebacks_in);
+    }
+
+    const std::string &result() const { return diff_; }
+
+  private:
+    std::string diff_;
+};
+
+} // namespace
+
+std::string
+diffSimResults(const SimResult &a, const SimResult &b)
+{
+    Differ d;
+    d.check("workload", a.workload, b.workload);
+    d.check("config_label", a.config_label, b.config_label);
+    d.check("instructions", a.instructions, b.instructions);
+    d.check("cycles", a.cycles, b.cycles);
+    d.check("effective_instructions", a.effective_instructions,
+            b.effective_instructions);
+
+    const FrontendStats &fa = a.frontend;
+    const FrontendStats &fb = b.frontend;
+    d.check("frontend.scenario1_cycles", fa.scenario1_cycles,
+            fb.scenario1_cycles);
+    d.check("frontend.scenario2_cycles", fa.scenario2_cycles,
+            fb.scenario2_cycles);
+    d.check("frontend.scenario3_cycles", fa.scenario3_cycles,
+            fb.scenario3_cycles);
+    d.check("frontend.ftq_empty_cycles", fa.ftq_empty_cycles,
+            fb.ftq_empty_cycles);
+    d.check("frontend.head_stall_cycles", fa.head_stall_cycles,
+            fb.head_stall_cycles);
+    d.check("frontend.waiting_entry_events", fa.waiting_entry_events,
+            fb.waiting_entry_events);
+    d.check("frontend.partial_head_events", fa.partial_head_events,
+            fb.partial_head_events);
+    d.check("frontend.head_fetch_latency", fa.head_fetch_latency,
+            fb.head_fetch_latency);
+    d.check("frontend.nonhead_fetch_latency", fa.nonhead_fetch_latency,
+            fb.nonhead_fetch_latency);
+    d.check("frontend.head_latency_hist", fa.head_latency_hist,
+            fb.head_latency_hist);
+    d.check("frontend.nonhead_latency_hist", fa.nonhead_latency_hist,
+            fb.nonhead_latency_hist);
+    d.check("frontend.l1i_fetches_issued", fa.l1i_fetches_issued,
+            fb.l1i_fetches_issued);
+    d.check("frontend.l1i_fetches_merged", fa.l1i_fetches_merged,
+            fb.l1i_fetches_merged);
+    d.check("frontend.blocks_allocated", fa.blocks_allocated,
+            fb.blocks_allocated);
+    d.check("frontend.instructions_delivered", fa.instructions_delivered,
+            fb.instructions_delivered);
+    d.check("frontend.sw_prefetches_triggered",
+            fa.sw_prefetches_triggered, fb.sw_prefetches_triggered);
+    d.check("frontend.mispredict_stalls", fa.mispredict_stalls,
+            fb.mispredict_stalls);
+    d.check("frontend.btb_miss_stalls", fa.btb_miss_stalls,
+            fb.btb_miss_stalls);
+    d.check("frontend.stall_cycles_mispredict",
+            fa.stall_cycles_mispredict, fb.stall_cycles_mispredict);
+    d.check("frontend.stall_cycles_btb_miss", fa.stall_cycles_btb_miss,
+            fb.stall_cycles_btb_miss);
+    d.check("frontend.pfc_resumes", fa.pfc_resumes, fb.pfc_resumes);
+    d.check("frontend.wrong_path_prefetches", fa.wrong_path_prefetches,
+            fb.wrong_path_prefetches);
+    d.check("frontend.itlb_walks", fa.itlb_walks, fb.itlb_walks);
+
+    d.check("backend.retired", a.backend.retired, b.backend.retired);
+    d.check("backend.retired_sw_prefetches",
+            a.backend.retired_sw_prefetches,
+            b.backend.retired_sw_prefetches);
+    d.check("backend.dispatched", a.backend.dispatched,
+            b.backend.dispatched);
+    d.check("backend.loads_issued", a.backend.loads_issued,
+            b.backend.loads_issued);
+    d.check("backend.stores_issued", a.backend.stores_issued,
+            b.backend.stores_issued);
+    d.check("backend.rob_full_cycles", a.backend.rob_full_cycles,
+            b.backend.rob_full_cycles);
+    d.check("backend.empty_rob_cycles", a.backend.empty_rob_cycles,
+            b.backend.empty_rob_cycles);
+
+    d.check("branch.cond_predictions", a.branch.cond_predictions,
+            b.branch.cond_predictions);
+    d.check("branch.cond_mispredictions", a.branch.cond_mispredictions,
+            b.branch.cond_mispredictions);
+    d.check("branch.btb_miss_taken", a.branch.btb_miss_taken,
+            b.branch.btb_miss_taken);
+    d.check("branch.target_mispredictions",
+            a.branch.target_mispredictions, b.branch.target_mispredictions);
+
+    d.check("btb.lookups", a.btb.lookups, b.btb.lookups);
+    d.check("btb.hits", a.btb.hits, b.btb.hits);
+    d.check("btb.updates", a.btb.updates, b.btb.updates);
+    d.check("btb.evictions", a.btb.evictions, b.btb.evictions);
+
+    d.check("l1i", a.l1i, b.l1i);
+    d.check("l1d", a.l1d, b.l1d);
+    d.check("l2", a.l2, b.l2);
+    d.check("llc", a.llc, b.llc);
+    return d.result();
+}
+
+} // namespace sipre

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Field-exact comparison of two SimResults. Used by the differential
+ * test and bench_throughput to prove that the event-driven fast-forward
+ * path (SimConfig::fast_forward) is bit-identical to the reference
+ * cycle-by-cycle loop.
+ */
+#ifndef SIPRE_CORE_RESULT_COMPARE_HPP
+#define SIPRE_CORE_RESULT_COMPARE_HPP
+
+#include <string>
+
+#include "core/sim_result.hpp"
+
+namespace sipre
+{
+
+/**
+ * Compare every field of two results, including histogram buckets and
+ * running-stat aggregates (doubles compared bit-exactly). Returns ""
+ * when identical, otherwise "<field>: <a-value> != <b-value>" for the
+ * first difference found.
+ */
+std::string diffSimResults(const SimResult &a, const SimResult &b);
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_RESULT_COMPARE_HPP

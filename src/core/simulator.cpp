@@ -1,5 +1,9 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
 #include "util/logging.hpp"
 
 namespace sipre
@@ -24,10 +28,16 @@ Simulator::Simulator(const SimConfig &config, const Trace &trace)
     backend_ = std::make_unique<Backend>(config_.backend, trace_, *memory_,
                                          *decode_queue_);
 
+    // The poke flag tells the fast-forward loop that the back-end
+    // mutated front-end state mid-cycle (stall resume, PFC), so the
+    // front-end must tick this cycle even if its cached claim says it
+    // has nothing to do.
     backend_->onBranchDecoded = [this](std::uint64_t index, Cycle now) {
+        frontend_poked_ = true;
         frontend_->onBranchDecoded(index, now);
     };
     backend_->onBranchExecuted = [this](std::uint64_t index, Cycle now) {
+        frontend_poked_ = true;
         frontend_->onBranchExecuted(index, now);
     };
 }
@@ -66,31 +76,122 @@ Simulator::setL1iMissHook(std::function<void(Addr)> hook)
         };
 }
 
+Cycle
+Simulator::nextEventCycle(Cycle now) const
+{
+    // Short-circuit: once any component reports the very next cycle,
+    // no earlier answer is possible, so skip the remaining (and more
+    // expensive) scans. Ordered cheapest first.
+    Cycle next = memory_->nextEventCycle(now);
+    if (next <= now + 1)
+        return next;
+    if (preloader_) {
+        next = std::min(next, preloader_->nextEventCycle(now));
+        if (next <= now + 1)
+            return next;
+    }
+    next = std::min(next, backend_->nextEventCycle(now));
+    if (next <= now + 1)
+        return next;
+    next = std::min(next, frontend_->nextEventCycle(now));
+    return next;
+}
+
 SimResult
 Simulator::run()
 {
     const std::uint64_t total = trace_.size();
     const std::uint64_t warmup = static_cast<std::uint64_t>(
         static_cast<double>(total) * config_.warmup_fraction);
+    const bool fast_forward =
+        config_.fast_forward && std::getenv("SIPRE_NO_SKIP") == nullptr;
     Cycle cycle = 0;
     Cycle warmup_cycles = 0;
     bool warm = warmup == 0;
     std::uint64_t last_retired = 0;
     Cycle last_progress = 0;
+    // Cached per-component claims (absolute cycle of the earliest
+    // possible activity). A component ticks only when its claim is due
+    // or a cross-component input arrived; its claim is recomputed only
+    // after it (or a producer feeding it) actually ticked. Initialized
+    // to 0 so every component ticks at cycle 0.
+    Cycle c_mem = 0;
+    Cycle c_be = 0;
+    Cycle c_fe = 0;
+    frontend_poked_ = false;
 
     while (backend_->retired() < total) {
         current_cycle_ = cycle;
-        memory_->tick(cycle);
-        if (preloader_)
-            preloader_->tick(cycle, *memory_);
-        backend_->tick(cycle);
-        frontend_->tick(cycle);
+        if (!fast_forward) {
+            memory_->tick(cycle);
+            if (preloader_)
+                preloader_->tick(cycle, *memory_);
+            backend_->tick(cycle);
+            frontend_->tick(cycle);
+        } else {
+            bool mem_ticked = false;
+            bool pre_ticked = false;
+            bool be_ticked = false;
+            bool fe_ticked = false;
+            if (c_mem <= cycle) {
+                memory_->tick(cycle);
+                mem_ticked = true;
+            }
+            // The preloader's queue is fed by the L1-I access hook
+            // (fires inside the memory tick), so its claim is always
+            // evaluated fresh — it is two queue checks.
+            if (preloader_ &&
+                (cycle == 0 ||
+                 preloader_->nextEventCycle(cycle - 1) <= cycle)) {
+                preloader_->tick(cycle, *memory_);
+                pre_ticked = true;
+            }
+            // Completion ports must drain in the cycle the fill
+            // arrived, exactly as in the reference order.
+            const std::size_t decode_before = decode_queue_->size();
+            if (c_be <= cycle || !memory_->dataCompleted().empty()) {
+                backend_->tick(cycle);
+                be_ticked = true;
+            } else {
+                backend_->accountSkippedCycles(1);
+            }
+            // A dispatch pop can unblock delivery into a previously
+            // full decode queue within the same cycle.
+            if (c_fe <= cycle || frontend_poked_ ||
+                decode_queue_->size() < decode_before ||
+                !memory_->ifetchCompleted().empty()) {
+                frontend_->tick(cycle);
+                fe_ticked = true;
+            } else {
+                frontend_->accountSkippedCycles(1);
+            }
+            frontend_poked_ = false;
+            // Refresh claims for components whose state (or whose
+            // inputs) changed this cycle. Core ticks can enqueue into
+            // the memory system; only the front-end feeds the decode
+            // queue; the back-end only pokes the front-end through the
+            // branch callbacks handled above.
+            if (mem_ticked || pre_ticked || be_ticked || fe_ticked)
+                c_mem = memory_->nextEventCycle(cycle);
+            if (be_ticked || fe_ticked)
+                c_be = backend_->nextEventCycle(cycle);
+            if (fe_ticked)
+                c_fe = frontend_->nextEventCycle(cycle);
+        }
+        if (onCycleEnd)
+            onCycleEnd(cycle);
 
         if (backend_->retired() != last_retired) {
             last_retired = backend_->retired();
             last_progress = cycle;
         } else if (cycle - last_progress > kDeadlockThreshold) {
-            panic("simulator deadlock: no retirement progress");
+            panic("simulator deadlock: no retirement progress for " +
+                  std::to_string(cycle - last_progress) +
+                  " cycles at cycle " + std::to_string(cycle) +
+                  " (workload '" + trace_.name() + "', config '" +
+                  config_.label + "', retired " +
+                  std::to_string(backend_->retired()) + "/" +
+                  std::to_string(total) + ")");
         }
         ++cycle;
 
@@ -107,6 +208,26 @@ Simulator::run()
             memory_->llc().resetStats();
             memory_->dram().resetStats();
         }
+
+        if (!fast_forward || backend_->retired() >= total)
+            continue;
+
+        // Exact-result fast-forward: every cycle in [cycle, next) would
+        // be a pure no-op tick — each component reported it cannot act
+        // before `next` — so account the per-cycle counters in bulk and
+        // jump the clock. Capped at the deadlock horizon so a genuinely
+        // wedged machine still reaches the panic above at the same
+        // cycle the reference loop would.
+        Cycle next = std::min(c_mem, std::min(c_be, c_fe));
+        if (preloader_)
+            next = std::min(next, preloader_->nextEventCycle(cycle - 1));
+        if (next <= cycle)
+            continue;
+        const Cycle horizon = last_progress + kDeadlockThreshold + 1;
+        next = std::min(next, horizon);
+        frontend_->accountSkippedCycles(next - cycle);
+        backend_->accountSkippedCycles(next - cycle);
+        cycle = next;
     }
 
     SimResult result;

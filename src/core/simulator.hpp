@@ -67,6 +67,18 @@ class Simulator
     /** Run the whole trace to retirement and collect results. */
     SimResult run();
 
+    /**
+     * Earliest future cycle at which any component can make progress
+     * (the fast-forward aggregation point; exposed for tests).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Instrumentation hook: fired once per executed cycle, after all
+     * components ticked. Skipped (fast-forwarded) cycles do not fire.
+     */
+    std::function<void(Cycle now)> onCycleEnd;
+
     /** Access to internals for tests and advanced instrumentation. */
     MemoryHierarchy &memory() { return *memory_; }
     DecoupledFrontEnd &frontend() { return *frontend_; }
@@ -81,6 +93,9 @@ class Simulator
     std::unique_ptr<Backend> backend_;
     std::unique_ptr<MetadataPreloader> preloader_;
     Cycle current_cycle_ = 0;
+    /// Set when a back-end branch callback mutated front-end state this
+    /// cycle; forces a front-end tick in the fast-forward loop.
+    bool frontend_poked_ = false;
 };
 
 } // namespace sipre

@@ -58,6 +58,75 @@ DecoupledFrontEnd::tick(Cycle now)
     classifyCycle(now);
 }
 
+Cycle
+DecoupledFrontEnd::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+
+    if (!ftq_.empty() && !decode_queue_.full()) {
+        const FtqEntry &head = ftq_.front();
+        // Deliverable instructions at the head, or a fresh head whose
+        // promotion bookkeeping (became_head_cycle, the Fig. 11 partial
+        // counter) is still pending: deliverToDecode acts next cycle.
+        if (head.fetchDone() || head.became_head_cycle == kNoCycle)
+            return now + 1;
+    }
+
+    if (!ftq_.full() && stall_ == StallReason::kNone &&
+        fetch_index_ < trace_.size()) {
+        return now + 1; // allocateBlocks makes progress every cycle
+    }
+
+    for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
+        const FtqEntry &entry = ftq_.at(pos);
+        for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
+            // An unissued line retries every cycle (port backpressure
+            // implies a non-empty L1I queue, which reports on its own).
+            if (entry.line_state[i] == LineState::kNotIssued)
+                return now + 1;
+            if (entry.line_state[i] == LineState::kWaitingTlb) {
+                next = std::min(next,
+                                std::max(now + 1, entry.issue_ready[i]));
+            }
+        }
+    }
+
+    if (stall_ != StallReason::kNone && config_.wrong_path_fetch &&
+        wrong_path_next_ < wrong_path_lines_.size()) {
+        return now + 1; // shadow-walk drain continues
+    }
+    return next;
+}
+
+void
+DecoupledFrontEnd::accountSkippedCycles(Cycle count)
+{
+    if (count == 0)
+        return;
+    if (ftq_.empty()) {
+        stats_.ftq_empty_cycles += count;
+        return;
+    }
+    // Mirrors classifyCycle() on a frozen FTQ: no entry changes fetch
+    // state during a skipped span, so the per-entry waiting flags were
+    // already latched by the last real tick and only the per-cycle
+    // counters advance.
+    if (ftq_.front().fetchDone()) {
+        stats_.scenario1_cycles += count;
+        return;
+    }
+    stats_.head_stall_cycles += count;
+    bool any_other_unready = false;
+    for (std::size_t pos = 1; pos < ftq_.size(); ++pos) {
+        if (!ftq_.at(pos).fetchDone())
+            any_other_unready = true;
+    }
+    if (any_other_unready)
+        stats_.scenario3_cycles += count;
+    else
+        stats_.scenario2_cycles += count;
+}
+
 void
 DecoupledFrontEnd::issueWrongPathFetches(Cycle now)
 {

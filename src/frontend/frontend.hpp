@@ -92,6 +92,23 @@ class DecoupledFrontEnd
     void tick(Cycle now);
 
     /**
+     * Earliest future cycle at which the front-end can make progress on
+     * its own (deliver, allocate, issue a line, or finish an ITLB
+     * walk); kNoCycle when it is waiting purely on memory or the
+     * back-end. A tick at any earlier cycle must change nothing except
+     * the per-cycle taxonomy counters, which the simulator accounts for
+     * in bulk via accountSkippedCycles().
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account the Sec. III taxonomy counters for `count` skipped cycles
+     * during which the FTQ provably did not change. Mirrors what
+     * classifyCycle() would have counted on each of those cycles.
+     */
+    void accountSkippedCycles(Cycle count);
+
+    /**
      * The back-end decoded the instruction at trace_index (it entered
      * the ROB). Resumes a BTB-miss stall when PFC is disabled.
      */

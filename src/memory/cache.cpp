@@ -1,5 +1,7 @@
 #include "memory/cache.hpp"
 
+#include <algorithm>
+
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 
@@ -257,6 +259,21 @@ Cache::tick(Cycle now)
         input_.pop_front();
         processRequest(req, now);
     }
+}
+
+Cycle
+Cache::nextEventCycle(Cycle now) const
+{
+    // Queued lookups and writeback drains are retried every cycle, so
+    // any pending queue entry means work next cycle (even a head-of-line
+    // MSHR block can clear via a synchronous fill from below). In-flight
+    // MSHRs with an empty local schedule have no local event: the fill
+    // arrives through the lower device's schedule, which reports it.
+    if (!input_.empty() || !writebacks_.empty())
+        return now + 1;
+    if (!sched_.empty())
+        return std::max(now + 1, sched_.top().ready);
+    return kNoCycle;
 }
 
 void

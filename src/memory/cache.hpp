@@ -70,6 +70,7 @@ class Cache : public MemoryDevice
     bool canAccept() const override;
     void enqueue(MemRequest req) override;
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
 
     /** Receive a fill from the lower level (called by the lower device). */
     void handleFill(const MemRequest &fill);

@@ -33,6 +33,16 @@ class MemoryDevice
     /** Advance one cycle; may deliver completions synchronously. */
     virtual void tick(Cycle now) = 0;
 
+    /**
+     * Earliest future cycle (>= now + 1) at which this device can make
+     * progress on its own, assuming no new requests arrive before then;
+     * kNoCycle when it is fully drained. Used by the simulator's
+     * exact-result fast-forward: a tick at any cycle before the
+     * reported one must be a pure no-op (no state or stats change).
+     * The conservative default claims progress every cycle.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return now + 1; }
+
     /** Completion callback for requests with no requester cache. */
     std::function<void(const MemRequest &)> onComplete;
 };

@@ -1,5 +1,7 @@
 #include "memory/dram.hpp"
 
+#include <algorithm>
+
 #include "memory/cache.hpp"
 #include "util/logging.hpp"
 
@@ -44,6 +46,17 @@ Dram::enqueue(MemRequest req)
         return;
     }
     queue_.push_back(req);
+}
+
+Cycle
+Dram::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    if (!sched_.empty())
+        next = std::max(now + 1, sched_.top().ready);
+    if (!queue_.empty())
+        next = std::min(next, std::max(now + 1, next_issue_));
+    return next;
 }
 
 void

@@ -48,6 +48,7 @@ class Dram : public MemoryDevice
     bool canAccept() const override;
     void enqueue(MemRequest req) override;
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
 
     const DramStats &stats() const { return stats_; }
 

@@ -1,5 +1,7 @@
 #include "memory/hierarchy.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace sipre
@@ -130,6 +132,28 @@ MemoryHierarchy::tick(Cycle now)
             issueDPrefetch(addr, now);
         cands.clear();
     }
+}
+
+Cycle
+MemoryHierarchy::nextEventCycle(Cycle now) const
+{
+    // Undrained completion ports or pending prefetcher candidates mean
+    // work on the very next tick. (Both are normally drained within the
+    // cycle that produced them; candidates can outlive it when the core
+    // issues loads after the hierarchy already ticked.)
+    if (!ifetch_done_.empty() || !data_done_.empty())
+        return now + 1;
+    if (iprefetcher_ != nullptr && !iprefetcher_->candidates().empty())
+        return now + 1;
+    if (dprefetcher_ != nullptr && !dprefetcher_->candidates().empty())
+        return now + 1;
+
+    Cycle next = dram_->nextEventCycle(now);
+    next = std::min(next, llc_->nextEventCycle(now));
+    next = std::min(next, l2_->nextEventCycle(now));
+    next = std::min(next, l1d_->nextEventCycle(now));
+    next = std::min(next, l1i_->nextEventCycle(now));
+    return next;
 }
 
 Cycle

@@ -95,6 +95,14 @@ class MemoryHierarchy
     /** Advance the whole hierarchy one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle at which any device in the hierarchy can
+     * make progress (see MemoryDevice::nextEventCycle); kNoCycle when
+     * everything — devices, completion ports, prefetcher candidate
+     * queues — is drained.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     // --- introspection ------------------------------------------------------
     Cache &l1i() { return *l1i_; }
     Cache &l1d() { return *l1d_; }

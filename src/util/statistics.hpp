@@ -91,9 +91,25 @@ class Histogram
 
     std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
     std::size_t buckets() const { return counts_.size() - 1; }
+    std::uint64_t width() const { return width_; }
     std::uint64_t overflow() const { return counts_.back(); }
     std::uint64_t total() const { return total_; }
+    std::uint64_t sum() const { return sum_; }
     double mean() const { return total_ == 0 ? 0.0 : double(sum_) / total_; }
+
+    /** Rebuild from serialized aggregates (campaign cache loading). */
+    void
+    restore(const std::vector<std::uint64_t> &counts_with_overflow,
+            std::uint64_t sum)
+    {
+        SIPRE_ASSERT(counts_with_overflow.size() == counts_.size(),
+                     "Histogram restore shape mismatch");
+        counts_ = counts_with_overflow;
+        sum_ = sum;
+        total_ = 0;
+        for (std::uint64_t c : counts_)
+            total_ += c;
+    }
 
     /** Smallest value v such that at least frac of samples are <= bucket end. */
     std::uint64_t

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Differential tests for the event-driven fast-forward path: a
+ * skip-enabled run must be bit-identical — every SimResult field,
+ * including histogram buckets — to the reference cycle-by-cycle loop.
+ * Covers the full standard campaign (all six configurations) plus
+ * targeted feature combinations, and validates the nextEventCycle()
+ * contract against the reference loop directly.
+ */
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asmdb/extensions.hpp"
+#include "asmdb/pipeline.hpp"
+#include "core/experiment.hpp"
+#include "core/result_compare.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+namespace sipre
+{
+namespace
+{
+
+class SkipDifferential : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // A stray SIPRE_NO_SKIP would silently turn the skip runs into
+        // reference runs and make every comparison vacuous.
+        ::unsetenv("SIPRE_NO_SKIP");
+    }
+};
+
+Trace
+makeTrace(const char *name, synth::Archetype archetype,
+          std::size_t instructions)
+{
+    return synth::generateTrace(
+        synth::makeWorkloadSpec(name, archetype, 0x517e2023ULL),
+        instructions);
+}
+
+SimResult
+runOnce(SimConfig config, const Trace &trace, bool fast_forward,
+        const SwPrefetchTriggers *triggers = nullptr,
+        const std::unordered_map<Addr, std::vector<Addr>> *metadata =
+            nullptr)
+{
+    config.fast_forward = fast_forward;
+    Simulator sim(config, trace);
+    if (triggers != nullptr)
+        sim.setSwPrefetchTriggers(triggers);
+    if (metadata != nullptr)
+        sim.attachMetadataPreloader(MetadataPreloadConfig{}, *metadata);
+    return sim.run();
+}
+
+void
+expectIdentical(const SimConfig &config, const Trace &trace,
+                const SwPrefetchTriggers *triggers = nullptr,
+                const std::unordered_map<Addr, std::vector<Addr>>
+                    *metadata = nullptr)
+{
+    const SimResult ref = runOnce(config, trace, false, triggers, metadata);
+    const SimResult ffw = runOnce(config, trace, true, triggers, metadata);
+    EXPECT_EQ(diffSimResults(ref, ffw), "")
+        << "workload " << trace.name() << ", config " << config.label;
+}
+
+// The headline guarantee: the whole standard campaign — all 48 synth
+// workloads through all six configurations, including the AsmDB
+// pipeline's profiling runs — is unchanged by fast-forwarding.
+TEST_F(SkipDifferential, StandardCampaignAllConfigsBitIdentical)
+{
+    CampaignOptions options;
+    options.workloads = 48;
+    options.instructions = 40'000;
+    options.use_cache = false;
+
+    options.fast_forward = false;
+    const CampaignResult ref = runStandardCampaign(options);
+    options.fast_forward = true;
+    const CampaignResult ffw = runStandardCampaign(options);
+
+    ASSERT_EQ(ref.workloads.size(), ffw.workloads.size());
+    for (std::size_t i = 0; i < ref.workloads.size(); ++i) {
+        const WorkloadRecord &a = ref.workloads[i];
+        const WorkloadRecord &b = ffw.workloads[i];
+        ASSERT_EQ(a.name, b.name);
+        EXPECT_EQ(diffSimResults(a.cons, b.cons), "") << a.name;
+        EXPECT_EQ(diffSimResults(a.industry, b.industry), "") << a.name;
+        EXPECT_EQ(diffSimResults(a.asmdb_cons, b.asmdb_cons), "") << a.name;
+        EXPECT_EQ(diffSimResults(a.asmdb_cons_ideal, b.asmdb_cons_ideal),
+                  "")
+            << a.name;
+        EXPECT_EQ(diffSimResults(a.asmdb_ind, b.asmdb_ind), "") << a.name;
+        EXPECT_EQ(diffSimResults(a.asmdb_ind_ideal, b.asmdb_ind_ideal), "")
+            << a.name;
+        EXPECT_EQ(a.static_bloat_cons, b.static_bloat_cons) << a.name;
+        EXPECT_EQ(a.dynamic_bloat_cons, b.dynamic_bloat_cons) << a.name;
+        EXPECT_EQ(a.static_bloat_ind, b.static_bloat_ind) << a.name;
+        EXPECT_EQ(a.dynamic_bloat_ind, b.dynamic_bloat_ind) << a.name;
+        EXPECT_EQ(a.insertions_ind, b.insertions_ind) << a.name;
+        EXPECT_EQ(a.plan_min_distance_ind, b.plan_min_distance_ind)
+            << a.name;
+    }
+}
+
+// Feature combinations the campaign does not exercise.
+
+TEST_F(SkipDifferential, InstructionTlb)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.frontend.itlb = true;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, OracleBranchPrediction)
+{
+    const Trace trace =
+        makeTrace("secret_int_124", synth::Archetype::kInteger, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.frontend.oracle_bp = true;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, NoPostFetchCorrectionNoWrongPath)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::conservative();
+    config.frontend.pfc = false;
+    config.frontend.wrong_path_fetch = false;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, NextLineInstructionPrefetcher)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kNextLine;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, EipLitePrefetcherWithStridePrefetcher)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kEipLite;
+    config.memory.l1d_prefetcher = DPrefetcherKind::kIpStride;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, SingleEntryFtq)
+{
+    const Trace trace =
+        makeTrace("secret_crypto52", synth::Archetype::kCrypto, 120'000);
+    expectIdentical(SimConfig::withFtqDepth(1), trace);
+}
+
+TEST_F(SkipDifferential, MetadataPreloaderAndIdealTriggers)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    const SimConfig config = SimConfig::industry();
+    const auto artifacts = asmdb::runPipeline(trace, config);
+    const auto metadata = asmdb::buildMetadataMap(artifacts.plan);
+    expectIdentical(config, trace, &artifacts.triggers, &metadata);
+}
+
+// Direct contract validation: run the reference loop and assert that no
+// progress observable changes strictly before the cycle nextEventCycle()
+// claimed. This catches a too-aggressive claim even if, by luck, it does
+// not perturb the aggregate statistics.
+
+std::uint64_t
+progressHash(Simulator &sim)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    const auto &b = sim.backend().stats();
+    mix(b.retired);
+    mix(b.dispatched);
+    mix(b.loads_issued);
+    mix(b.stores_issued);
+    mix(sim.backend().robOccupancy());
+    const auto &f = sim.frontend().stats();
+    mix(f.blocks_allocated);
+    mix(f.instructions_delivered);
+    mix(f.l1i_fetches_issued);
+    mix(f.l1i_fetches_merged);
+    mix(f.sw_prefetches_triggered);
+    mix(f.mispredict_stalls);
+    mix(f.btb_miss_stalls);
+    mix(f.pfc_resumes);
+    mix(f.wrong_path_prefetches);
+    mix(f.itlb_walks);
+    mix(f.partial_head_events);
+    mix(f.waiting_entry_events);
+    mix(f.head_fetch_latency.count());
+    mix(f.nonhead_fetch_latency.count());
+    mix(sim.frontend().ftq().size());
+    for (const Cache *c : {&sim.memory().l1i(), &sim.memory().l1d(),
+                           &sim.memory().l2(), &sim.memory().llc()}) {
+        const auto &s = c->stats();
+        mix(s.accesses);
+        mix(s.hits);
+        mix(s.misses);
+        mix(s.prefetch_requests);
+        mix(s.prefetch_fills);
+        mix(s.writebacks_in);
+        mix(s.writebacks_out);
+        mix(s.evictions);
+    }
+    const auto &d = sim.memory().dram().stats();
+    mix(d.reads);
+    mix(d.writebacks);
+    return h;
+}
+
+TEST_F(SkipDifferential, NextEventCycleClaimsHoldOnReferenceLoop)
+{
+    for (const std::uint32_t ftq : {2u, 24u}) {
+        const Trace trace =
+            makeTrace("secret_srv12", synth::Archetype::kServer, 60'000);
+        SimConfig config = SimConfig::withFtqDepth(ftq);
+        config.fast_forward = false;
+        Simulator sim(config, trace);
+
+        Cycle predicted = 0;
+        Cycle predicted_at = 0;
+        std::uint64_t hash = 0;
+        std::uint64_t violations = 0;
+        sim.onCycleEnd = [&](Cycle now) {
+            const std::uint64_t h = progressHash(sim);
+            if (now > 0 && now < predicted && h != hash) {
+                if (++violations == 1) {
+                    ADD_FAILURE()
+                        << "state changed at cycle " << now << " but cycle "
+                        << predicted_at << " claimed no activity before "
+                        << predicted << " (ftq " << ftq << ")";
+                }
+            }
+            const Cycle next = sim.nextEventCycle(now);
+            if (next > now + 1) {
+                predicted = next;
+                predicted_at = now;
+                hash = h;
+            } else {
+                predicted = 0;
+            }
+        };
+        sim.run();
+        EXPECT_EQ(violations, 0u) << "ftq " << ftq;
+    }
+}
+
+} // namespace
+} // namespace sipre

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fast-forward claim checker: runs the reference cycle-by-cycle loop
+ * and, at every cycle, validates the nextEventCycle() contract — that
+ * no observable state changes strictly before the predicted cycle.
+ * Prints the first violation with the predicting and violating cycles.
+ *
+ * Usage: claim_check [workload_index] [instructions]
+ */
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+namespace
+{
+
+/** Cheap digest of all monotonic progress observables. */
+std::uint64_t
+progressHash(sipre::Simulator &sim)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    const auto &b = sim.backend().stats();
+    mix(b.retired);
+    mix(b.dispatched);
+    mix(b.loads_issued);
+    mix(b.stores_issued);
+    mix(sim.backend().robOccupancy());
+    const auto &f = sim.frontend().stats();
+    mix(f.blocks_allocated);
+    mix(f.instructions_delivered);
+    mix(f.l1i_fetches_issued);
+    mix(f.l1i_fetches_merged);
+    mix(f.sw_prefetches_triggered);
+    mix(f.mispredict_stalls);
+    mix(f.btb_miss_stalls);
+    mix(f.pfc_resumes);
+    mix(f.wrong_path_prefetches);
+    mix(f.itlb_walks);
+    mix(f.partial_head_events);
+    mix(f.waiting_entry_events);
+    mix(f.head_fetch_latency.count());
+    mix(f.nonhead_fetch_latency.count());
+    mix(sim.frontend().ftq().size());
+    for (const sipre::Cache *c : {&sim.memory().l1i(), &sim.memory().l1d(),
+                                  &sim.memory().l2(), &sim.memory().llc()}) {
+        const auto &s = c->stats();
+        mix(s.accesses);
+        mix(s.hits);
+        mix(s.misses);
+        mix(s.prefetch_requests);
+        mix(s.prefetch_fills);
+        mix(s.writebacks_in);
+        mix(s.writebacks_out);
+        mix(s.evictions);
+    }
+    const auto &d = sim.memory().dram().stats();
+    mix(d.reads);
+    mix(d.writebacks);
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t index = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+    const std::size_t instrs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50'000;
+    const std::string preset = argc > 3 ? argv[3] : "industry";
+
+    const auto suite = sipre::synth::cvp1LikeSuite();
+    const sipre::Trace trace =
+        index == 999
+            ? sipre::synth::generateTrace(
+                  sipre::synth::makeWorkloadSpec(
+                      "secret_int_124", sipre::synth::Archetype::kInteger,
+                      0x517e2023ULL),
+                  instrs)
+            : sipre::synth::generateTrace(suite.at(index), instrs);
+
+    sipre::SimConfig config = preset == "cons"
+                                  ? sipre::SimConfig::conservative()
+                                  : sipre::SimConfig::industry();
+    if (preset == "ftq1")
+        config = sipre::SimConfig::withFtqDepth(1);
+    config.fast_forward = false; // reference loop; we only check claims
+
+    sipre::Simulator sim(config, trace);
+
+    sipre::Cycle predicted = 0;      // earliest claimed activity
+    sipre::Cycle predicted_at = 0;   // cycle the claim was made
+    std::uint64_t hash = 0;
+    std::uint64_t violations = 0;
+
+    sim.onCycleEnd = [&](sipre::Cycle now) {
+        const std::uint64_t h = progressHash(sim);
+        if (now > 0 && now < predicted && h != hash && violations < 10) {
+            ++violations;
+            std::cout << "VIOLATION: state changed at cycle " << now
+                      << " but cycle " << predicted_at
+                      << " predicted no activity before " << predicted
+                      << "\n";
+        }
+        const sipre::Cycle next = sim.nextEventCycle(now);
+        if (next > now + 1) {
+            predicted = next;
+            predicted_at = now;
+            hash = h;
+        } else {
+            predicted = 0;
+        }
+    };
+
+    const sipre::SimResult result = sim.run();
+    std::cout << "workload=" << trace.name() << " config=" << config.label
+              << " cycles=" << result.cycles
+              << " violations=" << violations << "\n";
+    return violations == 0 ? 0 : 1;
+}
