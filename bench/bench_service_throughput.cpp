@@ -1,0 +1,179 @@
+/**
+ * @file
+ * End-to-end throughput benchmark for the simulation service: starts an
+ * in-process engine + HTTP server on an ephemeral loopback port, fires
+ * a mixed request stream (a controlled fraction of repeats so the cache
+ * tiers matter) from client threads over keep-alive connections, and
+ * reports requests/s, latency percentiles, and the engine's cache hit
+ * rate as one machine-readable JSON line on stdout.
+ *
+ * Environment knobs: SIPRE_SERVICE_THREADS (client threads, default 4),
+ * SIPRE_SERVICE_REQUESTS (per thread, default 64),
+ * SIPRE_SERVICE_DISTINCT (distinct canonical keys, default 8),
+ * SIPRE_SERVICE_INSTRUCTIONS (trace length, default 30000).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/json_io.hpp"
+#include "service/engine.hpp"
+#include "service/http.hpp"
+#include "service/server.hpp"
+
+using namespace sipre;
+using namespace sipre::service;
+
+namespace
+{
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::strtoull(value, nullptr, 10)
+                            : fallback;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned threads =
+        static_cast<unsigned>(envUint("SIPRE_SERVICE_THREADS", 4));
+    const std::uint64_t per_thread =
+        envUint("SIPRE_SERVICE_REQUESTS", 64);
+    const unsigned distinct = std::max<unsigned>(
+        1, static_cast<unsigned>(envUint("SIPRE_SERVICE_DISTINCT", 8)));
+    const std::uint64_t instructions =
+        envUint("SIPRE_SERVICE_INSTRUCTIONS", 30'000);
+
+    EngineOptions engine_options;
+    engine_options.workers =
+        std::max(2u, std::thread::hardware_concurrency() / 2);
+    engine_options.queue_capacity = 64;
+    SimulationEngine engine(engine_options);
+
+    ServerOptions server_options;
+    server_options.connection_threads = threads;
+    ServiceServer server(engine, server_options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "bench_service_throughput: " << error << "\n";
+        return 1;
+    }
+    std::cerr << "[service] loopback port " << server.port() << ", "
+              << threads << " client threads x " << per_thread
+              << " requests, " << distinct << " distinct keys\n";
+
+    std::mutex merge_mutex;
+    std::vector<double> latencies_ms;
+    std::uint64_t ok = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t errors = 0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            std::vector<double> local_ms;
+            std::uint64_t local_ok = 0;
+            std::uint64_t local_rejected = 0;
+            std::uint64_t local_errors = 0;
+            std::string dial_error;
+            int fd = http::dialTcp("127.0.0.1", server.port(),
+                                   &dial_error);
+            for (std::uint64_t n = 0; fd >= 0 && n < per_thread; ++n) {
+                // Walk the distinct keys so repeats exercise the LRU
+                // and concurrent duplicates exercise coalescing.
+                const unsigned ftq = 2 + 2 * ((t + n) % distinct);
+                http::Request request;
+                request.method = "POST";
+                request.target = "/simulate";
+                request.body =
+                    "{\"workload\":\"secret_crypto52\","
+                    "\"instructions\":" +
+                    std::to_string(instructions) +
+                    ",\"ftq\":" + std::to_string(ftq) + "}";
+                const auto r0 = std::chrono::steady_clock::now();
+                http::Response response;
+                if (!http::roundTrip(fd, request, response,
+                                     &dial_error)) {
+                    ++local_errors;
+                    break;
+                }
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count();
+                if (response.status == 200) {
+                    ++local_ok;
+                    local_ms.push_back(ms);
+                } else if (response.status == 429) {
+                    ++local_rejected;
+                } else {
+                    ++local_errors;
+                }
+            }
+            if (fd >= 0)
+                ::close(fd);
+            else
+                local_errors += per_thread;
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                                local_ms.end());
+            ok += local_ok;
+            rejected += local_rejected;
+            errors += local_errors;
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    const double elapsed_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+
+    const EngineStats stats = engine.stats();
+    server.shutdown();
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto percentile = [&](double frac) {
+        if (latencies_ms.empty())
+            return 0.0;
+        const std::size_t index = std::min(
+            latencies_ms.size() - 1,
+            static_cast<std::size_t>(
+                frac * static_cast<double>(latencies_ms.size())));
+        return latencies_ms[index];
+    };
+
+    std::cout << "{\"bench\":\"service_throughput\""
+              << ",\"threads\":" << threads
+              << ",\"requests\":" << (per_thread * threads)
+              << ",\"distinct\":" << distinct
+              << ",\"instructions\":" << instructions
+              << ",\"ok\":" << ok << ",\"rejected\":" << rejected
+              << ",\"errors\":" << errors
+              << ",\"sim_runs\":" << stats.sim_runs
+              << ",\"cache_hits\":" << stats.cache_hits
+              << ",\"coalesced\":" << stats.coalesced
+              << ",\"cache_hit_rate\":"
+              << jsonDouble(stats.cacheHitRate())
+              << ",\"elapsed_s\":" << jsonDouble(elapsed_s)
+              << ",\"rps\":"
+              << jsonDouble(elapsed_s > 0.0
+                                ? static_cast<double>(ok) / elapsed_s
+                                : 0.0)
+              << ",\"p50_ms\":" << jsonDouble(percentile(0.50))
+              << ",\"p99_ms\":" << jsonDouble(percentile(0.99)) << "}\n";
+    return errors == 0 ? 0 : 1;
+}

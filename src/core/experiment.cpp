@@ -184,6 +184,20 @@ readResult(std::istream &is, SimResult &r)
 
 } // namespace
 
+void
+writeSimResultText(std::ostream &os, const SimResult &result)
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    writeResult(os, result);
+}
+
+bool
+readSimResultText(std::istream &is, SimResult &result)
+{
+    readResult(is, result);
+    return static_cast<bool>(is);
+}
+
 std::string
 campaignCachePath(const CampaignOptions &options)
 {

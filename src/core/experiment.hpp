@@ -97,6 +97,16 @@ bool loadCampaign(const CampaignOptions &options, CampaignResult &result);
 void saveCampaign(const CampaignOptions &options,
                   const CampaignResult &result);
 
+/**
+ * Serialize one SimResult in the campaign-cache text format (lossless,
+ * single line, max_digits10 doubles). Used by the service's persistent
+ * result cache so both caches share one serializer.
+ */
+void writeSimResultText(std::ostream &os, const SimResult &result);
+
+/** Inverse of writeSimResultText. Returns false on a garbled stream. */
+bool readSimResultText(std::istream &is, SimResult &result);
+
 } // namespace sipre
 
 #endif // SIPRE_CORE_EXPERIMENT_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * JSON interchange for simulation results and configurations: one
+ * stable machine-readable schema shared by `sipre_cli --json`, the
+ * simulation service, and scripts consuming either. Also provides the
+ * minimal JSON value/parser the service uses for request bodies — no
+ * external dependencies.
+ */
+#ifndef SIPRE_CORE_JSON_IO_HPP
+#define SIPRE_CORE_JSON_IO_HPP
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/sim_result.hpp"
+
+namespace sipre
+{
+
+// ----------------------------------------------------------- generic JSON
+
+/** A parsed JSON document node (tree-owning, no sharing). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::kObject; }
+    bool isString() const { return kind == Kind::kString; }
+    bool isBool() const { return kind == Kind::kBool; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+
+    /** Member lookup on an object; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed, trailing
+ * garbage rejected). On failure returns false and sets `error` to a
+ * human-readable message with a byte offset.
+ */
+bool parseJson(std::string_view text, JsonValue &out, std::string &error);
+
+/** Escape a string for embedding in a JSON document (no quotes added). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Format a double with max_digits10 precision so the value survives a
+ * text round-trip bit-exactly (same policy as the campaign cache).
+ */
+std::string jsonDouble(double value);
+
+// ------------------------------------------------------------ serializers
+
+/**
+ * The full SimResult as a JSON object: every counter, running-stat
+ * aggregate, and histogram bucket, plus the derived ipc / l1i_mpki /
+ * branch_mpki conveniences. Field order is fixed, so two identical
+ * results serialize to byte-identical documents.
+ */
+std::string simResultToJson(const SimResult &result);
+
+/** The knobs of a SimConfig relevant to request canonicalization. */
+std::string simConfigToJson(const SimConfig &config);
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_JSON_IO_HPP

@@ -1,0 +1,85 @@
+#include "core/options.hpp"
+
+namespace sipre
+{
+
+const char *
+simModeName(SimMode mode)
+{
+    switch (mode) {
+    case SimMode::kBase: return "base";
+    case SimMode::kAsmdb: return "asmdb";
+    case SimMode::kNoOverhead: return "noovh";
+    case SimMode::kMetadata: return "metadata";
+    case SimMode::kFeedback: return "feedback";
+    }
+    return "base";
+}
+
+std::optional<SimMode>
+parseSimMode(std::string_view name)
+{
+    if (name == "base")
+        return SimMode::kBase;
+    if (name == "asmdb")
+        return SimMode::kAsmdb;
+    if (name == "noovh")
+        return SimMode::kNoOverhead;
+    if (name == "metadata")
+        return SimMode::kMetadata;
+    if (name == "feedback")
+        return SimMode::kFeedback;
+    return std::nullopt;
+}
+
+const char *
+predictorName(DirectionPredictorKind kind)
+{
+    switch (kind) {
+    case DirectionPredictorKind::kHashedPerceptron: return "perceptron";
+    case DirectionPredictorKind::kTageLite: return "tage";
+    case DirectionPredictorKind::kGshare: return "gshare";
+    case DirectionPredictorKind::kBimodal: return "bimodal";
+    case DirectionPredictorKind::kLocal: return "local";
+    }
+    return "perceptron";
+}
+
+std::optional<DirectionPredictorKind>
+parsePredictor(std::string_view name)
+{
+    if (name == "perceptron")
+        return DirectionPredictorKind::kHashedPerceptron;
+    if (name == "tage")
+        return DirectionPredictorKind::kTageLite;
+    if (name == "gshare")
+        return DirectionPredictorKind::kGshare;
+    if (name == "bimodal")
+        return DirectionPredictorKind::kBimodal;
+    return std::nullopt;
+}
+
+const char *
+hwPrefetcherName(IPrefetcherKind kind)
+{
+    switch (kind) {
+    case IPrefetcherKind::kNone: return "none";
+    case IPrefetcherKind::kNextLine: return "nextline";
+    case IPrefetcherKind::kEipLite: return "eip";
+    }
+    return "none";
+}
+
+std::optional<IPrefetcherKind>
+parseHwPrefetcher(std::string_view name)
+{
+    if (name == "none")
+        return IPrefetcherKind::kNone;
+    if (name == "nextline")
+        return IPrefetcherKind::kNextLine;
+    if (name == "eip")
+        return IPrefetcherKind::kEipLite;
+    return std::nullopt;
+}
+
+} // namespace sipre

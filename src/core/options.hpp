@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared knob parsing for every entry point: the CLI, the service, and
+ * the bench tools all speak the same strings for modes, predictors, and
+ * hardware prefetchers, so a request means the same thing everywhere.
+ */
+#ifndef SIPRE_CORE_OPTIONS_HPP
+#define SIPRE_CORE_OPTIONS_HPP
+
+#include <optional>
+#include <string_view>
+
+#include "branch/direction_predictor.hpp"
+#include "memory/iprefetcher.hpp"
+
+namespace sipre
+{
+
+/** The five run modes of sipre_cli / the simulation service. */
+enum class SimMode : std::uint8_t {
+    kBase,       ///< plain run of the original trace
+    kAsmdb,      ///< AsmDB-rewritten trace (with insertion overhead)
+    kNoOverhead, ///< AsmDB triggers without inserted instructions
+    kMetadata,   ///< metadata-preloader extension (paper Sec. VI)
+    kFeedback    ///< feedback-directed AsmDB
+};
+
+/** Pipe-separated valid values, for error messages and usage text. */
+inline constexpr const char *kSimModeChoices =
+    "base|asmdb|noovh|metadata|feedback";
+inline constexpr const char *kPredictorChoices =
+    "perceptron|tage|gshare|bimodal";
+inline constexpr const char *kHwPrefetcherChoices = "none|nextline|eip";
+
+/** Canonical name of a mode (inverse of parseSimMode). */
+const char *simModeName(SimMode mode);
+
+/** Parse a mode name; nullopt on an unknown value. */
+std::optional<SimMode> parseSimMode(std::string_view name);
+
+/** Canonical name of a direction predictor kind. */
+const char *predictorName(DirectionPredictorKind kind);
+
+/** Parse a predictor name; nullopt on an unknown value. */
+std::optional<DirectionPredictorKind>
+parsePredictor(std::string_view name);
+
+/** Canonical name of an L1-I hardware-prefetcher kind. */
+const char *hwPrefetcherName(IPrefetcherKind kind);
+
+/** Parse a hardware-prefetcher name; nullopt on an unknown value. */
+std::optional<IPrefetcherKind> parseHwPrefetcher(std::string_view name);
+
+} // namespace sipre
+
+#endif // SIPRE_CORE_OPTIONS_HPP

@@ -1,0 +1,388 @@
+#include "service/engine.hpp"
+
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+
+#include "asmdb/extensions.hpp"
+#include "asmdb/pipeline.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+namespace sipre::service
+{
+
+SimResult
+runSimRequest(const SimRequest &request)
+{
+    const auto suite = synth::cvp1LikeSuite();
+    const synth::WorkloadSpec *spec = nullptr;
+    for (const auto &s : suite) {
+        if (s.name == request.workload)
+            spec = &s;
+    }
+    if (spec == nullptr)
+        throw std::runtime_error("unknown workload " + request.workload);
+
+    const Trace trace = synth::generateTrace(*spec, request.instructions);
+    const SimConfig config = request.toConfig();
+
+    switch (request.mode) {
+    case SimMode::kBase: {
+        Simulator sim(config, trace);
+        return sim.run();
+    }
+    case SimMode::kAsmdb: {
+        const auto artifacts = asmdb::runPipeline(trace, config);
+        Simulator sim(config, artifacts.rewrite.trace);
+        return sim.run();
+    }
+    case SimMode::kNoOverhead: {
+        const auto artifacts = asmdb::runPipeline(trace, config);
+        Simulator sim(config, trace);
+        sim.setSwPrefetchTriggers(&artifacts.triggers);
+        return sim.run();
+    }
+    case SimMode::kMetadata: {
+        const auto artifacts = asmdb::runPipeline(trace, config);
+        Simulator sim(config, trace);
+        sim.attachMetadataPreloader(
+            MetadataPreloadConfig{},
+            asmdb::buildMetadataMap(artifacts.plan));
+        return sim.run();
+    }
+    case SimMode::kFeedback: {
+        const auto fb = asmdb::runFeedbackDirected(trace, config);
+        Simulator sim(config, fb.rewrite.trace);
+        return sim.run();
+    }
+    }
+    throw std::runtime_error("unhandled mode");
+}
+
+namespace
+{
+
+/**
+ * Canonical keys for the six standard-campaign configurations of one
+ * workload, paired with pointers-to-member into WorkloadRecord. Only
+ * base and noovh modes map onto campaign records; asmdb records come
+ * from rewritten traces, which the `asmdb` request mode reproduces.
+ */
+struct CampaignKeyMapping
+{
+    SimMode mode;
+    std::uint32_t ftq;
+    SimResult WorkloadRecord::*member;
+};
+
+constexpr CampaignKeyMapping kCampaignMappings[] = {
+    {SimMode::kBase, 2, &WorkloadRecord::cons},
+    {SimMode::kBase, 24, &WorkloadRecord::industry},
+    {SimMode::kAsmdb, 2, &WorkloadRecord::asmdb_cons},
+    {SimMode::kAsmdb, 24, &WorkloadRecord::asmdb_ind},
+    {SimMode::kNoOverhead, 2, &WorkloadRecord::asmdb_cons_ideal},
+    {SimMode::kNoOverhead, 24, &WorkloadRecord::asmdb_ind_ideal},
+};
+
+} // namespace
+
+SimulationEngine::SimulationEngine(const EngineOptions &options)
+    : options_(options), cache_(options.cache_capacity)
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+
+    if (options_.use_campaign_cache) {
+        CampaignResult campaign;
+        if (loadCampaign(options_.campaign, campaign)) {
+            for (const auto &rec : campaign.workloads) {
+                for (const auto &mapping : kCampaignMappings) {
+                    SimRequest req;
+                    req.workload = rec.name;
+                    req.instructions = options_.campaign.instructions;
+                    req.ftq_entries = mapping.ftq;
+                    req.mode = mapping.mode;
+                    disk_cache_.emplace(
+                        req.canonicalKey(),
+                        std::make_shared<const SimResult>(
+                            rec.*mapping.member));
+                }
+            }
+        }
+    }
+
+    workers_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SimulationEngine::~SimulationEngine()
+{
+    shutdown(/*drain=*/true);
+}
+
+void
+SimulationEngine::recordLatencyLocked(double us)
+{
+    latency_stat_.add(us);
+    latency_hist_.add(static_cast<std::uint64_t>(us));
+}
+
+SubmitOutcome
+SimulationEngine::waitForJob(const std::shared_ptr<Job> &job, bool coalesced,
+                             std::chrono::steady_clock::time_point start)
+{
+    {
+        std::unique_lock<std::mutex> job_lock(job->mutex);
+        job->cv.wait(job_lock, [&] { return job->done; });
+    }
+
+    SubmitOutcome outcome;
+    outcome.coalesced = coalesced;
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    outcome.latency_us = us;
+    if (job->aborted) {
+        outcome.status = SubmitStatus::kShutdown;
+        outcome.error = "engine shutting down";
+        return outcome;
+    }
+    if (job->result == nullptr) {
+        outcome.status = SubmitStatus::kFailed;
+        outcome.error = job->error;
+        return outcome;
+    }
+    outcome.status = SubmitStatus::kOk;
+    outcome.result = job->result;
+    std::lock_guard<std::mutex> lock(mutex_);
+    recordLatencyLocked(us);
+    return outcome;
+}
+
+SubmitOutcome
+SimulationEngine::submit(const SimRequest &request)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::string key = request.canonicalKey();
+
+    std::shared_ptr<Job> job;
+    bool coalesced = false;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++requests_;
+        if (stopping_) {
+            SubmitOutcome outcome;
+            outcome.status = SubmitStatus::kShutdown;
+            outcome.error = "engine shutting down";
+            return outcome;
+        }
+
+        if (auto hit = cache_.get(key)) {
+            ++cache_hits_;
+            SubmitOutcome outcome;
+            outcome.status = SubmitStatus::kOk;
+            outcome.result = *hit;
+            outcome.cache_hit = true;
+            outcome.latency_us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            recordLatencyLocked(outcome.latency_us);
+            return outcome;
+        }
+
+        if (const auto it = inflight_.find(key); it != inflight_.end()) {
+            ++coalesced_;
+            job = it->second;
+            coalesced = true;
+        } else if (const auto disk = disk_cache_.find(key);
+                   disk != disk_cache_.end()) {
+            ++disk_hits_;
+            cache_.put(key, disk->second);
+            SubmitOutcome outcome;
+            outcome.status = SubmitStatus::kOk;
+            outcome.result = disk->second;
+            outcome.disk_hit = true;
+            outcome.latency_us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            recordLatencyLocked(outcome.latency_us);
+            return outcome;
+        } else {
+            if (queue_.size() >= options_.queue_capacity) {
+                ++rejected_;
+                SubmitOutcome outcome;
+                outcome.status = SubmitStatus::kRejected;
+                outcome.error = "queue full (" +
+                                std::to_string(queue_.size()) + "/" +
+                                std::to_string(options_.queue_capacity) +
+                                " requests waiting)";
+                return outcome;
+            }
+            job = std::make_shared<Job>();
+            job->key = key;
+            job->request = request;
+            inflight_.emplace(key, job);
+            queue_.push_back(job);
+            queue_cv_.notify_one();
+        }
+    }
+    return waitForJob(job, coalesced, start);
+}
+
+void
+SimulationEngine::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock,
+                           [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = queue_.front();
+            queue_.pop_front();
+            ++workers_busy_;
+        }
+
+        std::shared_ptr<const SimResult> result;
+        std::string error;
+        try {
+            result = std::make_shared<const SimResult>(
+                runSimRequest(job->request));
+        } catch (const std::exception &e) {
+            error = e.what();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --workers_busy_;
+            if (result != nullptr) {
+                ++sim_runs_;
+                cache_.put(job->key, result);
+            } else {
+                ++failures_;
+            }
+            inflight_.erase(job->key);
+        }
+        {
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            job->done = true;
+            job->result = std::move(result);
+            job->error = std::move(error);
+        }
+        job->cv.notify_all();
+    }
+}
+
+void
+SimulationEngine::shutdown(bool drain)
+{
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        if (!drain) {
+            // Abort queued-but-not-started jobs so their waiters wake.
+            for (const auto &job : queue_) {
+                inflight_.erase(job->key);
+                {
+                    std::lock_guard<std::mutex> job_lock(job->mutex);
+                    job->done = true;
+                    job->aborted = true;
+                }
+                job->cv.notify_all();
+            }
+            queue_.clear();
+        }
+        queue_cv_.notify_all();
+    }
+    if (!joined_) {
+        for (auto &worker : workers_)
+            worker.join();
+        joined_ = true;
+    }
+}
+
+EngineStats
+SimulationEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    EngineStats s;
+    s.requests = requests_;
+    s.sim_runs = sim_runs_;
+    s.cache_hits = cache_hits_;
+    s.disk_hits = disk_hits_;
+    s.coalesced = coalesced_;
+    s.rejected = rejected_;
+    s.failures = failures_;
+    s.cache_evictions = cache_.evictions();
+    s.queue_depth = queue_.size();
+    s.inflight = inflight_.size();
+    s.workers_busy = workers_busy_;
+    s.workers = options_.workers;
+    s.queue_capacity = options_.queue_capacity;
+    s.cache_entries = cache_.size();
+    s.cache_capacity = cache_.capacity();
+    s.latency_count = latency_stat_.count();
+    s.latency_sum_us = latency_stat_.sum();
+    s.latency_max_us = latency_stat_.max();
+    if (latency_hist_.total() > 0) {
+        s.latency_p50_us = latency_hist_.percentileUpperBound(0.50);
+        s.latency_p90_us = latency_hist_.percentileUpperBound(0.90);
+        s.latency_p99_us = latency_hist_.percentileUpperBound(0.99);
+    }
+    return s;
+}
+
+long
+SimulationEngine::saveResultCache(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return -1;
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "sipre-results 1 " << cache_.size() << '\n';
+    cache_.forEach([&os](const std::string &key,
+                         const std::shared_ptr<const SimResult> &result) {
+        os << key << '\n';
+        writeSimResultText(os, *result);
+    });
+    return static_cast<long>(cache_.size());
+}
+
+long
+SimulationEngine::loadResultCache(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return -1;
+    std::string magic;
+    int version = 0;
+    std::size_t count = 0;
+    is >> magic >> version >> count;
+    if (magic != "sipre-results" || version != 1)
+        return -1;
+    long loaded = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string key;
+        is >> key;
+        SimResult result;
+        if (key.empty() || !readSimResultText(is, result))
+            break;
+        std::lock_guard<std::mutex> lock(mutex_);
+        cache_.put(key, std::make_shared<const SimResult>(result));
+        ++loaded;
+    }
+    return loaded;
+}
+
+} // namespace sipre::service

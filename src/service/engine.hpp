@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The simulation engine behind the service: a fixed worker pool fed by
+ * a bounded queue, with three result tiers in front of actual
+ * simulation — an in-memory LRU cache, the on-disk campaign cache, and
+ * an in-flight coalescing map so N concurrent identical requests run
+ * exactly one simulation. Everything is observable through counters
+ * and a latency histogram for the /metrics endpoint.
+ */
+#ifndef SIPRE_SERVICE_ENGINE_HPP
+#define SIPRE_SERVICE_ENGINE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sim_result.hpp"
+#include "service/request.hpp"
+#include "service/result_cache.hpp"
+#include "util/statistics.hpp"
+
+namespace sipre::service
+{
+
+/** Engine sizing and cache layering knobs. */
+struct EngineOptions
+{
+    unsigned workers = 2;            ///< simulation worker threads
+    std::size_t queue_capacity = 8;  ///< distinct requests awaiting a worker
+    std::size_t cache_capacity = 256;///< LRU result entries
+
+    /**
+     * When true, requests matching one of the standard campaign's six
+     * configurations are answered from the campaign disk cache (loaded
+     * once at construction) instead of re-simulating. Disk-served
+     * results keep the campaign's config labels ("conservative-ftq2" /
+     * "industry-ftq24"); all statistics are identical to a fresh run.
+     */
+    bool use_campaign_cache = false;
+    CampaignOptions campaign;
+};
+
+/** How a submit() call was resolved. */
+enum class SubmitStatus : std::uint8_t {
+    kOk,       ///< result attached (fresh, cached, or coalesced)
+    kRejected, ///< bounded queue full — backpressure, retry later
+    kShutdown, ///< engine is stopping; no new work accepted
+    kFailed    ///< the simulation itself failed (see error)
+};
+
+/** Result of one blocking submit() call. */
+struct SubmitOutcome
+{
+    SubmitStatus status = SubmitStatus::kFailed;
+    std::shared_ptr<const SimResult> result; ///< valid when kOk
+    std::string error;                       ///< set when not kOk
+    bool cache_hit = false;  ///< served from the in-memory LRU
+    bool disk_hit = false;   ///< served from the campaign disk cache
+    bool coalesced = false;  ///< shared an in-flight simulation
+    double latency_us = 0.0; ///< wall time inside submit()
+};
+
+/** Point-in-time snapshot of the engine's observable state. */
+struct EngineStats
+{
+    std::uint64_t requests = 0;   ///< submit() calls (any outcome)
+    std::uint64_t sim_runs = 0;   ///< simulations actually executed
+    std::uint64_t cache_hits = 0; ///< LRU hits
+    std::uint64_t disk_hits = 0;  ///< campaign-cache hits
+    std::uint64_t coalesced = 0;  ///< requests that joined an in-flight run
+    std::uint64_t rejected = 0;   ///< backpressure rejections
+    std::uint64_t failures = 0;   ///< simulations that threw
+    std::uint64_t cache_evictions = 0;
+
+    std::size_t queue_depth = 0;   ///< requests waiting for a worker
+    std::size_t inflight = 0;      ///< queued + running distinct requests
+    std::size_t workers_busy = 0;  ///< workers mid-simulation
+    unsigned workers = 0;
+    std::size_t queue_capacity = 0;
+    std::size_t cache_entries = 0;
+    std::size_t cache_capacity = 0;
+
+    // Latency of completed (kOk) requests, microseconds.
+    std::uint64_t latency_count = 0;
+    double latency_sum_us = 0.0;
+    double latency_max_us = 0.0;
+    std::uint64_t latency_p50_us = 0; ///< bucket upper bounds
+    std::uint64_t latency_p90_us = 0;
+    std::uint64_t latency_p99_us = 0;
+
+    double
+    cacheHitRate() const
+    {
+        const std::uint64_t lookups =
+            cache_hits + disk_hits + coalesced + sim_runs + failures;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(cache_hits + disk_hits) /
+                                  static_cast<double>(lookups);
+    }
+};
+
+/**
+ * Run one validated request to completion (trace synthesis, optional
+ * AsmDB pipeline, simulation). This is the exact per-mode recipe
+ * sipre_cli executes, factored out so both entry points and the
+ * service workers share it.
+ */
+SimResult runSimRequest(const SimRequest &request);
+
+/** See file comment. Thread-safe; submit() blocks until resolution. */
+class SimulationEngine
+{
+  public:
+    explicit SimulationEngine(const EngineOptions &options);
+    ~SimulationEngine();
+
+    SimulationEngine(const SimulationEngine &) = delete;
+    SimulationEngine &operator=(const SimulationEngine &) = delete;
+
+    /**
+     * Resolve one request: LRU hit, campaign-cache hit, coalesce onto
+     * an identical in-flight run, or enqueue for a worker (blocking
+     * until done). Returns kRejected immediately when the queue is at
+     * capacity.
+     */
+    SubmitOutcome submit(const SimRequest &request);
+
+    /**
+     * Stop the engine. With `drain` (the default), queued requests are
+     * still executed and their waiters get results; without it, queued
+     * requests are aborted with kShutdown. Idempotent; also called by
+     * the destructor.
+     */
+    void shutdown(bool drain = true);
+
+    /** Snapshot counters, gauges, and latency percentiles. */
+    EngineStats stats() const;
+
+    /**
+     * Persist the LRU contents (MRU-first) to `path` in the campaign
+     * text format. Returns the number of entries written, or -1 on an
+     * unwritable path.
+     */
+    long saveResultCache(const std::string &path) const;
+
+    /** Load a previously saved result cache. Returns entries loaded. */
+    long loadResultCache(const std::string &path);
+
+  private:
+    struct Job
+    {
+        std::string key;
+        SimRequest request;
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        bool aborted = false;
+        std::shared_ptr<const SimResult> result;
+        std::string error;
+    };
+
+    void workerLoop();
+    SubmitOutcome waitForJob(const std::shared_ptr<Job> &job,
+                             bool coalesced,
+                             std::chrono::steady_clock::time_point start);
+    void recordLatencyLocked(double us);
+
+    EngineOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+    LruCache<std::shared_ptr<const SimResult>> cache_;
+    std::unordered_map<std::string, std::shared_ptr<const SimResult>>
+        disk_cache_;
+    bool stopping_ = false;
+
+    // Counters (guarded by mutex_).
+    std::uint64_t requests_ = 0;
+    std::uint64_t sim_runs_ = 0;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t disk_hits_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t failures_ = 0;
+    std::size_t workers_busy_ = 0;
+    Histogram latency_hist_{500, 1024}; ///< 500 us buckets, 512 ms span
+    RunningStat latency_stat_;
+
+    std::vector<std::thread> workers_;
+
+    std::mutex shutdown_mutex_; ///< serializes shutdown() callers
+    bool joined_ = false;
+};
+
+} // namespace sipre::service
+
+#endif // SIPRE_SERVICE_ENGINE_HPP

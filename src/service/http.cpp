@@ -1,0 +1,353 @@
+#include "service/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sipre::service::http
+{
+
+namespace
+{
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+const std::string *
+findHeader(const std::vector<std::pair<std::string, std::string>> &headers,
+           std::string_view name)
+{
+    for (const auto &[key, value] : headers) {
+        if (iequals(key, name))
+            return &value;
+    }
+    return nullptr;
+}
+
+/**
+ * Parse the header block shared by requests and responses. Returns the
+ * offset just past the blank line, or 0 when more bytes are needed;
+ * sets `bad` on malformed input.
+ */
+std::size_t
+parseHeaderBlock(std::string_view buffer, std::string &start_line,
+                 std::vector<std::pair<std::string, std::string>> &headers,
+                 bool &bad, std::string &error)
+{
+    bad = false;
+    const std::size_t end = buffer.find("\r\n\r\n");
+    if (end == std::string_view::npos) {
+        if (buffer.size() > kMaxHeaderBytes) {
+            bad = true;
+            error = "header block exceeds limit";
+        }
+        return 0;
+    }
+    if (end + 4 > kMaxHeaderBytes) {
+        bad = true;
+        error = "header block exceeds limit";
+        return 0;
+    }
+    const std::string_view block = buffer.substr(0, end);
+    std::size_t pos = block.find("\r\n");
+    start_line = std::string(
+        block.substr(0, pos == std::string_view::npos ? block.size() : pos));
+    headers.clear();
+    while (pos != std::string_view::npos) {
+        pos += 2;
+        std::size_t next = block.find("\r\n", pos);
+        const std::string_view line = block.substr(
+            pos, (next == std::string_view::npos ? block.size() : next) -
+                     pos);
+        pos = next;
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) {
+            bad = true;
+            error = "header line without ':'";
+            return 0;
+        }
+        headers.emplace_back(std::string(trim(line.substr(0, colon))),
+                             std::string(trim(line.substr(colon + 1))));
+    }
+    return end + 4;
+}
+
+/** Content-Length lookup: 0 when absent, SIZE_MAX on a bad value. */
+std::size_t
+contentLength(
+    const std::vector<std::pair<std::string, std::string>> &headers)
+{
+    const std::string *value = findHeader(headers, "Content-Length");
+    if (value == nullptr)
+        return 0;
+    if (value->empty())
+        return static_cast<std::size_t>(-1);
+    std::size_t length = 0;
+    for (const char c : *value) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return static_cast<std::size_t>(-1);
+        length = length * 10 + static_cast<std::size_t>(c - '0');
+        if (length > kMaxBodyBytes)
+            return static_cast<std::size_t>(-1);
+    }
+    return length;
+}
+
+} // namespace
+
+const std::string *
+Request::header(std::string_view name) const
+{
+    return findHeader(headers, name);
+}
+
+const std::string *
+Response::header(std::string_view name) const
+{
+    return findHeader(headers, name);
+}
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+    }
+}
+
+ParseStatus
+parseRequest(std::string_view buffer, Request &out, std::size_t &consumed,
+             std::string &error)
+{
+    std::string start_line;
+    bool bad = false;
+    const std::size_t header_end =
+        parseHeaderBlock(buffer, start_line, out.headers, bad, error);
+    if (bad)
+        return ParseStatus::kBad;
+    if (header_end == 0)
+        return ParseStatus::kNeedMore;
+
+    // METHOD SP target SP HTTP/1.x
+    const std::size_t sp1 = start_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : start_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        error = "malformed request line";
+        return ParseStatus::kBad;
+    }
+    out.method = start_line.substr(0, sp1);
+    out.target = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    out.version = start_line.substr(sp2 + 1);
+    if (out.version.rfind("HTTP/1.", 0) != 0) {
+        error = "unsupported HTTP version";
+        return ParseStatus::kBad;
+    }
+
+    const std::size_t length = contentLength(out.headers);
+    if (length == static_cast<std::size_t>(-1)) {
+        error = "bad Content-Length";
+        return ParseStatus::kBad;
+    }
+    if (buffer.size() < header_end + length)
+        return ParseStatus::kNeedMore;
+    out.body = std::string(buffer.substr(header_end, length));
+    consumed = header_end + length;
+    return ParseStatus::kOk;
+}
+
+ParseStatus
+parseResponse(std::string_view buffer, Response &out, std::size_t &consumed,
+              std::string &error)
+{
+    std::string start_line;
+    bool bad = false;
+    const std::size_t header_end =
+        parseHeaderBlock(buffer, start_line, out.headers, bad, error);
+    if (bad)
+        return ParseStatus::kBad;
+    if (header_end == 0)
+        return ParseStatus::kNeedMore;
+
+    // HTTP/1.x SP status SP reason
+    const std::size_t sp1 = start_line.find(' ');
+    if (sp1 == std::string::npos || sp1 + 4 > start_line.size()) {
+        error = "malformed status line";
+        return ParseStatus::kBad;
+    }
+    out.status = 0;
+    for (std::size_t i = sp1 + 1;
+         i < start_line.size() && start_line[i] != ' '; ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(start_line[i]))) {
+            error = "malformed status code";
+            return ParseStatus::kBad;
+        }
+        out.status = out.status * 10 + (start_line[i] - '0');
+    }
+
+    const std::size_t length = contentLength(out.headers);
+    if (length == static_cast<std::size_t>(-1)) {
+        error = "bad Content-Length";
+        return ParseStatus::kBad;
+    }
+    if (buffer.size() < header_end + length)
+        return ParseStatus::kNeedMore;
+    out.body = std::string(buffer.substr(header_end, length));
+    consumed = header_end + length;
+    return ParseStatus::kOk;
+}
+
+std::string
+serializeRequest(const Request &request)
+{
+    std::string out = request.method + " " + request.target + " " +
+                      request.version + "\r\n";
+    for (const auto &[key, value] : request.headers)
+        out += key + ": " + value + "\r\n";
+    if (request.header("Content-Length") == nullptr)
+        out += "Content-Length: " + std::to_string(request.body.size()) +
+               "\r\n";
+    out += "\r\n";
+    out += request.body;
+    return out;
+}
+
+std::string
+serializeResponse(const Response &response)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      std::string(reasonPhrase(response.status)) + "\r\n";
+    for (const auto &[key, value] : response.headers)
+        out += key + ": " + value + "\r\n";
+    if (response.header("Content-Length") == nullptr)
+        out += "Content-Length: " +
+               std::to_string(response.body.size()) + "\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+int
+dialTcp(const std::string &host, std::uint16_t port, std::string *error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad host address " + host;
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error)
+            *error = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool
+roundTrip(int fd, const Request &request, Response &response,
+          std::string *error)
+{
+    if (!sendAll(fd, serializeRequest(request))) {
+        if (error)
+            *error = std::string("send: ") + std::strerror(errno);
+        return false;
+    }
+    std::string buffer;
+    char chunk[16384];
+    for (;;) {
+        std::size_t consumed = 0;
+        std::string parse_error;
+        const ParseStatus status =
+            parseResponse(buffer, response, consumed, parse_error);
+        if (status == ParseStatus::kOk)
+            return true;
+        if (status == ParseStatus::kBad) {
+            if (error)
+                *error = "bad response: " + parse_error;
+            return false;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            if (error)
+                *error = "connection closed mid-response";
+            return false;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace sipre::service::http

@@ -1,0 +1,211 @@
+#include "service/request.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/json_io.hpp"
+#include "trace/synth/workload.hpp"
+
+namespace sipre::service
+{
+
+std::string
+SimRequest::canonicalKey() const
+{
+    std::ostringstream oss;
+    oss << "workload=" << workload << "&instructions=" << instructions
+        << "&ftq=" << ftq_entries << "&mode=" << simModeName(mode)
+        << "&predictor=" << predictorName(predictor)
+        << "&hw_prefetcher=" << hwPrefetcherName(hw_prefetcher)
+        << "&pfc=" << (pfc ? 1 : 0)
+        << "&ghr_filter=" << (ghr_filter ? 1 : 0)
+        << "&wrong_path=" << (wrong_path ? 1 : 0);
+    return oss.str();
+}
+
+SimConfig
+SimRequest::toConfig() const
+{
+    SimConfig config = SimConfig::industry();
+    if (ftq_entries != config.frontend.ftq_entries) {
+        config.frontend.ftq_entries = ftq_entries;
+        config.label = "ftq" + std::to_string(ftq_entries);
+    }
+    config.frontend.branch.direction = predictor;
+    config.memory.l1i_prefetcher = hw_prefetcher;
+    config.frontend.pfc = pfc;
+    config.frontend.branch.ghr_filter_btb_miss = ghr_filter;
+    config.frontend.wrong_path_fetch = wrong_path;
+    return config;
+}
+
+namespace
+{
+
+bool
+getUint(const JsonValue &v, std::uint64_t &out)
+{
+    if (!v.isNumber())
+        return false;
+    if (v.number < 0.0 || v.number != std::floor(v.number) ||
+        v.number > 9.007199254740992e15) // 2^53
+        return false;
+    out = static_cast<std::uint64_t>(v.number);
+    return true;
+}
+
+} // namespace
+
+bool
+parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
+{
+    JsonValue doc;
+    if (!parseJson(body, doc, error)) {
+        error = "invalid JSON: " + error;
+        return false;
+    }
+    if (!doc.isObject()) {
+        error = "request body must be a JSON object";
+        return false;
+    }
+
+    out = SimRequest{};
+    bool have_workload = false;
+    for (const auto &[key, value] : doc.object) {
+        if (key == "workload") {
+            if (!value.isString()) {
+                error = "field 'workload' must be a string";
+                return false;
+            }
+            out.workload = value.string;
+            have_workload = true;
+        } else if (key == "instructions") {
+            std::uint64_t n = 0;
+            if (!getUint(value, n)) {
+                error = "field 'instructions' must be a non-negative "
+                        "integer";
+                return false;
+            }
+            if (n < kMinInstructions || n > kMaxInstructions) {
+                error = "field 'instructions' out of range [" +
+                        std::to_string(kMinInstructions) + ", " +
+                        std::to_string(kMaxInstructions) + "]";
+                return false;
+            }
+            out.instructions = n;
+        } else if (key == "ftq") {
+            std::uint64_t n = 0;
+            if (!getUint(value, n)) {
+                error = "field 'ftq' must be a non-negative integer";
+                return false;
+            }
+            if (n < kMinFtqEntries || n > kMaxFtqEntries) {
+                error = "field 'ftq' out of range [" +
+                        std::to_string(kMinFtqEntries) + ", " +
+                        std::to_string(kMaxFtqEntries) + "]";
+                return false;
+            }
+            out.ftq_entries = static_cast<std::uint32_t>(n);
+        } else if (key == "mode") {
+            if (!value.isString()) {
+                error = "field 'mode' must be a string";
+                return false;
+            }
+            const auto mode = parseSimMode(value.string);
+            if (!mode) {
+                error = "unknown mode '" + value.string + "' (expected " +
+                        kSimModeChoices + ")";
+                return false;
+            }
+            out.mode = *mode;
+        } else if (key == "predictor") {
+            if (!value.isString()) {
+                error = "field 'predictor' must be a string";
+                return false;
+            }
+            const auto kind = parsePredictor(value.string);
+            if (!kind) {
+                error = "unknown predictor '" + value.string +
+                        "' (expected " + kPredictorChoices + ")";
+                return false;
+            }
+            out.predictor = *kind;
+        } else if (key == "hw_prefetcher") {
+            if (!value.isString()) {
+                error = "field 'hw_prefetcher' must be a string";
+                return false;
+            }
+            const auto kind = parseHwPrefetcher(value.string);
+            if (!kind) {
+                error = "unknown hw_prefetcher '" + value.string +
+                        "' (expected " + kHwPrefetcherChoices + ")";
+                return false;
+            }
+            out.hw_prefetcher = *kind;
+        } else if (key == "pfc" || key == "ghr_filter" ||
+                   key == "wrong_path") {
+            if (!value.isBool()) {
+                error = "field '" + key + "' must be a boolean";
+                return false;
+            }
+            if (key == "pfc")
+                out.pfc = value.boolean;
+            else if (key == "ghr_filter")
+                out.ghr_filter = value.boolean;
+            else
+                out.wrong_path = value.boolean;
+        } else {
+            error = "unknown field '" + key + "'";
+            return false;
+        }
+    }
+    if (!have_workload) {
+        error = "missing required field 'workload'";
+        return false;
+    }
+
+    // Validate the workload against the synthesized suite.
+    bool known = false;
+    for (const auto &spec : synth::cvp1LikeSuite()) {
+        if (spec.name == out.workload) {
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        error = "unknown workload '" + out.workload + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+requestToJson(const SimRequest &r)
+{
+    std::ostringstream oss;
+    oss << "{\"workload\":\"" << jsonEscape(r.workload)
+        << "\",\"instructions\":" << r.instructions
+        << ",\"ftq\":" << r.ftq_entries << ",\"mode\":\""
+        << simModeName(r.mode) << "\",\"predictor\":\""
+        << predictorName(r.predictor) << "\",\"hw_prefetcher\":\""
+        << hwPrefetcherName(r.hw_prefetcher)
+        << "\",\"pfc\":" << (r.pfc ? "true" : "false")
+        << ",\"ghr_filter\":" << (r.ghr_filter ? "true" : "false")
+        << ",\"wrong_path\":" << (r.wrong_path ? "true" : "false")
+        << "}";
+    return oss.str();
+}
+
+std::uint64_t
+requestHash(const SimRequest &request)
+{
+    const std::string key = request.canonicalKey();
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace sipre::service

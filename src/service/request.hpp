@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The service request schema: every knob `sipre_cli` accepts, parsed
+ * from JSON with strict validation, default-filled, and canonicalized
+ * into a stable key so identical work is recognized regardless of field
+ * order, whitespace, or which defaults the client spelled out.
+ */
+#ifndef SIPRE_SERVICE_REQUEST_HPP
+#define SIPRE_SERVICE_REQUEST_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/options.hpp"
+
+namespace sipre::service
+{
+
+/** One fully-validated simulation request (defaults = CLI defaults). */
+struct SimRequest
+{
+    std::string workload = "secret_srv12";
+    std::uint64_t instructions = 2'000'000;
+    std::uint32_t ftq_entries = 24;
+    SimMode mode = SimMode::kBase;
+    DirectionPredictorKind predictor =
+        DirectionPredictorKind::kHashedPerceptron;
+    IPrefetcherKind hw_prefetcher = IPrefetcherKind::kNone;
+    bool pfc = true;
+    bool ghr_filter = true;
+    bool wrong_path = true;
+
+    /**
+     * Canonical identity of the request: fixed field order, defaults
+     * filled in, enums spelled with their canonical names. Two requests
+     * that mean the same simulation produce the same key; any knob
+     * difference produces a different key.
+     */
+    std::string canonicalKey() const;
+
+    /**
+     * The SimConfig this request runs under. Mirrors sipre_cli exactly:
+     * starts from SimConfig::industry() and applies non-default knobs
+     * (so the label stays "industry-ftq24" for the default depth and
+     * becomes "ftqN" otherwise).
+     */
+    SimConfig toConfig() const;
+};
+
+/** Hard limits enforced during validation. */
+inline constexpr std::uint64_t kMinInstructions = 1'000;
+inline constexpr std::uint64_t kMaxInstructions = 100'000'000;
+inline constexpr std::uint32_t kMinFtqEntries = 1;
+inline constexpr std::uint32_t kMaxFtqEntries = 512;
+
+/**
+ * Parse and validate a JSON request body. Accepted fields (all
+ * optional except `workload`): workload, instructions, ftq, mode,
+ * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path. Unknown
+ * fields, wrong types, out-of-range values, and unknown workloads are
+ * rejected with a specific message in `error`.
+ */
+bool parseSimRequest(const std::string &body, SimRequest &out,
+                     std::string &error);
+
+/** The request echoed back as canonical JSON (for service responses). */
+std::string requestToJson(const SimRequest &request);
+
+/** FNV-1a 64-bit hash of the canonical key (metrics/debug labels). */
+std::uint64_t requestHash(const SimRequest &request);
+
+} // namespace sipre::service
+
+#endif // SIPRE_SERVICE_REQUEST_HPP

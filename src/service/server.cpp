@@ -1,0 +1,349 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/json_io.hpp"
+
+namespace sipre::service
+{
+
+namespace
+{
+
+http::Response
+jsonResponse(int status, std::string body)
+{
+    http::Response response;
+    response.status = status;
+    response.headers.emplace_back("Content-Type", "application/json");
+    response.body = std::move(body);
+    return response;
+}
+
+http::Response
+errorResponse(int status, const std::string &message)
+{
+    return jsonResponse(status, "{\"status\":\"error\",\"error\":\"" +
+                                    jsonEscape(message) + "\"}");
+}
+
+} // namespace
+
+ServiceServer::ServiceServer(SimulationEngine &engine,
+                             const ServerOptions &options)
+    : engine_(engine), options_(options)
+{
+    if (options_.connection_threads == 0)
+        options_.connection_threads = 1;
+}
+
+ServiceServer::~ServiceServer()
+{
+    shutdown(/*drain_engine=*/true);
+}
+
+bool
+ServiceServer::start(std::string *error)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad host address " + options_.host;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        if (error)
+            *error = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        port_ = ntohs(bound.sin_port);
+
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    conn_threads_.reserve(options_.connection_threads);
+    for (unsigned i = 0; i < options_.connection_threads; ++i)
+        conn_threads_.emplace_back([this] { connectionLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+ServiceServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100 /*ms*/);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        connections_.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(conn_mutex_);
+            pending_conns_.push_back(fd);
+        }
+        conn_cv_.notify_one();
+    }
+}
+
+void
+ServiceServer::connectionLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(conn_mutex_);
+            conn_cv_.wait(lock, [&] {
+                return stopping_.load() || !pending_conns_.empty();
+            });
+            if (pending_conns_.empty()) {
+                if (stopping_.load())
+                    return;
+                continue;
+            }
+            fd = pending_conns_.front();
+            pending_conns_.pop_front();
+        }
+        handleConnection(fd);
+    }
+}
+
+void
+ServiceServer::handleConnection(int fd)
+{
+    std::string buffer;
+    char chunk[16384];
+    bool keep_alive = true;
+    while (keep_alive && !stopping_.load()) {
+        http::Request request;
+        std::size_t consumed = 0;
+        std::string parse_error;
+        const http::ParseStatus status =
+            http::parseRequest(buffer, request, consumed, parse_error);
+        if (status == http::ParseStatus::kBad) {
+            http::Response response =
+                errorResponse(400, "malformed request: " + parse_error);
+            response.headers.emplace_back("Connection", "close");
+            http::sendAll(fd, http::serializeResponse(response));
+            break;
+        }
+        if (status == http::ParseStatus::kNeedMore) {
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break; // peer closed or errored
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        buffer.erase(0, consumed);
+
+        const std::string *connection = request.header("Connection");
+        keep_alive = !(request.version == "HTTP/1.0" ||
+                       (connection != nullptr && *connection == "close"));
+
+        http::Response response = dispatch(request);
+        response.headers.emplace_back("Connection",
+                                      keep_alive ? "keep-alive" : "close");
+        if (!http::sendAll(fd, http::serializeResponse(response)))
+            break;
+    }
+    ::close(fd);
+}
+
+http::Response
+ServiceServer::dispatch(const http::Request &request)
+{
+    if (request.target == "/simulate") {
+        if (request.method != "POST")
+            return errorResponse(405, "POST required for /simulate");
+        return handleSimulate(request);
+    }
+    if (request.target == "/healthz") {
+        if (request.method != "GET")
+            return errorResponse(405, "GET required for /healthz");
+        return handleHealthz();
+    }
+    if (request.target == "/metrics") {
+        if (request.method != "GET")
+            return errorResponse(405, "GET required for /metrics");
+        return handleMetrics();
+    }
+    return errorResponse(404, "no route for " + request.target);
+}
+
+http::Response
+ServiceServer::handleSimulate(const http::Request &request)
+{
+    SimRequest sim_request;
+    std::string error;
+    if (!parseSimRequest(request.body, sim_request, error))
+        return errorResponse(400, error);
+
+    const SubmitOutcome outcome = engine_.submit(sim_request);
+    switch (outcome.status) {
+    case SubmitStatus::kRejected: {
+        http::Response response = jsonResponse(
+            429, "{\"status\":\"rejected\",\"error\":\"" +
+                     jsonEscape(outcome.error) + "\"}");
+        response.headers.emplace_back("Retry-After", "1");
+        return response;
+    }
+    case SubmitStatus::kShutdown:
+        return jsonResponse(503, "{\"status\":\"draining\",\"error\":\"" +
+                                     jsonEscape(outcome.error) + "\"}");
+    case SubmitStatus::kFailed:
+        return errorResponse(500, outcome.error);
+    case SubmitStatus::kOk:
+        break;
+    }
+
+    std::ostringstream body;
+    body << "{\"status\":\"ok\",\"key\":\""
+         << jsonEscape(sim_request.canonicalKey()) << "\",\"cached\":"
+         << (outcome.cache_hit ? "true" : "false") << ",\"disk_cache\":"
+         << (outcome.disk_hit ? "true" : "false") << ",\"coalesced\":"
+         << (outcome.coalesced ? "true" : "false")
+         << ",\"latency_us\":" << jsonDouble(outcome.latency_us)
+         << ",\"request\":" << requestToJson(sim_request)
+         << ",\"result\":" << simResultToJson(*outcome.result) << "}";
+    return jsonResponse(200, body.str());
+}
+
+http::Response
+ServiceServer::handleHealthz() const
+{
+    const EngineStats stats = engine_.stats();
+    std::ostringstream body;
+    body << "{\"status\":\"ok\",\"workers\":" << stats.workers
+         << ",\"workers_busy\":" << stats.workers_busy
+         << ",\"queue_depth\":" << stats.queue_depth
+         << ",\"queue_capacity\":" << stats.queue_capacity
+         << ",\"inflight\":" << stats.inflight
+         << ",\"cache_entries\":" << stats.cache_entries
+         << ",\"cache_capacity\":" << stats.cache_capacity
+         << ",\"requests_total\":" << stats.requests << "}";
+    return jsonResponse(200, body.str());
+}
+
+http::Response
+ServiceServer::handleMetrics() const
+{
+    const EngineStats stats = engine_.stats();
+    std::ostringstream body;
+    body << "# TYPE sipre_requests_total counter\n"
+         << "sipre_requests_total " << stats.requests << "\n"
+         << "# TYPE sipre_sim_runs_total counter\n"
+         << "sipre_sim_runs_total " << stats.sim_runs << "\n"
+         << "# TYPE sipre_cache_hits_total counter\n"
+         << "sipre_cache_hits_total " << stats.cache_hits << "\n"
+         << "# TYPE sipre_disk_cache_hits_total counter\n"
+         << "sipre_disk_cache_hits_total " << stats.disk_hits << "\n"
+         << "# TYPE sipre_coalesced_total counter\n"
+         << "sipre_coalesced_total " << stats.coalesced << "\n"
+         << "# TYPE sipre_rejected_total counter\n"
+         << "sipre_rejected_total " << stats.rejected << "\n"
+         << "# TYPE sipre_failures_total counter\n"
+         << "sipre_failures_total " << stats.failures << "\n"
+         << "# TYPE sipre_cache_evictions_total counter\n"
+         << "sipre_cache_evictions_total " << stats.cache_evictions
+         << "\n"
+         << "# TYPE sipre_connections_total counter\n"
+         << "sipre_connections_total " << connections_.load() << "\n"
+         << "# TYPE sipre_queue_depth gauge\n"
+         << "sipre_queue_depth " << stats.queue_depth << "\n"
+         << "# TYPE sipre_inflight gauge\n"
+         << "sipre_inflight " << stats.inflight << "\n"
+         << "# TYPE sipre_workers_busy gauge\n"
+         << "sipre_workers_busy " << stats.workers_busy << "\n"
+         << "# TYPE sipre_workers gauge\n"
+         << "sipre_workers " << stats.workers << "\n"
+         << "# TYPE sipre_cache_entries gauge\n"
+         << "sipre_cache_entries " << stats.cache_entries << "\n"
+         << "# TYPE sipre_cache_hit_rate gauge\n"
+         << "sipre_cache_hit_rate " << jsonDouble(stats.cacheHitRate())
+         << "\n"
+         << "# TYPE sipre_request_latency_us summary\n"
+         << "sipre_request_latency_us_count " << stats.latency_count
+         << "\n"
+         << "sipre_request_latency_us_sum "
+         << jsonDouble(stats.latency_sum_us) << "\n"
+         << "sipre_request_latency_us{quantile=\"0.5\"} "
+         << stats.latency_p50_us << "\n"
+         << "sipre_request_latency_us{quantile=\"0.9\"} "
+         << stats.latency_p90_us << "\n"
+         << "sipre_request_latency_us{quantile=\"0.99\"} "
+         << stats.latency_p99_us << "\n";
+    http::Response response;
+    response.status = 200;
+    response.headers.emplace_back("Content-Type",
+                                  "text/plain; version=0.0.4");
+    response.body = body.str();
+    return response;
+}
+
+void
+ServiceServer::shutdown(bool drain_engine)
+{
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) {
+        return;
+    }
+    shut_down_ = true;
+    {
+        // Set under conn_mutex_ so sleeping connection threads can't
+        // miss the wakeup between their predicate check and block.
+        std::lock_guard<std::mutex> conn_lock(conn_mutex_);
+        stopping_.store(true);
+    }
+    conn_cv_.notify_all();
+    if (started_) {
+        accept_thread_.join();
+        for (auto &thread : conn_threads_)
+            thread.join();
+    }
+    // Close any accepted-but-unserved connections.
+    for (const int fd : pending_conns_)
+        ::close(fd);
+    pending_conns_.clear();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    engine_.shutdown(drain_engine);
+}
+
+} // namespace sipre::service

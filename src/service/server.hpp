@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The HTTP face of the simulation service: a loopback-friendly POSIX
+ * socket server exposing POST /simulate (JSON in, JSON out with
+ * structured errors and 429 backpressure), GET /healthz, and GET
+ * /metrics (Prometheus-style text). Connections are handled by a small
+ * thread pool; shutdown stops accepting, finishes in-flight
+ * connections, and drains the engine.
+ */
+#ifndef SIPRE_SERVICE_SERVER_HPP
+#define SIPRE_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.hpp"
+#include "service/http.hpp"
+
+namespace sipre::service
+{
+
+/** Listener configuration. Port 0 binds an ephemeral port. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    unsigned connection_threads = 4;
+};
+
+/** See file comment. One instance fronts one SimulationEngine. */
+class ServiceServer
+{
+  public:
+    ServiceServer(SimulationEngine &engine, const ServerOptions &options);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /** Bind, listen, and start the accept/connection threads. */
+    bool start(std::string *error);
+
+    /** The bound port (after start(); useful with ephemeral binds). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Stop accepting, finish in-flight connections, and shut the
+     * engine down (draining queued requests when `drain_engine`).
+     * Idempotent; also called by the destructor.
+     */
+    void shutdown(bool drain_engine = true);
+
+    /** Total connections accepted (for tests and the daemon's exit log). */
+    std::uint64_t connectionsAccepted() const
+    {
+        return connections_.load();
+    }
+
+    /** Route one parsed request (exposed for direct unit testing). */
+    http::Response dispatch(const http::Request &request);
+
+  private:
+    void acceptLoop();
+    void connectionLoop();
+    void handleConnection(int fd);
+
+    http::Response handleSimulate(const http::Request &request);
+    http::Response handleHealthz() const;
+    http::Response handleMetrics() const;
+
+    SimulationEngine &engine_;
+    ServerOptions options_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> connections_{0};
+
+    std::mutex conn_mutex_;
+    std::condition_variable conn_cv_;
+    std::deque<int> pending_conns_;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> conn_threads_;
+    bool started_ = false;
+    std::mutex shutdown_mutex_;
+    bool shut_down_ = false;
+};
+
+} // namespace sipre::service
+
+#endif // SIPRE_SERVICE_SERVER_HPP

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * HTTP layer tests: the hand-rolled parser round-trips and rejects
+ * malformed input, routing returns structured errors, and a real
+ * loopback server serves /simulate with a bit-identical result body,
+ * answers repeats from cache, coalesces concurrent duplicates, applies
+ * 429 backpressure, and reports it all through /healthz and /metrics.
+ */
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/json_io.hpp"
+#include "core/simulator.hpp"
+#include "service/engine.hpp"
+#include "service/http.hpp"
+#include "service/server.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+using namespace sipre::service;
+
+namespace
+{
+
+std::string
+simulateBody(const std::string &workload, std::uint32_t ftq,
+             std::uint64_t instructions = 30'000)
+{
+    return "{\"workload\":\"" + workload +
+           "\",\"instructions\":" + std::to_string(instructions) +
+           ",\"ftq\":" + std::to_string(ftq) + "}";
+}
+
+http::Request
+postSimulate(std::string body)
+{
+    http::Request request;
+    request.method = "POST";
+    request.target = "/simulate";
+    request.headers.emplace_back("Content-Type", "application/json");
+    request.body = std::move(body);
+    return request;
+}
+
+/** One-shot client: dial, round-trip a single request, close. */
+http::Response
+call(std::uint16_t port, const http::Request &request)
+{
+    std::string error;
+    const int fd = http::dialTcp("127.0.0.1", port, &error);
+    EXPECT_GE(fd, 0) << error;
+    http::Response response;
+    if (fd >= 0) {
+        EXPECT_TRUE(http::roundTrip(fd, request, response, &error))
+            << error;
+        ::close(fd);
+    }
+    return response;
+}
+
+http::Request
+get(const std::string &target)
+{
+    http::Request request;
+    request.target = target;
+    return request;
+}
+
+/** Extract the value of `name` from Prometheus-style metrics text. */
+std::uint64_t
+metricValue(const std::string &metrics, const std::string &name)
+{
+    const std::string needle = "\n" + name + " ";
+    const std::size_t pos = metrics.find(needle);
+    EXPECT_NE(pos, std::string::npos) << name << " missing";
+    if (pos == std::string::npos)
+        return ~0ull;
+    return std::stoull(metrics.substr(pos + needle.size()));
+}
+
+} // namespace
+
+// ------------------------------------------------------- parser units
+
+TEST(ServiceHttp, RequestSerializeParseRoundTrip)
+{
+    http::Request request = postSimulate("{\"x\":1}");
+    request.headers.emplace_back("X-Extra", "v");
+    const std::string wire = http::serializeRequest(request);
+
+    http::Request parsed;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(http::parseRequest(wire, parsed, consumed, error),
+              http::ParseStatus::kOk)
+        << error;
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(parsed.method, "POST");
+    EXPECT_EQ(parsed.target, "/simulate");
+    EXPECT_EQ(parsed.version, "HTTP/1.1");
+    EXPECT_EQ(parsed.body, "{\"x\":1}");
+    // Header lookup is case-insensitive.
+    ASSERT_NE(parsed.header("x-extra"), nullptr);
+    EXPECT_EQ(*parsed.header("X-EXTRA"), "v");
+    ASSERT_NE(parsed.header("content-length"), nullptr);
+    EXPECT_EQ(*parsed.header("Content-Length"), "7");
+}
+
+TEST(ServiceHttp, ParserIsIncremental)
+{
+    const std::string wire = http::serializeRequest(postSimulate("{}"));
+    http::Request parsed;
+    std::size_t consumed = 0;
+    std::string error;
+    // Every strict prefix needs more bytes; the full buffer parses.
+    for (std::size_t cut = 0; cut < wire.size(); ++cut)
+        ASSERT_EQ(http::parseRequest(wire.substr(0, cut), parsed,
+                                     consumed, error),
+                  http::ParseStatus::kNeedMore)
+            << "prefix length " << cut;
+    EXPECT_EQ(http::parseRequest(wire, parsed, consumed, error),
+              http::ParseStatus::kOk);
+
+    // Two pipelined requests: the first parse consumes only the first.
+    const std::string two = wire + wire;
+    EXPECT_EQ(http::parseRequest(two, parsed, consumed, error),
+              http::ParseStatus::kOk);
+    EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(ServiceHttp, ParserRejectsMalformedInput)
+{
+    http::Request parsed;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(http::parseRequest("not http at all\r\n\r\n", parsed,
+                                 consumed, error),
+              http::ParseStatus::kBad);
+    EXPECT_EQ(http::parseRequest(
+                  "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+                  parsed, consumed, error),
+              http::ParseStatus::kBad);
+    // Over-limit declared body.
+    EXPECT_EQ(http::parseRequest("POST / HTTP/1.1\r\nContent-Length: " +
+                                     std::to_string(
+                                         http::kMaxBodyBytes + 1) +
+                                     "\r\n\r\n",
+                                 parsed, consumed, error),
+              http::ParseStatus::kBad);
+}
+
+TEST(ServiceHttp, ResponseSerializeParseRoundTrip)
+{
+    http::Response response;
+    response.status = 429;
+    response.headers.emplace_back("Retry-After", "1");
+    response.body = "{\"status\":\"rejected\"}";
+    const std::string wire = http::serializeResponse(response);
+    EXPECT_NE(wire.find("429"), std::string::npos);
+
+    http::Response parsed;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(http::parseResponse(wire, parsed, consumed, error),
+              http::ParseStatus::kOk)
+        << error;
+    EXPECT_EQ(parsed.status, 429);
+    EXPECT_EQ(parsed.body, response.body);
+    ASSERT_NE(parsed.header("retry-after"), nullptr);
+    EXPECT_EQ(*parsed.header("retry-after"), "1");
+}
+
+// ---------------------------------------------------- routing (direct)
+
+TEST(ServiceHttp, DispatchReturnsStructuredErrors)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+
+    EXPECT_EQ(server.dispatch(get("/nope")).status, 404);
+    EXPECT_EQ(server.dispatch(get("/simulate")).status, 405);
+    http::Request post_metrics;
+    post_metrics.method = "POST";
+    post_metrics.target = "/metrics";
+    EXPECT_EQ(server.dispatch(post_metrics).status, 405);
+
+    const http::Response bad_json =
+        server.dispatch(postSimulate("{not json"));
+    EXPECT_EQ(bad_json.status, 400);
+    EXPECT_NE(bad_json.body.find("\"status\":\"error\""),
+              std::string::npos);
+
+    const http::Response bad_workload = server.dispatch(
+        postSimulate(R"({"workload":"nope_wl"})"));
+    EXPECT_EQ(bad_workload.status, 400);
+    EXPECT_NE(bad_workload.body.find("unknown workload"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------- loopback e2e
+
+TEST(ServiceHttp, LoopbackColdIsBitIdenticalAndRepeatIsCached)
+{
+    EngineOptions engine_options;
+    engine_options.workers = 2;
+    SimulationEngine engine(engine_options);
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Cold request: the body embeds the exact serialization of the
+    // result a direct Simulator run produces.
+    const http::Response cold = call(
+        server.port(), postSimulate(simulateBody("secret_crypto52", 4)));
+    ASSERT_EQ(cold.status, 200);
+    EXPECT_NE(cold.body.find("\"cached\":false"), std::string::npos);
+
+    SimRequest request;
+    std::string parse_error;
+    ASSERT_TRUE(parseSimRequest(simulateBody("secret_crypto52", 4),
+                                request, parse_error));
+    const auto suite = synth::cvp1LikeSuite();
+    const synth::WorkloadSpec *spec = nullptr;
+    for (const auto &s : suite) {
+        if (s.name == request.workload)
+            spec = &s;
+    }
+    ASSERT_NE(spec, nullptr);
+    const Trace trace =
+        synth::generateTrace(*spec, request.instructions);
+    Simulator sim(request.toConfig(), trace);
+    const std::string direct_json = simResultToJson(sim.run());
+    EXPECT_NE(cold.body.find(",\"result\":" + direct_json + "}"),
+              std::string::npos)
+        << "served result is not bit-identical to the direct run";
+
+    // Repeat: same bytes back, served from cache, no second simulation.
+    const http::Response warm = call(
+        server.port(), postSimulate(simulateBody("secret_crypto52", 4)));
+    ASSERT_EQ(warm.status, 200);
+    EXPECT_NE(warm.body.find("\"cached\":true"), std::string::npos);
+    EXPECT_NE(warm.body.find(",\"result\":" + direct_json + "}"),
+              std::string::npos);
+
+    const http::Response health =
+        call(server.port(), get("/healthz"));
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+
+    const http::Response metrics =
+        call(server.port(), get("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_EQ(metricValue(metrics.body, "sipre_requests_total"), 2u);
+    EXPECT_EQ(metricValue(metrics.body, "sipre_sim_runs_total"), 1u);
+    EXPECT_EQ(metricValue(metrics.body, "sipre_cache_hits_total"), 1u);
+    EXPECT_EQ(
+        metricValue(metrics.body, "sipre_request_latency_us_count"), 2u);
+
+    server.shutdown();
+}
+
+TEST(ServiceHttp, LoopbackConcurrentDuplicatesRunOneSimulation)
+{
+    EngineOptions engine_options;
+    engine_options.workers = 1;
+    SimulationEngine engine(engine_options);
+    ServerOptions server_options;
+    server_options.connection_threads = 8;
+    ServiceServer server(engine, server_options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    constexpr int kClients = 6;
+    const std::string body =
+        simulateBody("secret_srv12", 24, 400'000);
+    std::latch ready(kClients);
+    std::vector<http::Response> responses(kClients);
+    std::vector<std::thread> pool;
+    pool.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        pool.emplace_back([&, t] {
+            ready.arrive_and_wait();
+            responses[t] = call(server.port(), postSimulate(body));
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    for (const auto &response : responses) {
+        ASSERT_EQ(response.status, 200);
+        EXPECT_NE(response.body.find("\"status\":\"ok\""),
+                  std::string::npos);
+    }
+    const http::Response metrics =
+        call(server.port(), get("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    // Exactly one simulation; every other client either attached to
+    // the in-flight run or (if it arrived after completion) hit the
+    // LRU. Either way, no duplicate work.
+    EXPECT_EQ(metricValue(metrics.body, "sipre_sim_runs_total"), 1u);
+    EXPECT_EQ(metricValue(metrics.body, "sipre_coalesced_total") +
+                  metricValue(metrics.body, "sipre_cache_hits_total"),
+              static_cast<std::uint64_t>(kClients - 1));
+
+    server.shutdown();
+}
+
+TEST(ServiceHttp, LoopbackBackpressureReturns429)
+{
+    EngineOptions engine_options;
+    engine_options.workers = 1;
+    engine_options.queue_capacity = 1;
+    SimulationEngine engine(engine_options);
+    ServerOptions server_options;
+    server_options.connection_threads = 8;
+    ServiceServer server(engine, server_options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Six concurrent *distinct* slow requests against one worker and a
+    // one-slot queue: at most two can be accepted at any instant, so at
+    // least one client must see backpressure; accepted ones complete.
+    constexpr int kClients = 6;
+    std::latch ready(kClients);
+    std::vector<http::Response> responses(kClients);
+    std::vector<std::thread> pool;
+    pool.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        pool.emplace_back([&, t] {
+            ready.arrive_and_wait();
+            responses[t] = call(
+                server.port(),
+                postSimulate(simulateBody(
+                    "secret_crypto52",
+                    4 + 2 * static_cast<std::uint32_t>(t), 200'000)));
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    int ok = 0;
+    int rejected = 0;
+    for (const auto &response : responses) {
+        if (response.status == 200) {
+            ++ok;
+        } else {
+            ASSERT_EQ(response.status, 429);
+            EXPECT_NE(response.body.find("\"status\":\"rejected\""),
+                      std::string::npos);
+            ASSERT_NE(response.header("Retry-After"), nullptr);
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(ok + rejected, kClients);
+    EXPECT_GE(rejected, 1);
+    EXPECT_GE(ok, 1);
+
+    const http::Response metrics =
+        call(server.port(), get("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_EQ(metricValue(metrics.body, "sipre_rejected_total"),
+              static_cast<std::uint64_t>(rejected));
+
+    server.shutdown();
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Request canonicalization: equivalent JSON spellings (field order,
+ * whitespace, explicit defaults) must produce the same canonical key,
+ * and every distinct knob combination in the full option space must
+ * produce a distinct key.
+ */
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/json_io.hpp"
+#include "service/request.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+using namespace sipre::service;
+
+namespace
+{
+
+SimRequest
+mustParse(const std::string &body)
+{
+    SimRequest request;
+    std::string error;
+    EXPECT_TRUE(parseSimRequest(body, request, error)) << error;
+    return request;
+}
+
+std::string
+mustFail(const std::string &body)
+{
+    SimRequest request;
+    std::string error;
+    EXPECT_FALSE(parseSimRequest(body, request, error)) << body;
+    return error;
+}
+
+} // namespace
+
+TEST(ServiceRequest, DefaultsAreFilledIn)
+{
+    const SimRequest minimal =
+        mustParse(R"({"workload":"secret_srv12"})");
+    const SimRequest explicit_defaults = mustParse(
+        R"({"workload":"secret_srv12","instructions":2000000,"ftq":24,)"
+        R"("mode":"base","predictor":"perceptron","hw_prefetcher":"none",)"
+        R"("pfc":true,"ghr_filter":true,"wrong_path":true})");
+    EXPECT_EQ(minimal.canonicalKey(), explicit_defaults.canonicalKey());
+    EXPECT_EQ(requestHash(minimal), requestHash(explicit_defaults));
+}
+
+TEST(ServiceRequest, FieldOrderDoesNotMatter)
+{
+    const SimRequest a = mustParse(
+        R"({"workload":"secret_srv12","ftq":2,"mode":"asmdb"})");
+    const SimRequest b = mustParse(
+        R"({"mode":"asmdb","workload":"secret_srv12","ftq":2})");
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(ServiceRequest, WhitespaceDoesNotMatter)
+{
+    const SimRequest compact =
+        mustParse(R"({"workload":"secret_srv12","ftq":8})");
+    const SimRequest spaced = mustParse(
+        "{\n  \"workload\" :\t\"secret_srv12\" ,\r\n  \"ftq\" : 8\n}");
+    EXPECT_EQ(compact.canonicalKey(), spaced.canonicalKey());
+}
+
+TEST(ServiceRequest, RequestJsonRoundTripsToSameKey)
+{
+    SimRequest request;
+    request.workload = "secret_crypto52";
+    request.instructions = 123'000;
+    request.ftq_entries = 6;
+    request.mode = SimMode::kNoOverhead;
+    request.predictor = DirectionPredictorKind::kTageLite;
+    request.hw_prefetcher = IPrefetcherKind::kNextLine;
+    request.pfc = false;
+    const SimRequest reparsed = mustParse(requestToJson(request));
+    EXPECT_EQ(request.canonicalKey(), reparsed.canonicalKey());
+}
+
+TEST(ServiceRequest, RejectionsAreSpecific)
+{
+    EXPECT_NE(mustFail("{"), "");
+    EXPECT_NE(mustFail("[1,2]").find("object"), std::string::npos);
+    EXPECT_NE(mustFail(R"({"ftq":4})").find("workload"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12","bogus":1})")
+                  .find("unknown field 'bogus'"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"nope_wl"})")
+                  .find("unknown workload"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12","mode":"x"})")
+                  .find("unknown mode"),
+              std::string::npos);
+    EXPECT_NE(
+        mustFail(R"({"workload":"secret_srv12","predictor":"x"})")
+            .find("unknown predictor"),
+        std::string::npos);
+    EXPECT_NE(
+        mustFail(R"({"workload":"secret_srv12","hw_prefetcher":"x"})")
+            .find("unknown hw_prefetcher"),
+        std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12","ftq":0})")
+                  .find("out of range"),
+              std::string::npos);
+    EXPECT_NE(
+        mustFail(R"({"workload":"secret_srv12","instructions":10})")
+            .find("out of range"),
+        std::string::npos);
+    EXPECT_NE(
+        mustFail(R"({"workload":"secret_srv12","instructions":1.5})")
+            .find("integer"),
+        std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12","pfc":"yes"})")
+                  .find("boolean"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12"} trailing)")
+                  .find("invalid JSON"),
+              std::string::npos);
+}
+
+TEST(ServiceRequest, FullOptionSpaceSweepHasNoCollisions)
+{
+    const auto suite = synth::cvp1LikeSuite();
+    const SimMode modes[] = {SimMode::kBase, SimMode::kAsmdb,
+                             SimMode::kNoOverhead, SimMode::kMetadata,
+                             SimMode::kFeedback};
+    const DirectionPredictorKind predictors[] = {
+        DirectionPredictorKind::kHashedPerceptron,
+        DirectionPredictorKind::kTageLite,
+        DirectionPredictorKind::kGshare,
+        DirectionPredictorKind::kBimodal};
+    const IPrefetcherKind prefetchers[] = {IPrefetcherKind::kNone,
+                                           IPrefetcherKind::kNextLine,
+                                           IPrefetcherKind::kEipLite};
+    const std::uint32_t ftqs[] = {2, 8, 24};
+    const std::uint64_t lengths[] = {30'000, 2'000'000};
+
+    std::set<std::string> keys;
+    std::size_t combinations = 0;
+    for (const auto &spec : suite) {
+        for (const auto mode : modes) {
+            for (const auto predictor : predictors) {
+                for (const auto prefetcher : prefetchers) {
+                    for (const auto ftq : ftqs) {
+                        for (const auto length : lengths) {
+                            for (int toggles = 0; toggles < 8;
+                                 ++toggles) {
+                                SimRequest request;
+                                request.workload = spec.name;
+                                request.instructions = length;
+                                request.ftq_entries = ftq;
+                                request.mode = mode;
+                                request.predictor = predictor;
+                                request.hw_prefetcher = prefetcher;
+                                request.pfc = (toggles & 1) != 0;
+                                request.ghr_filter = (toggles & 2) != 0;
+                                request.wrong_path = (toggles & 4) != 0;
+                                keys.insert(request.canonicalKey());
+                                ++combinations;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_EQ(keys.size(), combinations);
+    // 48 workloads x 5 modes x 4 predictors x 3 prefetchers x 3 FTQ
+    // depths x 2 lengths x 8 toggle combinations.
+    EXPECT_EQ(combinations, 48u * 5 * 4 * 3 * 3 * 2 * 8);
+}
+
+TEST(ServiceRequest, ToConfigMatchesCliSemantics)
+{
+    // Default depth keeps the industry preset label (CLI parity: the
+    // label only changes when --ftq is passed with a different value).
+    const SimRequest defaults =
+        mustParse(R"({"workload":"secret_srv12"})");
+    EXPECT_EQ(simConfigToJson(defaults.toConfig()),
+              simConfigToJson(SimConfig::industry()));
+
+    const SimRequest shallow =
+        mustParse(R"({"workload":"secret_srv12","ftq":2})");
+    const SimConfig config = shallow.toConfig();
+    EXPECT_EQ(config.label, "ftq2");
+    EXPECT_EQ(config.frontend.ftq_entries, 2u);
+
+    const SimRequest knobs = mustParse(
+        R"({"workload":"secret_srv12","predictor":"gshare",)"
+        R"("hw_prefetcher":"eip","pfc":false,"ghr_filter":false,)"
+        R"("wrong_path":false})");
+    const SimConfig knob_config = knobs.toConfig();
+    EXPECT_EQ(knob_config.frontend.branch.direction,
+              DirectionPredictorKind::kGshare);
+    EXPECT_EQ(knob_config.memory.l1i_prefetcher,
+              IPrefetcherKind::kEipLite);
+    EXPECT_FALSE(knob_config.frontend.pfc);
+    EXPECT_FALSE(knob_config.frontend.branch.ghr_filter_btb_miss);
+    EXPECT_FALSE(knob_config.frontend.wrong_path_fetch);
+}
+
+TEST(ServiceRequest, DistinctKnobsChangeTheKey)
+{
+    const SimRequest base = mustParse(R"({"workload":"secret_srv12"})");
+    const char *variants[] = {
+        R"({"workload":"public_srv_60"})",
+        R"({"workload":"secret_srv12","instructions":30000})",
+        R"({"workload":"secret_srv12","ftq":2})",
+        R"({"workload":"secret_srv12","mode":"asmdb"})",
+        R"({"workload":"secret_srv12","predictor":"tage"})",
+        R"({"workload":"secret_srv12","hw_prefetcher":"eip"})",
+        R"({"workload":"secret_srv12","pfc":false})",
+        R"({"workload":"secret_srv12","ghr_filter":false})",
+        R"({"workload":"secret_srv12","wrong_path":false})",
+    };
+    for (const char *variant : variants)
+        EXPECT_NE(base.canonicalKey(), mustParse(variant).canonicalKey())
+            << variant;
+}

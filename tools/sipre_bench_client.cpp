@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Loopback load driver for sipre_served: N client threads fire JSON
+ * simulation requests over keep-alive connections and report a
+ * one-line JSON summary (throughput, latency percentiles, status
+ * breakdown). Pair with `sipre_served --port P` on the same host.
+ *
+ * Usage:
+ *   sipre_bench_client --port P [--host 127.0.0.1] [--threads N]
+ *                      [--requests N] [--workload NAME]
+ *                      [--instructions N] [--distinct K]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/json_io.hpp"
+#include "service/http.hpp"
+
+using namespace sipre;
+using namespace sipre::service;
+
+namespace
+{
+
+void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --port P [options]\n"
+        "  --host HOST        server address (default 127.0.0.1)\n"
+        "  --threads N        client threads (default 4)\n"
+        "  --requests N       requests per thread (default 16)\n"
+        "  --workload NAME    workload to request (default "
+        "secret_crypto52)\n"
+        "  --instructions N   trace length (default 30000)\n"
+        "  --distinct K       rotate over K distinct FTQ depths so only\n"
+        "                     1/K of requests can be cache hits "
+        "(default 1)\n"
+        "  --help             this text\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+struct ThreadTally
+{
+    std::uint64_t ok = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t errors = 0;
+    std::vector<double> latencies_ms;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    int port = -1;
+    unsigned threads = 4;
+    std::uint64_t requests = 16;
+    std::string workload = "secret_crypto52";
+    std::uint64_t instructions = 30'000;
+    unsigned distinct = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], 2);
+            return argv[++i];
+        };
+        if (arg == "--host")
+            host = next();
+        else if (arg == "--port")
+            port = static_cast<int>(std::stoul(next()));
+        else if (arg == "--threads")
+            threads = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--requests")
+            requests = std::stoull(next());
+        else if (arg == "--workload")
+            workload = next();
+        else if (arg == "--instructions")
+            instructions = std::stoull(next());
+        else if (arg == "--distinct")
+            distinct = std::max(1u, static_cast<unsigned>(
+                                        std::stoul(next())));
+        else if (arg == "--help")
+            usage(argv[0], 0);
+        else
+            usage(argv[0], 2);
+    }
+    if (port < 0 || port > 65535)
+        usage(argv[0], 2);
+
+    std::vector<ThreadTally> tallies(threads);
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            ThreadTally &tally = tallies[t];
+            std::string error;
+            int fd = http::dialTcp(host,
+                                   static_cast<std::uint16_t>(port),
+                                   &error);
+            if (fd < 0) {
+                tally.errors = requests;
+                return;
+            }
+            for (std::uint64_t n = 0; n < requests; ++n) {
+                // Rotate FTQ depth so only 1/distinct requests share a
+                // canonical key (controls the cache-hit mix).
+                const unsigned ftq = 4 + 2 * ((t + n) % distinct);
+                http::Request request;
+                request.method = "POST";
+                request.target = "/simulate";
+                request.body = "{\"workload\":\"" + workload +
+                               "\",\"instructions\":" +
+                               std::to_string(instructions) +
+                               ",\"ftq\":" + std::to_string(ftq) + "}";
+                request.headers.emplace_back("Content-Type",
+                                             "application/json");
+
+                const auto t0 = std::chrono::steady_clock::now();
+                http::Response response;
+                if (!http::roundTrip(fd, request, response, &error)) {
+                    // The connection may have died (e.g. server
+                    // restart); try once to re-dial.
+                    ::close(fd);
+                    fd = http::dialTcp(
+                        host, static_cast<std::uint16_t>(port), &error);
+                    if (fd < 0 ||
+                        !http::roundTrip(fd, request, response,
+                                         &error)) {
+                        ++tally.errors;
+                        continue;
+                    }
+                }
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                if (response.status == 200) {
+                    ++tally.ok;
+                    tally.latencies_ms.push_back(ms);
+                    if (response.body.find("\"cached\":true") !=
+                        std::string::npos)
+                        ++tally.cached;
+                    if (response.body.find("\"coalesced\":true") !=
+                        std::string::npos)
+                        ++tally.coalesced;
+                } else if (response.status == 429) {
+                    ++tally.rejected;
+                } else {
+                    ++tally.errors;
+                }
+            }
+            if (fd >= 0)
+                ::close(fd);
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    ThreadTally total;
+    for (const auto &tally : tallies) {
+        total.ok += tally.ok;
+        total.cached += tally.cached;
+        total.coalesced += tally.coalesced;
+        total.rejected += tally.rejected;
+        total.errors += tally.errors;
+        total.latencies_ms.insert(total.latencies_ms.end(),
+                                  tally.latencies_ms.begin(),
+                                  tally.latencies_ms.end());
+    }
+    std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+    auto percentile = [&](double frac) {
+        if (total.latencies_ms.empty())
+            return 0.0;
+        const std::size_t index = std::min(
+            total.latencies_ms.size() - 1,
+            static_cast<std::size_t>(
+                frac * static_cast<double>(total.latencies_ms.size())));
+        return total.latencies_ms[index];
+    };
+
+    const std::uint64_t attempted =
+        static_cast<std::uint64_t>(threads) * requests;
+    std::printf(
+        "{\"bench\":\"service_client\",\"threads\":%u,\"requests\":%llu,"
+        "\"ok\":%llu,\"cached\":%llu,\"coalesced\":%llu,"
+        "\"rejected\":%llu,\"errors\":%llu,\"elapsed_s\":%s,"
+        "\"rps\":%s,\"p50_ms\":%s,\"p99_ms\":%s}\n",
+        threads, static_cast<unsigned long long>(attempted),
+        static_cast<unsigned long long>(total.ok),
+        static_cast<unsigned long long>(total.cached),
+        static_cast<unsigned long long>(total.coalesced),
+        static_cast<unsigned long long>(total.rejected),
+        static_cast<unsigned long long>(total.errors),
+        jsonDouble(elapsed_s).c_str(),
+        jsonDouble(elapsed_s > 0.0
+                       ? static_cast<double>(total.ok) / elapsed_s
+                       : 0.0)
+            .c_str(),
+        jsonDouble(percentile(0.50)).c_str(),
+        jsonDouble(percentile(0.99)).c_str());
+    return total.errors == 0 ? 0 : 1;
+}

@@ -9,7 +9,7 @@
  *             [--mode base|asmdb|noovh|metadata|feedback]
  *             [--predictor perceptron|tage|gshare|bimodal]
  *             [--hw-prefetcher none|nextline|eip]
- *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path]
+ *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path] [--json]
  *             [--save-trace PATH] [--load-trace PATH] [--list]
  */
 #include <cstdio>
@@ -20,6 +20,8 @@
 
 #include "asmdb/extensions.hpp"
 #include "asmdb/pipeline.hpp"
+#include "core/json_io.hpp"
+#include "core/options.hpp"
 #include "core/report.hpp"
 #include "core/simulator.hpp"
 #include "trace/champsim_import.hpp"
@@ -41,17 +43,31 @@ usage(const char *argv0)
         "secret_srv12)\n"
         "  --ftq N                    FTQ depth (default 24)\n"
         "  --instructions N           trace length (default 2000000)\n"
-        "  --mode MODE                base|asmdb|noovh|metadata|feedback\n"
-        "  --predictor KIND           perceptron|tage|gshare|bimodal\n"
-        "  --hw-prefetcher KIND       none|nextline|eip\n"
+        "  --mode MODE                %s\n"
+        "  --predictor KIND           %s\n"
+        "  --hw-prefetcher KIND       %s\n"
         "  --no-pfc                   disable post-fetch correction\n"
         "  --no-ghr-filter            disable the GHR BTB-miss filter\n"
         "  --no-wrong-path            disable wrong-path shadow fetch\n"
+        "  --json                     print the machine-readable JSON\n"
+        "                             SimResult (same schema as the\n"
+        "                             simulation service) instead of the\n"
+        "                             report\n"
         "  --save-trace PATH          write the generated trace and exit\n"
         "  --load-trace PATH          run a previously saved trace\n"
         "  --load-champsim PATH       run a raw ChampSim-format trace\n",
-        argv0);
+        argv0, kSimModeChoices, kPredictorChoices, kHwPrefetcherChoices);
     std::exit(1);
+}
+
+/** Structured invalid-argument diagnostic: message + exit code 2. */
+int
+badValue(const char *flag, const std::string &value, const char *choices)
+{
+    std::fprintf(stderr,
+                 "sipre_cli: error: invalid %s '%s' (expected %s)\n",
+                 flag, value.c_str(), choices);
+    return 2;
 }
 
 } // namespace
@@ -60,9 +76,10 @@ int
 main(int argc, char **argv)
 {
     std::string workload = "secret_srv12";
-    std::string mode = "base";
+    std::string mode_name = "base";
     std::string save_path, load_path, champsim_path;
     std::size_t instructions = 2'000'000;
+    bool json = false;
     SimConfig config = SimConfig::industry();
 
     for (int i = 1; i < argc; ++i) {
@@ -86,40 +103,28 @@ main(int argc, char **argv)
         } else if (arg == "--instructions") {
             instructions = std::stoull(next());
         } else if (arg == "--mode") {
-            mode = next();
+            mode_name = next();
         } else if (arg == "--predictor") {
             const std::string kind = next();
-            if (kind == "perceptron")
-                config.frontend.branch.direction =
-                    DirectionPredictorKind::kHashedPerceptron;
-            else if (kind == "tage")
-                config.frontend.branch.direction =
-                    DirectionPredictorKind::kTageLite;
-            else if (kind == "gshare")
-                config.frontend.branch.direction =
-                    DirectionPredictorKind::kGshare;
-            else if (kind == "bimodal")
-                config.frontend.branch.direction =
-                    DirectionPredictorKind::kBimodal;
-            else
-                usage(argv[0]);
+            const auto predictor = parsePredictor(kind);
+            if (!predictor)
+                return badValue("--predictor", kind, kPredictorChoices);
+            config.frontend.branch.direction = *predictor;
         } else if (arg == "--hw-prefetcher") {
             const std::string kind = next();
-            if (kind == "none")
-                config.memory.l1i_prefetcher = IPrefetcherKind::kNone;
-            else if (kind == "nextline")
-                config.memory.l1i_prefetcher =
-                    IPrefetcherKind::kNextLine;
-            else if (kind == "eip")
-                config.memory.l1i_prefetcher = IPrefetcherKind::kEipLite;
-            else
-                usage(argv[0]);
+            const auto prefetcher = parseHwPrefetcher(kind);
+            if (!prefetcher)
+                return badValue("--hw-prefetcher", kind,
+                                kHwPrefetcherChoices);
+            config.memory.l1i_prefetcher = *prefetcher;
         } else if (arg == "--no-pfc") {
             config.frontend.pfc = false;
         } else if (arg == "--no-ghr-filter") {
             config.frontend.branch.ghr_filter_btb_miss = false;
         } else if (arg == "--no-wrong-path") {
             config.frontend.wrong_path_fetch = false;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--save-trace") {
             save_path = next();
         } else if (arg == "--load-trace") {
@@ -130,6 +135,10 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    const auto mode = parseSimMode(mode_name);
+    if (!mode)
+        return badValue("--mode", mode_name, kSimModeChoices);
 
     // Obtain the trace.
     Trace trace;
@@ -171,54 +180,76 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // With --json the only stdout output is the result document, so
+    // scripts can pipe it straight into a JSON parser.
+    auto emit = [&](const SimResult &result) {
+        if (json)
+            std::printf("%s\n", simResultToJson(result).c_str());
+        else
+            printReport(result, std::cout);
+    };
+
     // Run the requested mode.
-    if (mode == "base") {
+    switch (*mode) {
+    case SimMode::kBase: {
         Simulator sim(config, trace);
-        printReport(sim.run(), std::cout);
-    } else if (mode == "asmdb" || mode == "noovh" ||
-               mode == "metadata") {
+        emit(sim.run());
+        break;
+    }
+    case SimMode::kAsmdb:
+    case SimMode::kNoOverhead:
+    case SimMode::kMetadata: {
         const auto artifacts = asmdb::runPipeline(trace, config);
-        std::printf("AsmDB plan: %zu insertions, static bloat %.1f%%, "
-                    "dynamic bloat %.1f%%\n\n",
-                    artifacts.plan.insertions.size(),
-                    100.0 * artifacts.rewrite.staticBloat(),
-                    100.0 * artifacts.rewrite.dynamicBloat());
-        if (mode == "asmdb") {
+        if (!json) {
+            std::printf("AsmDB plan: %zu insertions, static bloat "
+                        "%.1f%%, dynamic bloat %.1f%%\n\n",
+                        artifacts.plan.insertions.size(),
+                        100.0 * artifacts.rewrite.staticBloat(),
+                        100.0 * artifacts.rewrite.dynamicBloat());
+        }
+        if (*mode == SimMode::kAsmdb) {
             Simulator sim(config, artifacts.rewrite.trace);
-            printReport(sim.run(), std::cout);
-        } else if (mode == "noovh") {
+            emit(sim.run());
+        } else if (*mode == SimMode::kNoOverhead) {
             Simulator sim(config, trace);
             sim.setSwPrefetchTriggers(&artifacts.triggers);
-            printReport(sim.run(), std::cout);
+            emit(sim.run());
         } else {
             Simulator sim(config, trace);
             sim.attachMetadataPreloader(
                 MetadataPreloadConfig{},
                 asmdb::buildMetadataMap(artifacts.plan));
             const SimResult result = sim.run();
-            printReport(result, std::cout);
-            const auto *stats = sim.metadataStats();
-            std::printf("\nmetadata preloader: %llu lookups, %llu L1 "
-                        "hits, %llu fills, %llu prefetches\n",
-                        static_cast<unsigned long long>(stats->lookups),
-                        static_cast<unsigned long long>(stats->l1_hits),
-                        static_cast<unsigned long long>(
-                            stats->metadata_fills),
-                        static_cast<unsigned long long>(
-                            stats->prefetches_issued));
-        }
-    } else if (mode == "feedback") {
-        const auto fb = asmdb::runFeedbackDirected(trace, config);
-        std::printf("feedback-directed: insertions per round:");
-        for (const auto n : fb.insertions_per_round)
-            std::printf(" %zu", n);
-        std::printf(" (dropped %llu)\n\n",
+            emit(result);
+            if (!json) {
+                const auto *stats = sim.metadataStats();
+                std::printf(
+                    "\nmetadata preloader: %llu lookups, %llu L1 "
+                    "hits, %llu fills, %llu prefetches\n",
+                    static_cast<unsigned long long>(stats->lookups),
+                    static_cast<unsigned long long>(stats->l1_hits),
                     static_cast<unsigned long long>(
-                        fb.dropped_insertions));
+                        stats->metadata_fills),
+                    static_cast<unsigned long long>(
+                        stats->prefetches_issued));
+            }
+        }
+        break;
+    }
+    case SimMode::kFeedback: {
+        const auto fb = asmdb::runFeedbackDirected(trace, config);
+        if (!json) {
+            std::printf("feedback-directed: insertions per round:");
+            for (const auto n : fb.insertions_per_round)
+                std::printf(" %zu", n);
+            std::printf(" (dropped %llu)\n\n",
+                        static_cast<unsigned long long>(
+                            fb.dropped_insertions));
+        }
         Simulator sim(config, fb.rewrite.trace);
-        printReport(sim.run(), std::cout);
-    } else {
-        usage(argv[0]);
+        emit(sim.run());
+        break;
+    }
     }
     return 0;
 }

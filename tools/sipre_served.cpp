@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The resident simulation service daemon: accepts JSON simulation
+ * requests over loopback HTTP, coalesces duplicates, caches results in
+ * memory (optionally warm-started from / flushed to a cache file and
+ * layered over the campaign disk cache), and exposes /healthz and
+ * /metrics. SIGINT/SIGTERM drain in-flight requests, flush the result
+ * cache, and exit 0.
+ *
+ * Usage:
+ *   sipre_served [--port N] [--workers N] [--queue N] [--cache N]
+ *                [--cache-file PATH] [--campaign-cache DIR]
+ *                [--conn-threads N]
+ */
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "service/engine.hpp"
+#include "service/server.hpp"
+
+using namespace sipre;
+using namespace sipre::service;
+
+namespace
+{
+
+/** Self-pipe written by the signal handler, read by main. */
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int signo)
+{
+    const char byte = static_cast<char>(signo);
+    // Best-effort: if the pipe is full a shutdown is already pending.
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --port N             listen port (default 8100; 0 = ephemeral)\n"
+        "  --workers N          simulation worker threads (default 2)\n"
+        "  --queue N            bounded queue capacity (default 8);\n"
+        "                       further requests get 429 backpressure\n"
+        "  --cache N            in-memory LRU result entries (default "
+        "256)\n"
+        "  --cache-file PATH    warm-start the result cache from PATH and\n"
+        "                       flush it back on graceful shutdown\n"
+        "  --campaign-cache DIR answer standard-campaign configurations\n"
+        "                       from DIR's campaign cache file\n"
+        "  --conn-threads N     HTTP connection threads (default 4)\n"
+        "  --help               this text\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    EngineOptions engine_options;
+    ServerOptions server_options;
+    server_options.port = 8100;
+    std::string cache_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], 2);
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            server_options.port =
+                static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--workers") {
+            engine_options.workers =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--queue") {
+            engine_options.queue_capacity = std::stoul(next());
+        } else if (arg == "--cache") {
+            engine_options.cache_capacity = std::stoul(next());
+        } else if (arg == "--cache-file") {
+            cache_file = next();
+        } else if (arg == "--campaign-cache") {
+            engine_options.use_campaign_cache = true;
+            engine_options.campaign = CampaignOptions::fromEnv();
+            engine_options.campaign.cache_dir = next();
+        } else if (arg == "--conn-threads") {
+            server_options.connection_threads =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--help") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr,
+                         "sipre_served: error: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::perror("sipre_served: pipe");
+        return 1;
+    }
+
+    SimulationEngine engine(engine_options);
+    if (!cache_file.empty()) {
+        const long loaded = engine.loadResultCache(cache_file);
+        if (loaded >= 0)
+            std::fprintf(stderr,
+                         "[sipre_served] warm-started %ld results from "
+                         "%s\n",
+                         loaded, cache_file.c_str());
+    }
+
+    ServiceServer server(engine, server_options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "sipre_served: error: %s\n", error.c_str());
+        return 1;
+    }
+
+    struct sigaction action{};
+    action.sa_handler = onSignal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    std::fprintf(stderr,
+                 "[sipre_served] listening on %s:%u (%u workers, queue "
+                 "%zu, cache %zu)\n",
+                 server_options.host.c_str(),
+                 static_cast<unsigned>(server.port()),
+                 engine_options.workers, engine_options.queue_capacity,
+                 engine_options.cache_capacity);
+
+    // Block until a termination signal arrives.
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+
+    std::fprintf(stderr, "[sipre_served] draining and shutting down\n");
+    server.shutdown(/*drain_engine=*/true);
+
+    if (!cache_file.empty()) {
+        const long flushed = engine.saveResultCache(cache_file);
+        if (flushed >= 0)
+            std::fprintf(stderr,
+                         "[sipre_served] flushed %ld results to %s\n",
+                         flushed, cache_file.c_str());
+        else
+            std::fprintf(stderr,
+                         "[sipre_served] warning: cannot write %s\n",
+                         cache_file.c_str());
+    }
+
+    const EngineStats stats = engine.stats();
+    std::fprintf(stderr,
+                 "[sipre_served] served %llu requests (%llu simulated, "
+                 "%llu cache hits, %llu disk hits, %llu coalesced, %llu "
+                 "rejected)\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.sim_runs),
+                 static_cast<unsigned long long>(stats.cache_hits),
+                 static_cast<unsigned long long>(stats.disk_hits),
+                 static_cast<unsigned long long>(stats.coalesced),
+                 static_cast<unsigned long long>(stats.rejected));
+    return 0;
+}
