@@ -1,5 +1,7 @@
 #include "core/options.hpp"
 
+#include <charconv>
+
 namespace sipre
 {
 
@@ -56,6 +58,8 @@ parsePredictor(std::string_view name)
         return DirectionPredictorKind::kGshare;
     if (name == "bimodal")
         return DirectionPredictorKind::kBimodal;
+    if (name == "local")
+        return DirectionPredictorKind::kLocal;
     return std::nullopt;
 }
 
@@ -80,6 +84,18 @@ parseHwPrefetcher(std::string_view name)
     if (name == "eip")
         return IPrefetcherKind::kEipLite;
     return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+parseUnsigned(std::string_view text, std::uint64_t max)
+{
+    std::uint64_t value = 0;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+    if (ec != std::errc{} || ptr != last || first == last || value > max)
+        return std::nullopt;
+    return value;
 }
 
 } // namespace sipre

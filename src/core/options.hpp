@@ -7,6 +7,7 @@
 #ifndef SIPRE_CORE_OPTIONS_HPP
 #define SIPRE_CORE_OPTIONS_HPP
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 
@@ -29,7 +30,7 @@ enum class SimMode : std::uint8_t {
 inline constexpr const char *kSimModeChoices =
     "base|asmdb|noovh|metadata|feedback";
 inline constexpr const char *kPredictorChoices =
-    "perceptron|tage|gshare|bimodal";
+    "perceptron|tage|gshare|bimodal|local";
 inline constexpr const char *kHwPrefetcherChoices = "none|nextline|eip";
 
 /** Canonical name of a mode (inverse of parseSimMode). */
@@ -50,6 +51,15 @@ const char *hwPrefetcherName(IPrefetcherKind kind);
 
 /** Parse a hardware-prefetcher name; nullopt on an unknown value. */
 std::optional<IPrefetcherKind> parseHwPrefetcher(std::string_view name);
+
+/**
+ * Parse a base-10 unsigned integer, rejecting junk, trailing garbage,
+ * signs, and overflow past `max`. The never-throwing flag parser for
+ * every tool's numeric options.
+ */
+std::optional<std::uint64_t>
+parseUnsigned(std::string_view text,
+              std::uint64_t max = ~std::uint64_t{0});
 
 } // namespace sipre
 

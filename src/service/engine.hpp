@@ -88,7 +88,10 @@ struct EngineStats
     std::size_t cache_entries = 0;
     std::size_t cache_capacity = 0;
 
-    // Latency of completed (kOk) requests, microseconds.
+    // Latency of completed (kOk) requests, microseconds. The
+    // percentiles are log2-bucket upper bounds (next power of two), so
+    // they stay meaningful from microsecond cache hits up to
+    // multi-second uncached simulations.
     std::uint64_t latency_count = 0;
     double latency_sum_us = 0.0;
     double latency_max_us = 0.0;
@@ -193,7 +196,7 @@ class SimulationEngine
     std::uint64_t rejected_ = 0;
     std::uint64_t failures_ = 0;
     std::size_t workers_busy_ = 0;
-    Histogram latency_hist_{500, 1024}; ///< 500 us buckets, 512 ms span
+    Log2Histogram latency_hist_; ///< log buckets: us hits to multi-s sims
     RunningStat latency_stat_;
 
     std::vector<std::thread> workers_;

@@ -14,9 +14,6 @@
 namespace sipre::service::http
 {
 
-namespace
-{
-
 bool
 iequals(std::string_view a, std::string_view b)
 {
@@ -29,6 +26,9 @@ iequals(std::string_view a, std::string_view b)
     }
     return true;
 }
+
+namespace
+{
 
 std::string_view
 trim(std::string_view s)
@@ -123,6 +123,21 @@ contentLength(
 }
 
 } // namespace
+
+bool
+headerHasToken(std::string_view value, std::string_view token)
+{
+    while (!value.empty()) {
+        const std::size_t comma = value.find(',');
+        const std::string_view element = trim(value.substr(0, comma));
+        if (iequals(element, token))
+            return true;
+        if (comma == std::string_view::npos)
+            break;
+        value.remove_prefix(comma + 1);
+    }
+    return false;
+}
 
 const std::string *
 Request::header(std::string_view name) const

@@ -54,6 +54,16 @@ inline constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
 /** Canonical reason phrase for the handful of statuses we emit. */
 const char *reasonPhrase(int status);
 
+/** ASCII case-insensitive string equality (header names and tokens). */
+bool iequals(std::string_view a, std::string_view b);
+
+/**
+ * True when the comma-separated header value contains `token`,
+ * case-insensitively (RFC 9110 list syntax, e.g. "Connection: Close"
+ * or "Connection: keep-alive, Close").
+ */
+bool headerHasToken(std::string_view value, std::string_view token);
+
 /** Parse one complete request from the front of `buffer`. */
 ParseStatus parseRequest(std::string_view buffer, Request &out,
                          std::size_t &consumed, std::string &error);

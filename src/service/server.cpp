@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -144,6 +145,12 @@ ServiceServer::connectionLoop()
 void
 ServiceServer::handleConnection(int fd)
 {
+    // Register the fd so shutdown() can unblock a recv() on an idle
+    // keep-alive connection via ::shutdown(fd, SHUT_RDWR).
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        active_fds_.push_back(fd);
+    }
     std::string buffer;
     char chunk[16384];
     bool keep_alive = true;
@@ -173,13 +180,21 @@ ServiceServer::handleConnection(int fd)
 
         const std::string *connection = request.header("Connection");
         keep_alive = !(request.version == "HTTP/1.0" ||
-                       (connection != nullptr && *connection == "close"));
+                       (connection != nullptr &&
+                        http::headerHasToken(*connection, "close")));
 
         http::Response response = dispatch(request);
         response.headers.emplace_back("Connection",
                                       keep_alive ? "keep-alive" : "close");
         if (!http::sendAll(fd, http::serializeResponse(response)))
             break;
+    }
+    // Unregister before close so shutdown() never touches a stale fd:
+    // its fd sweep also runs under conn_mutex_.
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        active_fds_.erase(
+            std::find(active_fds_.begin(), active_fds_.end(), fd));
     }
     ::close(fd);
 }
@@ -328,6 +343,12 @@ ServiceServer::shutdown(bool drain_engine)
         // miss the wakeup between their predicate check and block.
         std::lock_guard<std::mutex> conn_lock(conn_mutex_);
         stopping_.store(true);
+        // Unblock threads sitting in recv() on idle keep-alive
+        // connections; they see EOF and exit their request loop. A
+        // thread that registers its fd after this sweep observes
+        // stopping_ (same mutex) before it can block.
+        for (const int fd : active_fds_)
+            ::shutdown(fd, SHUT_RDWR);
     }
     conn_cv_.notify_all();
     if (started_) {

@@ -84,6 +84,7 @@ class ServiceServer
     std::mutex conn_mutex_;
     std::condition_variable conn_cv_;
     std::deque<int> pending_conns_;
+    std::vector<int> active_fds_; ///< fds inside handleConnection()
 
     std::thread accept_thread_;
     std::vector<std::thread> conn_threads_;

@@ -6,6 +6,8 @@
 #ifndef SIPRE_UTIL_STATISTICS_HPP
 #define SIPRE_UTIL_STATISTICS_HPP
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -130,6 +132,64 @@ class Histogram
   private:
     std::uint64_t width_;
     std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Power-of-two-bucketed histogram over the full uint64 range: bucket i
+ * counts values of bit width i, i.e. bucket 0 holds zero and bucket i
+ * holds [2^(i-1), 2^i). No overflow bucket can saturate, and
+ * resolution stays proportional at every magnitude — the right shape
+ * for latencies that span microsecond cache hits to multi-second
+ * simulations.
+ */
+class Log2Histogram
+{
+  public:
+    void
+    add(std::uint64_t value)
+    {
+        ++counts_[std::bit_width(value)];
+        sum_ += value;
+        ++total_;
+    }
+
+    std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t total() const { return total_; }
+    std::uint64_t sum() const { return sum_; }
+    double mean() const { return total_ == 0 ? 0.0 : double(sum_) / total_; }
+
+    /** Inclusive upper bound of bucket i: 0, then 2^i - 1. */
+    static std::uint64_t
+    bucketUpperBound(std::size_t bucket)
+    {
+        if (bucket == 0)
+            return 0;
+        if (bucket >= 64)
+            return ~0ull;
+        return (1ull << bucket) - 1;
+    }
+
+    /** Smallest bucket bound covering at least `frac` of the samples. */
+    std::uint64_t
+    percentileUpperBound(double frac) const
+    {
+        SIPRE_ASSERT(frac >= 0.0 && frac <= 1.0, "percentile out of range");
+        const std::uint64_t goal =
+            static_cast<std::uint64_t>(std::ceil(frac * total_));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= goal)
+                return bucketUpperBound(i);
+        }
+        return bucketUpperBound(counts_.size() - 1);
+    }
+
+  private:
+    std::array<std::uint64_t, 65> counts_{}; ///< bit widths 0..64
     std::uint64_t sum_ = 0;
     std::uint64_t total_ = 0;
 };

@@ -6,11 +6,14 @@
  * answers repeats from cache, coalesces concurrent duplicates, applies
  * 429 backpressure, and reports it all through /healthz and /metrics.
  */
+#include <atomic>
+#include <chrono>
 #include <latch>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -176,6 +179,21 @@ TEST(ServiceHttp, ResponseSerializeParseRoundTrip)
     EXPECT_EQ(*parsed.header("retry-after"), "1");
 }
 
+TEST(ServiceHttp, HeaderTokensAreCaseInsensitive)
+{
+    EXPECT_TRUE(http::iequals("Connection", "connection"));
+    EXPECT_FALSE(http::iequals("Connection", "Connectio"));
+    // RFC 9110 list syntax: any casing, optional whitespace, multiple
+    // comma-separated options.
+    EXPECT_TRUE(http::headerHasToken("close", "close"));
+    EXPECT_TRUE(http::headerHasToken("Close", "close"));
+    EXPECT_TRUE(http::headerHasToken("keep-alive, Close", "close"));
+    EXPECT_TRUE(http::headerHasToken(" CLOSE ", "close"));
+    EXPECT_FALSE(http::headerHasToken("keep-alive", "close"));
+    EXPECT_FALSE(http::headerHasToken("closed", "close"));
+    EXPECT_FALSE(http::headerHasToken("", "close"));
+}
+
 // ---------------------------------------------------- routing (direct)
 
 TEST(ServiceHttp, DispatchReturnsStructuredErrors)
@@ -309,6 +327,65 @@ TEST(ServiceHttp, LoopbackConcurrentDuplicatesRunOneSimulation)
               static_cast<std::uint64_t>(kClients - 1));
 
     server.shutdown();
+}
+
+TEST(ServiceHttp, LoopbackConnectionCloseIsHonoredCaseInsensitively)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const int fd = http::dialTcp("127.0.0.1", server.port(), &error);
+    ASSERT_GE(fd, 0) << error;
+    http::Request request = get("/healthz");
+    request.headers.emplace_back("Connection", "Close");
+    http::Response response;
+    ASSERT_TRUE(http::roundTrip(fd, request, response, &error)) << error;
+    EXPECT_EQ(response.status, 200);
+    ASSERT_NE(response.header("Connection"), nullptr);
+    EXPECT_EQ(*response.header("Connection"), "close");
+    // The server must actually close; a client waiting for the
+    // connection to end would otherwise stall.
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+    server.shutdown();
+}
+
+TEST(ServiceHttp, ShutdownUnblocksIdleKeepAliveConnections)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // An idle keep-alive client (a metrics scraper between scrapes, or
+    // the bench client): one request, then the connection stays open
+    // with a connection thread blocked in recv().
+    const int fd = http::dialTcp("127.0.0.1", server.port(), &error);
+    ASSERT_GE(fd, 0) << error;
+    http::Response response;
+    ASSERT_TRUE(http::roundTrip(fd, get("/healthz"), response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+
+    // shutdown() joins the connection threads; the regression was a
+    // permanent hang here because nothing woke the blocked recv().
+    std::atomic<bool> done{false};
+    std::thread closer([&] {
+        server.shutdown();
+        done.store(true);
+    });
+    for (int i = 0; i < 500 && !done.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(done.load())
+        << "shutdown() hung on an idle keep-alive connection";
+    // The client sees the server-side close.
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+    closer.join();
 }
 
 TEST(ServiceHttp, LoopbackBackpressureReturns429)

@@ -41,6 +41,26 @@ mustFail(const std::string &body)
 
 } // namespace
 
+TEST(ServiceRequest, OptionNamesRoundTripThroughParse)
+{
+    // Every canonical name a config can serialize with must parse back
+    // to the same kind, or cached/serialized configs get rejected.
+    for (const auto mode :
+         {SimMode::kBase, SimMode::kAsmdb, SimMode::kNoOverhead,
+          SimMode::kMetadata, SimMode::kFeedback})
+        EXPECT_EQ(parseSimMode(simModeName(mode)), mode);
+    for (const auto kind : {DirectionPredictorKind::kHashedPerceptron,
+                            DirectionPredictorKind::kTageLite,
+                            DirectionPredictorKind::kGshare,
+                            DirectionPredictorKind::kBimodal,
+                            DirectionPredictorKind::kLocal})
+        EXPECT_EQ(parsePredictor(predictorName(kind)), kind);
+    for (const auto kind :
+         {IPrefetcherKind::kNone, IPrefetcherKind::kNextLine,
+          IPrefetcherKind::kEipLite})
+        EXPECT_EQ(parseHwPrefetcher(hwPrefetcherName(kind)), kind);
+}
+
 TEST(ServiceRequest, DefaultsAreFilledIn)
 {
     const SimRequest minimal =
@@ -137,7 +157,8 @@ TEST(ServiceRequest, FullOptionSpaceSweepHasNoCollisions)
         DirectionPredictorKind::kHashedPerceptron,
         DirectionPredictorKind::kTageLite,
         DirectionPredictorKind::kGshare,
-        DirectionPredictorKind::kBimodal};
+        DirectionPredictorKind::kBimodal,
+        DirectionPredictorKind::kLocal};
     const IPrefetcherKind prefetchers[] = {IPrefetcherKind::kNone,
                                            IPrefetcherKind::kNextLine,
                                            IPrefetcherKind::kEipLite};
@@ -174,9 +195,9 @@ TEST(ServiceRequest, FullOptionSpaceSweepHasNoCollisions)
         }
     }
     EXPECT_EQ(keys.size(), combinations);
-    // 48 workloads x 5 modes x 4 predictors x 3 prefetchers x 3 FTQ
+    // 48 workloads x 5 modes x 5 predictors x 3 prefetchers x 3 FTQ
     // depths x 2 lengths x 8 toggle combinations.
-    EXPECT_EQ(combinations, 48u * 5 * 4 * 3 * 3 * 2 * 8);
+    EXPECT_EQ(combinations, 48u * 5 * 5 * 3 * 3 * 2 * 8);
 }
 
 TEST(ServiceRequest, ToConfigMatchesCliSemantics)

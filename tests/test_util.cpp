@@ -321,6 +321,38 @@ TEST(Histogram, Percentile)
     EXPECT_GE(h.percentileUpperBound(0.99), 98u);
 }
 
+TEST(Log2Histogram, BucketsByBitWidth)
+{
+    Log2Histogram h;
+    h.add(0);   // bucket 0
+    h.add(1);   // bucket 1
+    h.add(3);   // bucket 2: [2, 4)
+    h.add(700); // bucket 10: [512, 1024)
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(10), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.sum(), 704u);
+}
+
+TEST(Log2Histogram, PercentilesSpanMicrosecondsToSeconds)
+{
+    // The service latency mix: many fast cache hits plus a long tail of
+    // multi-second simulations. Neither end may saturate.
+    Log2Histogram h;
+    for (int i = 0; i < 98; ++i)
+        h.add(300); // ~cache-hit latency, us
+    h.add(5'000'000);  // 5 s simulation
+    h.add(60'000'000); // 60 s simulation
+    EXPECT_EQ(h.percentileUpperBound(0.50), 511u); // 300 -> [256,512)
+    EXPECT_GE(h.percentileUpperBound(0.99), 5'000'000u);
+    EXPECT_GE(h.percentileUpperBound(1.0), 60'000'000u);
+    // A full-range value still lands in a real bucket.
+    h.add(~0ull);
+    EXPECT_EQ(h.percentileUpperBound(1.0), ~0ull);
+}
+
 TEST(Geomean, KnownValues)
 {
     const double vals[] = {1.0, 4.0};

@@ -22,6 +22,7 @@
 #include <unistd.h>
 
 #include "core/json_io.hpp"
+#include "core/options.hpp"
 #include "service/http.hpp"
 
 using namespace sipre;
@@ -80,21 +81,35 @@ main(int argc, char **argv)
                 usage(argv[0], 2);
             return argv[++i];
         };
+        auto num = [&](std::uint64_t max) -> std::uint64_t {
+            const std::string value = next();
+            const auto parsed = parseUnsigned(value, max);
+            if (!parsed) {
+                std::fprintf(
+                    stderr,
+                    "sipre_bench_client: error: invalid %s value '%s' "
+                    "(expected an integer in [0, %llu])\n",
+                    arg.c_str(), value.c_str(),
+                    static_cast<unsigned long long>(max));
+                std::exit(2);
+            }
+            return *parsed;
+        };
         if (arg == "--host")
             host = next();
         else if (arg == "--port")
-            port = static_cast<int>(std::stoul(next()));
+            port = static_cast<int>(num(65535));
         else if (arg == "--threads")
-            threads = static_cast<unsigned>(std::stoul(next()));
+            threads = static_cast<unsigned>(num(1024));
         else if (arg == "--requests")
-            requests = std::stoull(next());
+            requests = num(~std::uint64_t{0});
         else if (arg == "--workload")
             workload = next();
         else if (arg == "--instructions")
-            instructions = std::stoull(next());
+            instructions = num(~std::uint64_t{0});
         else if (arg == "--distinct")
-            distinct = std::max(1u, static_cast<unsigned>(
-                                        std::stoul(next())));
+            distinct = std::max(
+                1u, static_cast<unsigned>(num(1u << 20)));
         else if (arg == "--help")
             usage(argv[0], 0);
         else

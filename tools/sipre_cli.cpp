@@ -7,7 +7,7 @@
  * Usage:
  *   sipre_cli [--workload NAME] [--ftq N] [--instructions N]
  *             [--mode base|asmdb|noovh|metadata|feedback]
- *             [--predictor perceptron|tage|gshare|bimodal]
+ *             [--predictor perceptron|tage|gshare|bimodal|local]
  *             [--hw-prefetcher none|nextline|eip]
  *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path] [--json]
  *             [--save-trace PATH] [--load-trace PATH] [--list]
@@ -96,12 +96,21 @@ main(int argc, char **argv)
         } else if (arg == "--workload") {
             workload = next();
         } else if (arg == "--ftq") {
+            const std::string value = next();
+            const auto n = parseUnsigned(value, ~std::uint32_t{0});
+            if (!n)
+                return badValue("--ftq", value, "an unsigned integer");
             config.frontend.ftq_entries =
-                static_cast<std::uint32_t>(std::stoul(next()));
+                static_cast<std::uint32_t>(*n);
             config.label = "ftq" +
                            std::to_string(config.frontend.ftq_entries);
         } else if (arg == "--instructions") {
-            instructions = std::stoull(next());
+            const std::string value = next();
+            const auto n = parseUnsigned(value);
+            if (!n)
+                return badValue("--instructions", value,
+                                "an unsigned integer");
+            instructions = *n;
         } else if (arg == "--mode") {
             mode_name = next();
         } else if (arg == "--predictor") {

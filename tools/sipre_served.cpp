@@ -21,6 +21,7 @@
 
 #include <unistd.h>
 
+#include "core/options.hpp"
 #include "service/engine.hpp"
 #include "service/server.hpp"
 
@@ -81,16 +82,31 @@ main(int argc, char **argv)
                 usage(argv[0], 2);
             return argv[++i];
         };
+        // Structured diagnostic + exit 2 on junk numeric values instead
+        // of an uncaught std::stoul exception aborting the daemon.
+        auto num = [&](std::uint64_t max) -> std::uint64_t {
+            const std::string value = next();
+            const auto parsed = parseUnsigned(value, max);
+            if (!parsed) {
+                std::fprintf(
+                    stderr,
+                    "sipre_served: error: invalid %s value '%s' "
+                    "(expected an integer in [0, %llu])\n",
+                    arg.c_str(), value.c_str(),
+                    static_cast<unsigned long long>(max));
+                std::exit(2);
+            }
+            return *parsed;
+        };
         if (arg == "--port") {
             server_options.port =
-                static_cast<std::uint16_t>(std::stoul(next()));
+                static_cast<std::uint16_t>(num(65535));
         } else if (arg == "--workers") {
-            engine_options.workers =
-                static_cast<unsigned>(std::stoul(next()));
+            engine_options.workers = static_cast<unsigned>(num(1024));
         } else if (arg == "--queue") {
-            engine_options.queue_capacity = std::stoul(next());
+            engine_options.queue_capacity = num(~std::uint64_t{0});
         } else if (arg == "--cache") {
-            engine_options.cache_capacity = std::stoul(next());
+            engine_options.cache_capacity = num(~std::uint64_t{0});
         } else if (arg == "--cache-file") {
             cache_file = next();
         } else if (arg == "--campaign-cache") {
@@ -99,7 +115,7 @@ main(int argc, char **argv)
             engine_options.campaign.cache_dir = next();
         } else if (arg == "--conn-threads") {
             server_options.connection_threads =
-                static_cast<unsigned>(std::stoul(next()));
+                static_cast<unsigned>(num(1024));
         } else if (arg == "--help") {
             usage(argv[0], 0);
         } else {
