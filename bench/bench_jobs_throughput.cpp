@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Throughput benchmark for the asynchronous job subsystem, all
+ * in-process (no sockets): an engine + JobManager over a temporary
+ * store directory run one cold sweep job (shards/s through the worker
+ * tier), resubmit the identical sweep (cache-hit rate through the LRU),
+ * then a fresh JobManager is constructed over the same store to price
+ * the restart/reload path. One machine-readable JSON line on stdout.
+ *
+ * Environment knobs: SIPRE_JOBS_WORKLOADS (default 2),
+ * SIPRE_JOBS_FTQ (distinct depths, default 4),
+ * SIPRE_JOBS_INSTRUCTIONS (trace length, default 30000),
+ * SIPRE_JOBS_WORKERS (shard executors, default 2).
+ */
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/json_io.hpp"
+#include "jobs/manager.hpp"
+#include "jobs/sweep.hpp"
+#include "service/engine.hpp"
+#include "trace/synth/workload.hpp"
+
+using namespace sipre;
+using namespace sipre::jobs;
+
+namespace
+{
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::strtoull(value, nullptr, 10)
+                            : fallback;
+}
+
+/** Block until the job leaves the non-terminal states. */
+JobProgress
+awaitJob(JobManager &manager, std::uint64_t id)
+{
+    while (true) {
+        const auto progress = manager.progress(id);
+        if (progress && jobStateIsTerminal(progress->state))
+            return *progress;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t n_workloads = std::max<std::size_t>(
+        1, envUint("SIPRE_JOBS_WORKLOADS", 2));
+    const std::size_t n_ftq =
+        std::max<std::size_t>(1, envUint("SIPRE_JOBS_FTQ", 4));
+    const std::uint64_t instructions =
+        envUint("SIPRE_JOBS_INSTRUCTIONS", 30'000);
+    const unsigned shard_workers = std::max<unsigned>(
+        1, static_cast<unsigned>(envUint("SIPRE_JOBS_WORKERS", 2)));
+
+    char store_template[] = "/tmp/sipre_bench_jobs_XXXXXX";
+    const char *store_dir = ::mkdtemp(store_template);
+    if (store_dir == nullptr) {
+        std::cerr << "bench_jobs_throughput: mkdtemp failed\n";
+        return 1;
+    }
+
+    SweepSpec spec;
+    const auto suite = synth::cvp1LikeSuite();
+    for (std::size_t w = 0; w < n_workloads && w < suite.size(); ++w)
+        spec.workloads.push_back(suite[w].name);
+    spec.instructions = instructions;
+    spec.ftq.clear();
+    for (std::size_t k = 0; k < n_ftq; ++k)
+        spec.ftq.push_back(static_cast<std::uint32_t>(4 + 2 * k));
+    const std::size_t shards = spec.shardCount();
+
+    service::EngineOptions engine_options;
+    engine_options.workers =
+        std::max(2u, std::thread::hardware_concurrency() / 2);
+    engine_options.queue_capacity = 64;
+
+    JobManagerOptions job_options;
+    job_options.store_dir = store_dir;
+    job_options.shard_workers = shard_workers;
+
+    double cold_s = 0.0;
+    double warm_s = 0.0;
+    double cold_shards_per_s = 0.0;
+    double warm_cache_hit_rate = 0.0;
+    std::uint64_t sim_runs = 0;
+    {
+        service::SimulationEngine engine(engine_options);
+        JobManager manager(engine, job_options);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const JobSubmitOutcome cold = manager.submit(spec);
+        if (cold.status != JobSubmitStatus::kOk) {
+            std::cerr << "bench_jobs_throughput: cold submit failed: "
+                      << cold.error << "\n";
+            return 1;
+        }
+        const JobProgress cold_done = awaitJob(manager, cold.id);
+        cold_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        if (cold_done.state != JobState::kCompleted ||
+            cold_done.shards_failed != 0) {
+            std::cerr << "bench_jobs_throughput: cold job did not "
+                         "complete cleanly\n";
+            return 1;
+        }
+        cold_shards_per_s =
+            cold_s > 0.0 ? static_cast<double>(shards) / cold_s : 0.0;
+
+        // Identical sweep again: every shard should land in a cache
+        // tier, not the simulator.
+        const auto t1 = std::chrono::steady_clock::now();
+        const JobSubmitOutcome warm = manager.submit(spec);
+        if (warm.status != JobSubmitStatus::kOk) {
+            std::cerr << "bench_jobs_throughput: warm submit failed: "
+                      << warm.error << "\n";
+            return 1;
+        }
+        const JobProgress warm_done = awaitJob(manager, warm.id);
+        warm_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t1)
+                     .count();
+        warm_cache_hit_rate =
+            shards > 0 ? static_cast<double>(warm_done.shards_cached) /
+                             static_cast<double>(shards)
+                       : 0.0;
+        sim_runs = engine.stats().sim_runs;
+        manager.shutdown();
+    }
+
+    // Restart path: a fresh manager reloading both (terminal) records.
+    const auto t2 = std::chrono::steady_clock::now();
+    double resume_load_s = 0.0;
+    std::size_t jobs_reloaded = 0;
+    bool results_intact = false;
+    {
+        service::SimulationEngine engine(engine_options);
+        JobManager manager(engine, job_options);
+        resume_load_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t2)
+                            .count();
+        jobs_reloaded = manager.stats().jobs_total;
+        std::string json;
+        results_intact =
+            manager.result(1, json) == JobResultStatus::kOk &&
+            !json.empty();
+        manager.shutdown();
+    }
+    std::filesystem::remove_all(store_dir);
+
+    std::cout << "{\"bench\":\"jobs_throughput\""
+              << ",\"shards\":" << shards
+              << ",\"workloads\":" << spec.workloads.size()
+              << ",\"ftq_values\":" << spec.ftq.size()
+              << ",\"instructions\":" << instructions
+              << ",\"shard_workers\":" << shard_workers
+              << ",\"sim_runs\":" << sim_runs
+              << ",\"cold_s\":" << jsonDouble(cold_s)
+              << ",\"cold_shards_per_s\":"
+              << jsonDouble(cold_shards_per_s)
+              << ",\"warm_s\":" << jsonDouble(warm_s)
+              << ",\"warm_cache_hit_rate\":"
+              << jsonDouble(warm_cache_hit_rate)
+              << ",\"resume_load_s\":" << jsonDouble(resume_load_s)
+              << ",\"jobs_reloaded\":" << jobs_reloaded
+              << ",\"results_intact\":"
+              << (results_intact ? "true" : "false") << "}\n";
+    return results_intact ? 0 : 1;
+}

@@ -334,6 +334,59 @@ jsonDouble(double value)
     return oss.str();
 }
 
+bool
+jsonToUint(const JsonValue &value, std::uint64_t &out)
+{
+    if (!value.isNumber())
+        return false;
+    if (value.number < 0.0 || value.number != std::floor(value.number) ||
+        value.number > 9.007199254740992e15) // 2^53
+        return false;
+    out = static_cast<std::uint64_t>(value.number);
+    return true;
+}
+
+std::string
+jsonStringArray(const std::vector<std::string> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += '"';
+        out += jsonEscape(items[i]);
+        out += '"';
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+jsonUIntArray(const std::vector<std::uint64_t> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += std::to_string(items[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+jsonBoolArray(const std::vector<bool> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += items[i] ? "true" : "false";
+    }
+    out += ']';
+    return out;
+}
+
 // ------------------------------------------------------------ serializers
 
 namespace

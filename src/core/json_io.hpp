@@ -66,6 +66,20 @@ std::string jsonEscape(std::string_view s);
  */
 std::string jsonDouble(double value);
 
+/**
+ * Extract a non-negative integer from a parsed JSON number, rejecting
+ * negatives, fractions, and values past 2^53 (where doubles stop being
+ * exact). Shared by the service request parser and the jobs sweep-spec
+ * parser so "what counts as an integer" has one definition.
+ */
+bool jsonToUint(const JsonValue &value, std::uint64_t &out);
+
+// Array builders for sweep specs and other list-valued documents.
+// Escaping and numeric formatting match the scalar helpers above.
+std::string jsonStringArray(const std::vector<std::string> &items);
+std::string jsonUIntArray(const std::vector<std::uint64_t> &items);
+std::string jsonBoolArray(const std::vector<bool> &items);
+
 // ------------------------------------------------------------ serializers
 
 /**

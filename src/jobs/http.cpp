@@ -1,0 +1,211 @@
+#include "jobs/http.hpp"
+
+#include <sstream>
+
+#include "core/json_io.hpp"
+#include "core/options.hpp"
+
+namespace sipre::jobs
+{
+
+namespace
+{
+
+using service::http::Request;
+using service::http::Response;
+
+Response
+jsonResponse(int status, std::string body)
+{
+    Response response;
+    response.status = status;
+    response.headers.emplace_back("Content-Type", "application/json");
+    response.body = std::move(body);
+    return response;
+}
+
+Response
+errorResponse(int status, const std::string &message)
+{
+    return jsonResponse(status, "{\"status\":\"error\",\"error\":\"" +
+                                    jsonEscape(message) + "\"}");
+}
+
+Response
+methodNotAllowed(const std::string &allow)
+{
+    Response response =
+        errorResponse(405, "method not allowed (Allow: " + allow + ")");
+    response.headers.emplace_back("Allow", allow);
+    return response;
+}
+
+} // namespace
+
+std::string
+jobProgressToJson(const JobProgress &p)
+{
+    std::ostringstream os;
+    os << "{\"id\":" << p.id << ",\"state\":\"" << jobStateName(p.state)
+       << "\",\"shards_total\":" << p.shards_total
+       << ",\"shards_done\":" << p.shards_done
+       << ",\"shards_failed\":" << p.shards_failed
+       << ",\"shards_cached\":" << p.shards_cached
+       << ",\"eta_s\":" << jsonDouble(p.eta_s) << "}";
+    return os.str();
+}
+
+std::optional<Response>
+JobHttpHandler::handle(const Request &request)
+{
+    const std::string &target = request.target;
+    if (target != "/jobs" && target.rfind("/jobs/", 0) != 0)
+        return std::nullopt;
+
+    if (target == "/jobs") {
+        if (request.method == "POST") {
+            SweepSpec spec;
+            std::string error;
+            if (!parseSweepSpec(request.body, spec, error))
+                return errorResponse(400, error);
+            const JobSubmitOutcome outcome = manager_.submit(spec);
+            switch (outcome.status) {
+            case JobSubmitStatus::kRejected: {
+                Response response = jsonResponse(
+                    429, "{\"status\":\"rejected\",\"error\":\"" +
+                             jsonEscape(outcome.error) + "\"}");
+                response.headers.emplace_back("Retry-After", "1");
+                return response;
+            }
+            case JobSubmitStatus::kShutdown:
+                return jsonResponse(
+                    503, "{\"status\":\"draining\",\"error\":\"" +
+                             jsonEscape(outcome.error) + "\"}");
+            case JobSubmitStatus::kOk:
+                break;
+            }
+            return jsonResponse(
+                202, "{\"status\":\"ok\",\"id\":" +
+                         std::to_string(outcome.id) + ",\"shards\":" +
+                         std::to_string(outcome.shards) +
+                         ",\"spec\":" + sweepSpecToJson(spec) + "}");
+        }
+        if (request.method == "GET") {
+            std::string body = "{\"status\":\"ok\",\"jobs\":[";
+            bool first = true;
+            for (const JobProgress &p : manager_.list()) {
+                if (!first)
+                    body += ',';
+                first = false;
+                body += jobProgressToJson(p);
+            }
+            body += "]}";
+            return jsonResponse(200, body);
+        }
+        return methodNotAllowed("GET, POST");
+    }
+
+    // /jobs/<id> or /jobs/<id>/result
+    std::string rest = target.substr(6);
+    bool want_result = false;
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string::npos) {
+        if (rest.substr(slash) != "/result")
+            return errorResponse(404, "no route for " + target);
+        want_result = true;
+        rest = rest.substr(0, slash);
+    }
+    const auto id = parseUnsigned(rest);
+    if (!id)
+        return errorResponse(404, "bad job id '" + rest + "'");
+
+    if (want_result) {
+        if (request.method != "GET")
+            return methodNotAllowed("GET");
+        std::string results_json;
+        const JobResultStatus status = manager_.result(*id, results_json);
+        const auto p = manager_.progress(*id);
+        switch (status) {
+        case JobResultStatus::kUnknown:
+            return errorResponse(404, "no such job " + rest);
+        case JobResultStatus::kNotFinished:
+            return jsonResponse(
+                409,
+                "{\"status\":\"pending\",\"error\":\"job not finished\","
+                "\"progress\":" +
+                    jobProgressToJson(*p) + "}");
+        case JobResultStatus::kOk:
+            break;
+        }
+        return jsonResponse(200, "{\"status\":\"ok\",\"id\":" + rest +
+                                     ",\"state\":\"" +
+                                     jobStateName(p->state) +
+                                     "\",\"shards\":" + results_json +
+                                     "}");
+    }
+
+    if (request.method == "GET") {
+        const auto p = manager_.progress(*id);
+        if (!p)
+            return errorResponse(404, "no such job " + rest);
+        return jsonResponse(200, "{\"status\":\"ok\",\"job\":" +
+                                     jobProgressToJson(*p) + "}");
+    }
+    if (request.method == "DELETE") {
+        std::string error;
+        if (!manager_.cancel(*id, error)) {
+            const int status =
+                error == "no such job" ? 404 : 409;
+            return errorResponse(status, error + " (job " + rest + ")");
+        }
+        const auto p = manager_.progress(*id);
+        return jsonResponse(200, "{\"status\":\"ok\",\"job\":" +
+                                     jobProgressToJson(*p) + "}");
+    }
+    return methodNotAllowed("GET, DELETE");
+}
+
+std::string
+JobHttpHandler::metricsText() const
+{
+    const JobManagerStats stats = manager_.stats();
+    std::ostringstream body;
+    body << "# TYPE sipre_jobs_submitted_total counter\n"
+         << "sipre_jobs_submitted_total " << stats.submitted << "\n"
+         << "# TYPE sipre_jobs_completed_total counter\n"
+         << "sipre_jobs_completed_total " << stats.completed << "\n"
+         << "# TYPE sipre_jobs_failed_total counter\n"
+         << "sipre_jobs_failed_total " << stats.failed << "\n"
+         << "# TYPE sipre_jobs_cancelled_total counter\n"
+         << "sipre_jobs_cancelled_total " << stats.cancelled << "\n"
+         << "# TYPE sipre_jobs_rejected_total counter\n"
+         << "sipre_jobs_rejected_total " << stats.rejected << "\n"
+         << "# TYPE sipre_jobs_resumed_total counter\n"
+         << "sipre_jobs_resumed_total " << stats.resumed << "\n"
+         << "# TYPE sipre_job_shards_done_total counter\n"
+         << "sipre_job_shards_done_total " << stats.shards_done << "\n"
+         << "# TYPE sipre_job_shards_failed_total counter\n"
+         << "sipre_job_shards_failed_total " << stats.shards_failed
+         << "\n"
+         << "# TYPE sipre_job_shards_cached_total counter\n"
+         << "sipre_job_shards_cached_total " << stats.shards_cached
+         << "\n"
+         << "# TYPE sipre_jobs_active gauge\n"
+         << "sipre_jobs_active " << stats.jobs_active << "\n"
+         << "# TYPE sipre_jobs_known gauge\n"
+         << "sipre_jobs_known " << stats.jobs_total << "\n"
+         << "# TYPE sipre_job_shard_latency_us summary\n"
+         << "sipre_job_shard_latency_us_count "
+         << stats.shard_latency_count << "\n"
+         << "sipre_job_shard_latency_us_sum "
+         << jsonDouble(stats.shard_latency_sum_us) << "\n"
+         << "sipre_job_shard_latency_us{quantile=\"0.5\"} "
+         << stats.shard_latency_p50_us << "\n"
+         << "sipre_job_shard_latency_us{quantile=\"0.9\"} "
+         << stats.shard_latency_p90_us << "\n"
+         << "sipre_job_shard_latency_us{quantile=\"0.99\"} "
+         << stats.shard_latency_p99_us << "\n";
+    return body.str();
+}
+
+} // namespace sipre::jobs

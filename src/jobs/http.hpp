@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The HTTP face of the job subsystem, designed to plug into
+ * ServiceServer's handler chain: POST /jobs (submit a sweep), GET
+ * /jobs (list), GET /jobs/<id> (status/progress), GET /jobs/<id>/result
+ * (aggregated results), DELETE /jobs/<id> (cancel), plus a
+ * Prometheus-style metrics fragment for the shared /metrics endpoint.
+ */
+#ifndef SIPRE_JOBS_HTTP_HPP
+#define SIPRE_JOBS_HTTP_HPP
+
+#include <optional>
+#include <string>
+
+#include "jobs/manager.hpp"
+#include "service/http.hpp"
+
+namespace sipre::jobs
+{
+
+/** See file comment. Stateless beyond the manager reference. */
+class JobHttpHandler
+{
+  public:
+    explicit JobHttpHandler(JobManager &manager) : manager_(manager) {}
+
+    /**
+     * Handle a /jobs request; nullopt for any other path (so the
+     * server falls through to its own routes / 404).
+     */
+    std::optional<service::http::Response>
+    handle(const service::http::Request &request);
+
+    /** Job counters/gauges as /metrics text (sipre_jobs_* family). */
+    std::string metricsText() const;
+
+  private:
+    JobManager &manager_;
+};
+
+/** One job's progress as a JSON object (shared by status and list). */
+std::string jobProgressToJson(const JobProgress &progress);
+
+} // namespace sipre::jobs
+
+#endif // SIPRE_JOBS_HTTP_HPP

@@ -39,23 +39,6 @@ SimRequest::toConfig() const
     return config;
 }
 
-namespace
-{
-
-bool
-getUint(const JsonValue &v, std::uint64_t &out)
-{
-    if (!v.isNumber())
-        return false;
-    if (v.number < 0.0 || v.number != std::floor(v.number) ||
-        v.number > 9.007199254740992e15) // 2^53
-        return false;
-    out = static_cast<std::uint64_t>(v.number);
-    return true;
-}
-
-} // namespace
-
 bool
 parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
 {
@@ -81,7 +64,7 @@ parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
             have_workload = true;
         } else if (key == "instructions") {
             std::uint64_t n = 0;
-            if (!getUint(value, n)) {
+            if (!jsonToUint(value, n)) {
                 error = "field 'instructions' must be a non-negative "
                         "integer";
                 return false;
@@ -95,7 +78,7 @@ parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
             out.instructions = n;
         } else if (key == "ftq") {
             std::uint64_t n = 0;
-            if (!getUint(value, n)) {
+            if (!jsonToUint(value, n)) {
                 error = "field 'ftq' must be a non-negative integer";
                 return false;
             }

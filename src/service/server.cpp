@@ -37,6 +37,16 @@ errorResponse(int status, const std::string &message)
                                     jsonEscape(message) + "\"}");
 }
 
+/** 405 with the mandatory Allow header (RFC 9110 §15.5.6). */
+http::Response
+methodNotAllowed(const std::string &allow)
+{
+    http::Response response =
+        errorResponse(405, "method not allowed (Allow: " + allow + ")");
+    response.headers.emplace_back("Allow", allow);
+    return response;
+}
+
 } // namespace
 
 ServiceServer::ServiceServer(SimulationEngine &engine,
@@ -202,22 +212,49 @@ ServiceServer::handleConnection(int fd)
 http::Response
 ServiceServer::dispatch(const http::Request &request)
 {
+    http::Response response = route(request);
+    // Unknown paths and wrong methods are client mistakes worth
+    // watching for (a misdeployed client, a scanner): count them.
+    if (response.status == 404 || response.status == 405)
+        requests_rejected_.fetch_add(1);
+    return response;
+}
+
+http::Response
+ServiceServer::route(const http::Request &request)
+{
     if (request.target == "/simulate") {
         if (request.method != "POST")
-            return errorResponse(405, "POST required for /simulate");
+            return methodNotAllowed("POST");
         return handleSimulate(request);
     }
     if (request.target == "/healthz") {
         if (request.method != "GET")
-            return errorResponse(405, "GET required for /healthz");
+            return methodNotAllowed("GET");
         return handleHealthz();
     }
     if (request.target == "/metrics") {
         if (request.method != "GET")
-            return errorResponse(405, "GET required for /metrics");
+            return methodNotAllowed("GET");
         return handleMetrics();
     }
+    for (const RouteHandler &handler : handlers_) {
+        if (auto response = handler(request))
+            return std::move(*response);
+    }
     return errorResponse(404, "no route for " + request.target);
+}
+
+void
+ServiceServer::addHandler(RouteHandler handler)
+{
+    handlers_.push_back(std::move(handler));
+}
+
+void
+ServiceServer::addMetricsProvider(std::function<std::string()> provider)
+{
+    metrics_providers_.push_back(std::move(provider));
 }
 
 http::Response
@@ -261,6 +298,12 @@ ServiceServer::handleSimulate(const http::Request &request)
 http::Response
 ServiceServer::handleHealthz() const
 {
+    // Once a drain has begun this daemon is on its way out: tell load
+    // balancers and bench clients to route elsewhere *before* the
+    // listener disappears mid-request.
+    if (draining_.load() || stopping_.load())
+        return jsonResponse(503, "{\"status\":\"draining\"}");
+
     const EngineStats stats = engine_.stats();
     std::ostringstream body;
     body << "{\"status\":\"ok\",\"workers\":" << stats.workers
@@ -298,6 +341,9 @@ ServiceServer::handleMetrics() const
          << "\n"
          << "# TYPE sipre_connections_total counter\n"
          << "sipre_connections_total " << connections_.load() << "\n"
+         << "# TYPE sipre_requests_rejected_total counter\n"
+         << "sipre_requests_rejected_total " << requests_rejected_.load()
+         << "\n"
          << "# TYPE sipre_queue_depth gauge\n"
          << "sipre_queue_depth " << stats.queue_depth << "\n"
          << "# TYPE sipre_inflight gauge\n"
@@ -322,6 +368,8 @@ ServiceServer::handleMetrics() const
          << stats.latency_p90_us << "\n"
          << "sipre_request_latency_us{quantile=\"0.99\"} "
          << stats.latency_p99_us << "\n";
+    for (const auto &provider : metrics_providers_)
+        body << provider();
     http::Response response;
     response.status = 200;
     response.headers.emplace_back("Content-Type",
@@ -338,6 +386,7 @@ ServiceServer::shutdown(bool drain_engine)
         return;
     }
     shut_down_ = true;
+    draining_.store(true);
     {
         // Set under conn_mutex_ so sleeping connection threads can't
         // miss the wakeup between their predicate check and block.

@@ -14,7 +14,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +35,15 @@ struct ServerOptions
     unsigned connection_threads = 4;
 };
 
+/**
+ * A pluggable route: returns a response to claim the request, nullopt
+ * to let the next handler (and finally the built-in routes / 404) see
+ * it. Lets subsystems above the engine — the job manager — surface
+ * endpoints without the server depending on them.
+ */
+using RouteHandler =
+    std::function<std::optional<http::Response>(const http::Request &)>;
+
 /** See file comment. One instance fronts one SimulationEngine. */
 class ServiceServer
 {
@@ -43,8 +54,35 @@ class ServiceServer
     ServiceServer(const ServiceServer &) = delete;
     ServiceServer &operator=(const ServiceServer &) = delete;
 
+    /**
+     * Register a route handler, consulted (registration order) before
+     * the 404 fallback. Not synchronized: call before start().
+     */
+    void addHandler(RouteHandler handler);
+
+    /**
+     * Register a provider whose text is appended to /metrics (e.g. the
+     * job subsystem's sipre_jobs_* family). Call before start().
+     */
+    void addMetricsProvider(std::function<std::string()> provider);
+
     /** Bind, listen, and start the accept/connection threads. */
     bool start(std::string *error);
+
+    /**
+     * Mark the server draining: /healthz flips to 503
+     * {"status":"draining"} so load balancers and bench clients stop
+     * routing here, while in-flight and follow-up requests still
+     * complete. Called at the top of a graceful shutdown, before the
+     * listener goes away.
+     */
+    void beginDrain() { draining_.store(true); }
+
+    /** Requests answered 404/405 (unknown path or wrong method). */
+    std::uint64_t requestsRejected() const
+    {
+        return requests_rejected_.load();
+    }
 
     /** The bound port (after start(); useful with ephemeral binds). */
     std::uint16_t port() const { return port_; }
@@ -70,16 +108,22 @@ class ServiceServer
     void connectionLoop();
     void handleConnection(int fd);
 
+    http::Response route(const http::Request &request);
+
     http::Response handleSimulate(const http::Request &request);
     http::Response handleHealthz() const;
     http::Response handleMetrics() const;
 
     SimulationEngine &engine_;
     ServerOptions options_;
+    std::vector<RouteHandler> handlers_;
+    std::vector<std::function<std::string()>> metrics_providers_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
     std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_rejected_{0};
 
     std::mutex conn_mutex_;
     std::condition_variable conn_cv_;

@@ -221,6 +221,59 @@ TEST(ServiceHttp, DispatchReturnsStructuredErrors)
               std::string::npos);
 }
 
+TEST(ServiceHttp, WrongMethodCarriesAllowHeaderAndCountsRejected)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+
+    const http::Response on_simulate = server.dispatch(get("/simulate"));
+    EXPECT_EQ(on_simulate.status, 405);
+    ASSERT_NE(on_simulate.header("Allow"), nullptr);
+    EXPECT_EQ(*on_simulate.header("Allow"), "POST");
+
+    http::Request post_health;
+    post_health.method = "POST";
+    post_health.target = "/healthz";
+    const http::Response on_health = server.dispatch(post_health);
+    EXPECT_EQ(on_health.status, 405);
+    ASSERT_NE(on_health.header("Allow"), nullptr);
+    EXPECT_EQ(*on_health.header("Allow"), "GET");
+
+    EXPECT_EQ(server.dispatch(get("/nope")).status, 404);
+
+    // Two 405s and one 404 so far.
+    EXPECT_EQ(server.requestsRejected(), 3u);
+    const http::Response metrics = server.dispatch(get("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_EQ(
+        metricValue(metrics.body, "sipre_requests_rejected_total"), 3u);
+}
+
+TEST(ServiceHttp, DrainingHealthzReturns503)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const http::Response healthy = call(server.port(), get("/healthz"));
+    EXPECT_EQ(healthy.status, 200);
+    EXPECT_NE(healthy.body.find("\"status\":\"ok\""), std::string::npos);
+
+    // Once draining, health flips to 503 while the server still serves
+    // (a load balancer stops routing here; in-flight clients finish).
+    server.beginDrain();
+    const http::Response draining = call(server.port(), get("/healthz"));
+    EXPECT_EQ(draining.status, 503);
+    EXPECT_NE(draining.body.find("\"status\":\"draining\""),
+              std::string::npos);
+
+    // Other routes still answer normally while draining.
+    EXPECT_EQ(call(server.port(), get("/metrics")).status, 200);
+
+    server.shutdown();
+}
+
 // ------------------------------------------------------- loopback e2e
 
 TEST(ServiceHttp, LoopbackColdIsBitIdenticalAndRepeatIsCached)

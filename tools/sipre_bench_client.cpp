@@ -5,10 +5,15 @@
  * one-line JSON summary (throughput, latency percentiles, status
  * breakdown). Pair with `sipre_served --port P` on the same host.
  *
+ * With --jobs the client instead exercises the asynchronous job
+ * endpoints: it submits one small sweep (the workload crossed with
+ * --distinct FTQ depths), polls the job to completion, and reports a
+ * one-line JSON summary of the run.
+ *
  * Usage:
  *   sipre_bench_client --port P [--host 127.0.0.1] [--threads N]
  *                      [--requests N] [--workload NAME]
- *                      [--instructions N] [--distinct K]
+ *                      [--instructions N] [--distinct K] [--jobs]
  */
 #include <algorithm>
 #include <chrono>
@@ -46,6 +51,9 @@ usage(const char *argv0, int exit_code)
         "  --distinct K       rotate over K distinct FTQ depths so only\n"
         "                     1/K of requests can be cache hits "
         "(default 1)\n"
+        "  --jobs             submit one async sweep job (workload x K\n"
+        "                     FTQ depths), poll it to completion, and\n"
+        "                     report a job-mode summary instead\n"
         "  --help             this text\n",
         argv0);
     std::exit(exit_code);
@@ -61,6 +69,132 @@ struct ThreadTally
     std::vector<double> latencies_ms;
 };
 
+/** GET `target` on a fresh connection; false on transport failure. */
+bool
+getOnce(const std::string &host, std::uint16_t port,
+        const std::string &target, http::Response &response)
+{
+    std::string error;
+    const int fd = http::dialTcp(host, port, &error);
+    if (fd < 0)
+        return false;
+    http::Request request;
+    request.target = target;
+    const bool ok = http::roundTrip(fd, request, response, &error);
+    ::close(fd);
+    return ok;
+}
+
+/**
+ * The --jobs mode: one sweep of `distinct` FTQ depths over `workload`,
+ * submitted as an async job and polled to completion. Prints the
+ * summary line and returns the process exit code.
+ */
+int
+runJobsMode(const std::string &host, std::uint16_t port,
+            const std::string &workload, std::uint64_t instructions,
+            unsigned distinct)
+{
+    std::string spec = "{\"workloads\":[\"" + workload +
+                       "\"],\"instructions\":" +
+                       std::to_string(instructions) + ",\"ftq\":[";
+    for (unsigned k = 0; k < distinct; ++k) {
+        if (k > 0)
+            spec += ',';
+        spec += std::to_string(4 + 2 * k);
+    }
+    spec += "]}";
+
+    const auto start = std::chrono::steady_clock::now();
+    std::string error;
+    const int fd = http::dialTcp(host, port, &error);
+    if (fd < 0) {
+        std::fprintf(stderr, "sipre_bench_client: error: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    http::Request submit;
+    submit.method = "POST";
+    submit.target = "/jobs";
+    submit.body = spec;
+    submit.headers.emplace_back("Content-Type", "application/json");
+    http::Response response;
+    const bool sent = http::roundTrip(fd, submit, response, &error);
+    ::close(fd);
+    if (!sent || response.status != 202) {
+        std::fprintf(stderr,
+                     "sipre_bench_client: error: submit failed "
+                     "(status %d): %s\n",
+                     sent ? response.status : -1,
+                     sent ? response.body.c_str() : error.c_str());
+        return 1;
+    }
+    JsonValue accepted;
+    std::uint64_t id = 0;
+    if (parseJson(response.body, accepted, error)) {
+        const JsonValue *id_field = accepted.find("id");
+        if (id_field != nullptr && id_field->isNumber())
+            id = static_cast<std::uint64_t>(id_field->number);
+    }
+
+    std::string state = "queued";
+    std::uint64_t shards_total = 0;
+    std::uint64_t shards_done = 0;
+    std::uint64_t shards_cached = 0;
+    std::uint64_t polls = 0;
+    while (state != "completed" && state != "failed" &&
+           state != "cancelled") {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        http::Response poll;
+        if (!getOnce(host, port, "/jobs/" + std::to_string(id), poll) ||
+            poll.status != 200) {
+            std::fprintf(stderr,
+                         "sipre_bench_client: error: poll failed\n");
+            return 1;
+        }
+        ++polls;
+        JsonValue document;
+        if (!parseJson(poll.body, document, error))
+            continue;
+        const JsonValue *job = document.find("job");
+        if (job == nullptr)
+            continue;
+        auto field = [&](std::string_view key) -> double {
+            const JsonValue *value = job->find(key);
+            return (value != nullptr && value->isNumber())
+                       ? value->number
+                       : 0.0;
+        };
+        const JsonValue *state_field = job->find("state");
+        if (state_field != nullptr && state_field->isString())
+            state = state_field->string;
+        shards_total = static_cast<std::uint64_t>(field("shards_total"));
+        shards_done = static_cast<std::uint64_t>(field("shards_done"));
+        shards_cached =
+            static_cast<std::uint64_t>(field("shards_cached"));
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf(
+        "{\"bench\":\"service_client_jobs\",\"id\":%llu,"
+        "\"state\":\"%s\",\"shards\":%llu,\"done\":%llu,"
+        "\"cached\":%llu,\"polls\":%llu,\"elapsed_s\":%s,"
+        "\"shards_per_s\":%s}\n",
+        static_cast<unsigned long long>(id), state.c_str(),
+        static_cast<unsigned long long>(shards_total),
+        static_cast<unsigned long long>(shards_done),
+        static_cast<unsigned long long>(shards_cached),
+        static_cast<unsigned long long>(polls),
+        jsonDouble(elapsed_s).c_str(),
+        jsonDouble(elapsed_s > 0.0
+                       ? static_cast<double>(shards_done) / elapsed_s
+                       : 0.0)
+            .c_str());
+    return state == "completed" ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -73,6 +207,7 @@ main(int argc, char **argv)
     std::string workload = "secret_crypto52";
     std::uint64_t instructions = 30'000;
     unsigned distinct = 1;
+    bool jobs_mode = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -110,6 +245,8 @@ main(int argc, char **argv)
         else if (arg == "--distinct")
             distinct = std::max(
                 1u, static_cast<unsigned>(num(1u << 20)));
+        else if (arg == "--jobs")
+            jobs_mode = true;
         else if (arg == "--help")
             usage(argv[0], 0);
         else
@@ -117,6 +254,10 @@ main(int argc, char **argv)
     }
     if (port < 0 || port > 65535)
         usage(argv[0], 2);
+
+    if (jobs_mode)
+        return runJobsMode(host, static_cast<std::uint16_t>(port),
+                           workload, instructions, distinct);
 
     std::vector<ThreadTally> tallies(threads);
     const auto start = std::chrono::steady_clock::now();

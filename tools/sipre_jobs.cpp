@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Command-line client for the daemon's asynchronous job endpoints:
+ * submit a sweep spec, list jobs, watch one to completion, fetch its
+ * aggregated results, or cancel it. Talks plain HTTP/1.1 to a running
+ * sipre_served instance.
+ *
+ * Usage:
+ *   sipre_jobs [--host H] [--port P] submit [--spec JSON|--spec-file F]
+ *   sipre_jobs [--host H] [--port P] list
+ *   sipre_jobs [--host H] [--port P] watch ID [--interval-ms N]
+ *   sipre_jobs [--host H] [--port P] fetch ID
+ *   sipre_jobs [--host H] [--port P] cancel ID
+ *
+ * Exit status: 0 success, 1 request/transport failure (watch also exits
+ * 1 when the job ends failed or cancelled), 2 usage error.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "core/json_io.hpp"
+#include "core/options.hpp"
+#include "service/http.hpp"
+
+using namespace sipre;
+using namespace sipre::service;
+
+namespace
+{
+
+void
+usage(const char *argv0, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--host HOST] [--port P] COMMAND ...\n"
+        "  submit [--spec JSON | --spec-file PATH]\n"
+        "      submit a sweep spec (default: read the spec from stdin);\n"
+        "      prints {\"id\":N,\"shards\":N} on acceptance\n"
+        "  list\n"
+        "      one line per known job: id, state, progress\n"
+        "  watch ID [--interval-ms N]\n"
+        "      poll the job (default every 500 ms) until it reaches a\n"
+        "      terminal state; exits 0 only when it completed\n"
+        "  fetch ID\n"
+        "      print the aggregated per-shard result document (JSON)\n"
+        "  cancel ID\n"
+        "      request cancellation of a non-terminal job\n"
+        "  --host HOST    server address (default 127.0.0.1)\n"
+        "  --port P       server port (default 8100)\n"
+        "  --help         this text\n",
+        argv0);
+    std::exit(exit_code);
+}
+
+/** One request/response exchange on a fresh connection. */
+bool
+call(const std::string &host, std::uint16_t port,
+     const http::Request &request, http::Response &response)
+{
+    std::string error;
+    const int fd = http::dialTcp(host, port, &error);
+    if (fd < 0) {
+        std::fprintf(stderr, "sipre_jobs: error: %s\n", error.c_str());
+        return false;
+    }
+    const bool ok = http::roundTrip(fd, request, response, &error);
+    ::close(fd);
+    if (!ok)
+        std::fprintf(stderr, "sipre_jobs: error: %s\n", error.c_str());
+    return ok;
+}
+
+/** Pull a numeric field out of a parsed job object, 0 when absent. */
+double
+numField(const JsonValue &object, std::string_view key)
+{
+    const JsonValue *value = object.find(key);
+    return (value != nullptr && value->isNumber()) ? value->number : 0.0;
+}
+
+std::string
+stringField(const JsonValue &object, std::string_view key)
+{
+    const JsonValue *value = object.find(key);
+    return (value != nullptr && value->isString()) ? value->string : "";
+}
+
+/** "id=3 state=running 5/16 shards (1 failed, 2 cached) eta=12.3s" */
+std::string
+describeJob(const JsonValue &job)
+{
+    std::ostringstream line;
+    line << "id=" << static_cast<std::uint64_t>(numField(job, "id"))
+         << " state=" << stringField(job, "state") << ' '
+         << static_cast<std::uint64_t>(numField(job, "shards_done"))
+         << '/'
+         << static_cast<std::uint64_t>(numField(job, "shards_total"))
+         << " shards";
+    const auto failed =
+        static_cast<std::uint64_t>(numField(job, "shards_failed"));
+    const auto cached =
+        static_cast<std::uint64_t>(numField(job, "shards_cached"));
+    if (failed > 0 || cached > 0)
+        line << " (" << failed << " failed, " << cached << " cached)";
+    const double eta_s = numField(job, "eta_s");
+    if (eta_s > 0.0) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, " eta=%.1fs", eta_s);
+        line << buffer;
+    }
+    return line.str();
+}
+
+/** Report a non-2xx response using the body's "error" field if any. */
+void
+reportFailure(const http::Response &response)
+{
+    std::string detail = response.body;
+    JsonValue document;
+    std::string parse_error;
+    if (parseJson(response.body, document, parse_error)) {
+        const std::string error = stringField(document, "error");
+        if (!error.empty())
+            detail = error;
+    }
+    std::fprintf(stderr, "sipre_jobs: server returned %d: %s\n",
+                 response.status, detail.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 8100;
+    std::string command;
+    std::string job_id;
+    std::string spec;
+    bool spec_given = false;
+    std::uint64_t interval_ms = 500;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], 2);
+            return argv[++i];
+        };
+        auto num = [&](std::uint64_t max) -> std::uint64_t {
+            const std::string value = next();
+            const auto parsed = parseUnsigned(value, max);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "sipre_jobs: error: invalid %s value '%s'\n",
+                             arg.c_str(), value.c_str());
+                std::exit(2);
+            }
+            return *parsed;
+        };
+        if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            port = static_cast<std::uint16_t>(num(65535));
+        } else if (arg == "--spec") {
+            spec = next();
+            spec_given = true;
+        } else if (arg == "--spec-file") {
+            const std::string path = next();
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr,
+                             "sipre_jobs: error: cannot read %s\n",
+                             path.c_str());
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            spec = buffer.str();
+            spec_given = true;
+        } else if (arg == "--interval-ms") {
+            interval_ms = num(3'600'000);
+        } else if (arg == "--help") {
+            usage(argv[0], 0);
+        } else if (command.empty()) {
+            command = arg;
+        } else if (job_id.empty() &&
+                   (command == "watch" || command == "fetch" ||
+                    command == "cancel")) {
+            job_id = arg;
+        } else {
+            usage(argv[0], 2);
+        }
+    }
+    if (command.empty())
+        usage(argv[0], 2);
+    if ((command == "watch" || command == "fetch" ||
+         command == "cancel") &&
+        job_id.empty())
+        usage(argv[0], 2);
+    if (!parseUnsigned(job_id, ~std::uint64_t{0}) && !job_id.empty()) {
+        std::fprintf(stderr, "sipre_jobs: error: bad job id '%s'\n",
+                     job_id.c_str());
+        return 2;
+    }
+
+    if (command == "submit") {
+        if (!spec_given) {
+            std::ostringstream buffer;
+            buffer << std::cin.rdbuf();
+            spec = buffer.str();
+        }
+        http::Request request;
+        request.method = "POST";
+        request.target = "/jobs";
+        request.body = spec;
+        request.headers.emplace_back("Content-Type", "application/json");
+        http::Response response;
+        if (!call(host, port, request, response))
+            return 1;
+        if (response.status != 202) {
+            reportFailure(response);
+            return 1;
+        }
+        JsonValue document;
+        std::string error;
+        if (parseJson(response.body, document, error)) {
+            std::printf(
+                "{\"id\":%llu,\"shards\":%llu}\n",
+                static_cast<unsigned long long>(
+                    numField(document, "id")),
+                static_cast<unsigned long long>(
+                    numField(document, "shards")));
+        } else {
+            std::printf("%s\n", response.body.c_str());
+        }
+        return 0;
+    }
+
+    if (command == "list") {
+        http::Request request;
+        request.target = "/jobs";
+        http::Response response;
+        if (!call(host, port, request, response))
+            return 1;
+        if (response.status != 200) {
+            reportFailure(response);
+            return 1;
+        }
+        JsonValue document;
+        std::string error;
+        if (!parseJson(response.body, document, error)) {
+            std::fprintf(stderr, "sipre_jobs: error: bad response: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        const JsonValue *jobs = document.find("jobs");
+        if (jobs == nullptr || jobs->kind != JsonValue::Kind::kArray) {
+            std::fprintf(stderr,
+                         "sipre_jobs: error: response has no jobs[]\n");
+            return 1;
+        }
+        for (const JsonValue &job : jobs->array)
+            std::printf("%s\n", describeJob(job).c_str());
+        return 0;
+    }
+
+    if (command == "watch") {
+        std::string last_line;
+        while (true) {
+            http::Request request;
+            request.target = "/jobs/" + job_id;
+            http::Response response;
+            if (!call(host, port, request, response))
+                return 1;
+            if (response.status != 200) {
+                reportFailure(response);
+                return 1;
+            }
+            JsonValue document;
+            std::string error;
+            if (!parseJson(response.body, document, error)) {
+                std::fprintf(stderr,
+                             "sipre_jobs: error: bad response: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            const JsonValue *job = document.find("job");
+            if (job == nullptr) {
+                std::fprintf(stderr,
+                             "sipre_jobs: error: response has no job\n");
+                return 1;
+            }
+            const std::string line = describeJob(*job);
+            if (line != last_line) {
+                std::printf("%s\n", line.c_str());
+                std::fflush(stdout);
+                last_line = line;
+            }
+            const std::string state = stringField(*job, "state");
+            if (state == "completed")
+                return 0;
+            if (state == "failed" || state == "cancelled")
+                return 1;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        }
+    }
+
+    if (command == "fetch") {
+        http::Request request;
+        request.target = "/jobs/" + job_id + "/result";
+        http::Response response;
+        if (!call(host, port, request, response))
+            return 1;
+        if (response.status != 200) {
+            reportFailure(response);
+            return 1;
+        }
+        std::printf("%s\n", response.body.c_str());
+        return 0;
+    }
+
+    if (command == "cancel") {
+        http::Request request;
+        request.method = "DELETE";
+        request.target = "/jobs/" + job_id;
+        http::Response response;
+        if (!call(host, port, request, response))
+            return 1;
+        if (response.status != 200) {
+            reportFailure(response);
+            return 1;
+        }
+        std::printf("%s\n", response.body.c_str());
+        return 0;
+    }
+
+    std::fprintf(stderr, "sipre_jobs: error: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+}

@@ -7,10 +7,16 @@
  * /metrics. SIGINT/SIGTERM drain in-flight requests, flush the result
  * cache, and exit 0.
  *
+ * Asynchronous campaign jobs (POST /jobs and friends) execute sweeps
+ * through the same engine; job records checkpoint to --jobs-dir so a
+ * restarted daemon resumes unfinished jobs without re-simulating
+ * completed shards.
+ *
  * Usage:
  *   sipre_served [--port N] [--workers N] [--queue N] [--cache N]
  *                [--cache-file PATH] [--campaign-cache DIR]
- *                [--conn-threads N]
+ *                [--conn-threads N] [--jobs-dir DIR] [--max-jobs N]
+ *                [--job-workers N]
  */
 #include <cerrno>
 #include <csignal>
@@ -22,6 +28,8 @@
 #include <unistd.h>
 
 #include "core/options.hpp"
+#include "jobs/http.hpp"
+#include "jobs/manager.hpp"
 #include "service/engine.hpp"
 #include "service/server.hpp"
 
@@ -60,6 +68,12 @@ usage(const char *argv0, int exit_code)
         "  --campaign-cache DIR answer standard-campaign configurations\n"
         "                       from DIR's campaign cache file\n"
         "  --conn-threads N     HTTP connection threads (default 4)\n"
+        "  --jobs-dir DIR       persistent job records (default "
+        "sipre_jobs;\n"
+        "                       unfinished jobs resume on restart)\n"
+        "  --max-jobs N         active async jobs before 429 (default "
+        "4)\n"
+        "  --job-workers N      shard executor threads (default 2)\n"
         "  --help               this text\n",
         argv0);
     std::exit(exit_code);
@@ -74,6 +88,8 @@ main(int argc, char **argv)
     ServerOptions server_options;
     server_options.port = 8100;
     std::string cache_file;
+    jobs::JobManagerOptions job_options;
+    job_options.store_dir = "sipre_jobs";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -116,6 +132,13 @@ main(int argc, char **argv)
         } else if (arg == "--conn-threads") {
             server_options.connection_threads =
                 static_cast<unsigned>(num(1024));
+        } else if (arg == "--jobs-dir") {
+            job_options.store_dir = next();
+        } else if (arg == "--max-jobs") {
+            job_options.max_active_jobs = num(~std::uint64_t{0});
+        } else if (arg == "--job-workers") {
+            job_options.shard_workers =
+                static_cast<unsigned>(num(1024));
         } else if (arg == "--help") {
             usage(argv[0], 0);
         } else {
@@ -141,7 +164,22 @@ main(int argc, char **argv)
                          loaded, cache_file.c_str());
     }
 
+    jobs::JobManager job_manager(engine, job_options);
+    if (job_manager.resumedJobs() > 0)
+        std::fprintf(stderr,
+                     "[sipre_served] resumed %llu unfinished job(s) from "
+                     "%s\n",
+                     static_cast<unsigned long long>(
+                         job_manager.resumedJobs()),
+                     job_options.store_dir.c_str());
+    jobs::JobHttpHandler job_handler(job_manager);
+
     ServiceServer server(engine, server_options);
+    server.addHandler([&job_handler](const http::Request &request) {
+        return job_handler.handle(request);
+    });
+    server.addMetricsProvider(
+        [&job_handler] { return job_handler.metricsText(); });
     std::string error;
     if (!server.start(&error)) {
         std::fprintf(stderr, "sipre_served: error: %s\n", error.c_str());
@@ -167,6 +205,12 @@ main(int argc, char **argv)
     }
 
     std::fprintf(stderr, "[sipre_served] draining and shutting down\n");
+    // Order matters: flip /healthz to draining first, stop the shard
+    // executors while the engine is still live (in-flight shards finish
+    // and checkpoint; the rest stays pending on disk), then drain the
+    // engine and close the listener.
+    server.beginDrain();
+    job_manager.shutdown();
     server.shutdown(/*drain_engine=*/true);
 
     if (!cache_file.empty()) {
@@ -192,5 +236,16 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(stats.disk_hits),
                  static_cast<unsigned long long>(stats.coalesced),
                  static_cast<unsigned long long>(stats.rejected));
+    const jobs::JobManagerStats job_stats = job_manager.stats();
+    if (job_stats.jobs_total > 0 || job_stats.submitted > 0)
+        std::fprintf(
+            stderr,
+            "[sipre_served] jobs: %llu submitted, %llu completed, %llu "
+            "failed, %llu cancelled, %zu unfinished in %s\n",
+            static_cast<unsigned long long>(job_stats.submitted),
+            static_cast<unsigned long long>(job_stats.completed),
+            static_cast<unsigned long long>(job_stats.failed),
+            static_cast<unsigned long long>(job_stats.cancelled),
+            job_stats.jobs_active, job_options.store_dir.c_str());
     return 0;
 }
