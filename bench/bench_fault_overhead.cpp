@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Measures what the fault-injection hooks cost on the hot path. The
+ * framework's contract is that a disabled injector is one relaxed
+ * atomic load per hook — this bench puts a number on that, and on the
+ * mutex-guarded decide() path when a (never-firing) rule is armed, so
+ * a regression that sneaks work into the disabled fast path shows up
+ * as a changed JSON line rather than a mysterious service slowdown.
+ *
+ * Output: one machine-readable JSON line on stdout.
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/fault.hpp"
+
+namespace
+{
+
+/** ns per fault::at() call over `ops` iterations. */
+double
+timeHook(std::uint64_t ops)
+{
+    std::uint64_t fired = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        if (sipre::fault::at(sipre::fault::Site::kRecv))
+            ++fired;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    // `fired` stays observable so the loop can't be folded away; with
+    // the specs this bench uses it must end up zero.
+    if (fired != 0)
+        std::fprintf(stderr, "unexpected injections: %llu\n",
+                     static_cast<unsigned long long>(fired));
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(ops);
+}
+
+} // namespace
+
+int
+main()
+{
+    sipre::fault::Injector &injector = sipre::fault::Injector::global();
+
+    constexpr std::uint64_t kDisabledOps = 200'000'000;
+    constexpr std::uint64_t kEnabledOps = 20'000'000;
+
+    injector.configure("");
+    const double disabled_ns = timeHook(kDisabledOps);
+
+    // Armed but never firing: a fail-after threshold no run reaches,
+    // on a site the loop never consults — pure bookkeeping cost.
+    injector.configure("fsync:fail=after:1000000000000");
+    const double enabled_ns = timeHook(kEnabledOps);
+    injector.configure("");
+
+    std::printf("{\"bench\":\"fault_overhead\","
+                "\"disabled_ops\":%llu,\"disabled_ns_per_op\":%.3f,"
+                "\"enabled_ops\":%llu,\"enabled_ns_per_op\":%.3f}\n",
+                static_cast<unsigned long long>(kDisabledOps),
+                disabled_ns,
+                static_cast<unsigned long long>(kEnabledOps),
+                enabled_ns);
+    return 0;
+}

@@ -182,6 +182,9 @@ JobHttpHandler::metricsText() const
          << "sipre_jobs_rejected_total " << stats.rejected << "\n"
          << "# TYPE sipre_jobs_resumed_total counter\n"
          << "sipre_jobs_resumed_total " << stats.resumed << "\n"
+         << "# TYPE sipre_jobs_quarantined_total counter\n"
+         << "sipre_jobs_quarantined_total " << stats.quarantined
+         << "\n"
          << "# TYPE sipre_job_shards_done_total counter\n"
          << "sipre_job_shards_done_total " << stats.shards_done << "\n"
          << "# TYPE sipre_job_shards_failed_total counter\n"

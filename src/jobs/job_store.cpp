@@ -8,6 +8,7 @@
 
 #include "core/experiment.hpp"
 #include "core/json_io.hpp"
+#include "util/fsio.hpp"
 
 namespace sipre::jobs
 {
@@ -149,13 +150,11 @@ saveJobRecord(const std::string &dir, const JobRecord &record)
         if (!os)
             return false;
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    // Durable publish: fsync the tmp file and the jobs directory
+    // around the atomic rename. Rename alone is atomic against
+    // concurrent readers but not against power loss — the completed
+    // shards this record carries must survive a crash.
+    return fsio::commitFile(tmp, path);
 }
 
 bool

@@ -5,9 +5,39 @@
 #include <filesystem>
 
 #include "core/json_io.hpp"
+#include "util/fault.hpp"
 
 namespace sipre::jobs
 {
+
+namespace
+{
+
+/**
+ * Move a record the loader rejected into `<store_dir>/quarantine/`,
+ * out of the store's glob but preserved byte-for-byte for inspection.
+ * Falls back to leaving the file in place when the move itself fails
+ * (e.g. read-only filesystem); returns whether the move happened.
+ */
+bool
+quarantineRecord(const std::string &store_dir, const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path qdir = fs::path(store_dir) / "quarantine";
+    fs::create_directories(qdir, ec);
+    if (ec)
+        return false;
+    fs::path target = qdir / fs::path(path).filename();
+    // Never clobber an earlier quarantined record of the same name.
+    for (int i = 1; fs::exists(target, ec) && i < 1000; ++i)
+        target = qdir / (fs::path(path).filename().string() + "." +
+                         std::to_string(i));
+    fs::rename(path, target, ec);
+    return !ec;
+}
+
+} // namespace
 
 JobManager::JobManager(service::SimulationEngine &engine,
                        const JobManagerOptions &options)
@@ -21,9 +51,12 @@ JobManager::JobManager(service::SimulationEngine &engine,
              listJobRecordPaths(options_.store_dir)) {
             JobRecord record;
             if (!loadJobRecord(path, record)) {
+                const bool moved =
+                    quarantineRecord(options_.store_dir, path);
+                ++quarantined_;
                 std::fprintf(stderr,
-                             "[sipre_jobs] skipping unreadable job "
-                             "record %s\n",
+                             "[sipre_jobs] %s corrupt job record %s\n",
+                             moved ? "quarantined" : "skipping",
                              path.c_str());
                 continue;
             }
@@ -172,26 +205,40 @@ JobManager::executorLoop()
         }
         service::SubmitOutcome outcome;
         bool abandoned = false;
-        for (;;) {
-            outcome = engine_.submit(request);
-            if (outcome.status == service::SubmitStatus::kRejected) {
-                // Engine backpressure: the queue is full of other
-                // work. Back off briefly and retry unless stopping.
-                {
-                    std::lock_guard<std::mutex> lock(mutex_);
-                    if (stopping_) {
-                        abandoned = true;
-                        break;
-                    }
-                }
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(2));
-                continue;
-            }
-            if (outcome.status == service::SubmitStatus::kShutdown)
-                abandoned = true;
-            break;
+        // Fault site: shard execution. A failure here exercises the
+        // failed-shard bookkeeping (and checkpointing) without needing
+        // a genuinely broken workload.
+        bool injected_fail = false;
+        if (const auto fault = fault::at(fault::Site::kShard)) {
+            fault::applyDelay(fault);
+            injected_fail = fault.fail;
         }
+        if (injected_fail) {
+            outcome.status = service::SubmitStatus::kFailed;
+            outcome.error = "injected shard fault";
+        } else
+            for (;;) {
+                outcome = engine_.submit(request);
+                if (outcome.status ==
+                    service::SubmitStatus::kRejected) {
+                    // Engine backpressure: the queue is full of other
+                    // work. Back off briefly and retry unless
+                    // stopping.
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        if (stopping_) {
+                            abandoned = true;
+                            break;
+                        }
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                    continue;
+                }
+                if (outcome.status == service::SubmitStatus::kShutdown)
+                    abandoned = true;
+                break;
+            }
 
         std::lock_guard<std::mutex> lock(mutex_);
         ShardRecord &shard = job->record.shards[index];
@@ -351,6 +398,7 @@ JobManager::stats() const
     s.cancelled = cancelled_;
     s.rejected = rejected_;
     s.resumed = resumed_;
+    s.quarantined = quarantined_;
     s.shards_done = shards_done_;
     s.shards_failed = shards_failed_;
     s.shards_cached = shards_cached_;
@@ -377,6 +425,13 @@ JobManager::resumedJobs() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return resumed_;
+}
+
+std::uint64_t
+JobManager::quarantinedRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_;
 }
 
 void

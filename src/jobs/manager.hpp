@@ -99,6 +99,7 @@ struct JobManagerStats
     std::uint64_t cancelled = 0;
     std::uint64_t rejected = 0;       ///< backpressure rejections
     std::uint64_t resumed = 0;        ///< jobs reloaded unfinished
+    std::uint64_t quarantined = 0;    ///< corrupt records set aside
     std::uint64_t shards_done = 0;    ///< successful shard completions
     std::uint64_t shards_failed = 0;
     std::uint64_t shards_cached = 0;  ///< of shards_done, cache-served
@@ -121,8 +122,10 @@ class JobManager
      * Binds to `engine` (not owned) and, when a store directory is
      * configured, reloads every readable record in it: terminal jobs
      * become fetchable history, unfinished jobs resume execution with
-     * their completed shards intact. Unreadable records are skipped
-     * with a warning on stderr, never deleted.
+     * their completed shards intact. Unreadable (corrupt, truncated,
+     * or forged) records are moved to `<store_dir>/quarantine/` — set
+     * aside for inspection, never deleted, never blocking the rest of
+     * the store from loading.
      */
     JobManager(service::SimulationEngine &engine,
                const JobManagerOptions &options);
@@ -158,6 +161,9 @@ class JobManager
 
     /** Jobs that resumed from the store at construction. */
     std::uint64_t resumedJobs() const;
+
+    /** Corrupt records moved to quarantine at construction. */
+    std::uint64_t quarantinedRecords() const;
 
     /**
      * Stop the executors. Shards already submitted to the engine are
@@ -197,6 +203,7 @@ class JobManager
     std::uint64_t cancelled_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t resumed_ = 0;
+    std::uint64_t quarantined_ = 0;
     std::uint64_t shards_done_ = 0;
     std::uint64_t shards_failed_ = 0;
     std::uint64_t shards_cached_ = 0;

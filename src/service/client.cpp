@@ -1,0 +1,92 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+#include "util/rng.hpp"
+
+namespace sipre::service
+{
+
+namespace
+{
+
+/** Retry-After in milliseconds, 0 when absent/non-numeric. */
+std::uint64_t
+retryAfterMs(const http::Response *response)
+{
+    if (response == nullptr)
+        return 0;
+    const std::string *value = response->header("Retry-After");
+    if (value == nullptr || value->empty())
+        return 0;
+    std::uint64_t seconds = 0;
+    for (const char c : *value) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return 0; // HTTP-date form: ignore, fall back to backoff
+        seconds = seconds * 10 + static_cast<std::uint64_t>(c - '0');
+        if (seconds > 3600)
+            break;
+    }
+    return seconds * 1000;
+}
+
+} // namespace
+
+std::uint64_t
+RetryPolicy::backoffMs(unsigned attempt,
+                       const http::Response *response) const
+{
+    std::uint64_t backoff = base_delay_ms;
+    for (unsigned i = 1; i < attempt && backoff < max_delay_ms; ++i)
+        backoff *= 2;
+    backoff = std::min(backoff, max_delay_ms);
+    // Deterministic jitter in [0.5, 1.0): same seed + attempt, same
+    // delay — reproducible tests, decorrelated clients via the seed.
+    Rng rng(jitter_seed ^ (0x9e3779b97f4a7c15ULL * attempt));
+    backoff = static_cast<std::uint64_t>(
+        static_cast<double>(backoff) * (0.5 + 0.5 * rng.uniform()));
+    return std::min(std::max(backoff, retryAfterMs(response)),
+                    max_delay_ms);
+}
+
+ClientOutcome
+requestWithRetry(const std::string &host, std::uint16_t port,
+                 const http::Request &request,
+                 const RetryPolicy &policy)
+{
+    ClientOutcome outcome;
+    const unsigned attempts = std::max(1u, policy.max_attempts);
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        outcome.attempts = attempt;
+        outcome.response = http::Response{};
+        std::string error;
+        bool got_response = false;
+        const int fd = http::dialTcp(host, port, &error);
+        if (fd >= 0) {
+            got_response =
+                http::roundTrip(fd, request, outcome.response, &error,
+                                policy.request_timeout_ms);
+            ::close(fd);
+        }
+        outcome.ok = got_response;
+        outcome.error = got_response ? std::string{} : error;
+        if (got_response &&
+            !RetryPolicy::retryableStatus(outcome.response.status))
+            return outcome;
+        if (attempt == attempts)
+            return outcome; // last word: the 429/503/error as-is
+        const std::uint64_t delay = policy.backoffMs(
+            attempt, got_response ? &outcome.response : nullptr);
+        if (delay > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+    }
+    return outcome;
+}
+
+} // namespace sipre::service

@@ -1,5 +1,6 @@
 #include "service/engine.hpp"
 
+#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <stdexcept>
@@ -8,6 +9,8 @@
 #include "asmdb/pipeline.hpp"
 #include "core/simulator.hpp"
 #include "trace/synth/workload.hpp"
+#include "util/fault.hpp"
+#include "util/fsio.hpp"
 
 namespace sipre::service
 {
@@ -255,11 +258,23 @@ SimulationEngine::workerLoop()
 
         std::shared_ptr<const SimResult> result;
         std::string error;
-        try {
-            result = std::make_shared<const SimResult>(
-                runSimRequest(job->request));
-        } catch (const std::exception &e) {
-            error = e.what();
+        bool injected = false;
+        // The `engine` fault site models a worker whose simulation is
+        // slow (delay) or dies (fail) — the submit()er must still get
+        // a definite outcome either way.
+        if (const fault::Decision d = fault::at(fault::Site::kEngine)) {
+            fault::applyDelay(d);
+            injected = d.fail;
+        }
+        if (injected) {
+            error = "injected engine fault";
+        } else {
+            try {
+                result = std::make_shared<const SimResult>(
+                    runSimRequest(job->request));
+            } catch (const std::exception &e) {
+                error = e.what();
+            }
         }
 
         {
@@ -346,17 +361,33 @@ SimulationEngine::stats() const
 long
 SimulationEngine::saveResultCache(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
+    // Write-temp + durable commit (fsync file, rename, fsync dir): a
+    // flush interrupted by a crash leaves the previous cache file
+    // intact instead of a truncated one, and a completed flush
+    // survives power loss.
+    const std::string tmp = path + ".tmp";
+    long written = 0;
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return -1;
+        std::lock_guard<std::mutex> lock(mutex_);
+        os << "sipre-results 1 " << cache_.size() << '\n';
+        cache_.forEach(
+            [&os](const std::string &key,
+                  const std::shared_ptr<const SimResult> &result) {
+                os << key << '\n';
+                writeSimResultText(os, *result);
+            });
+        if (!os) {
+            std::remove(tmp.c_str());
+            return -1;
+        }
+        written = static_cast<long>(cache_.size());
+    }
+    if (!fsio::commitFile(tmp, path))
         return -1;
-    std::lock_guard<std::mutex> lock(mutex_);
-    os << "sipre-results 1 " << cache_.size() << '\n';
-    cache_.forEach([&os](const std::string &key,
-                         const std::shared_ptr<const SimResult> &result) {
-        os << key << '\n';
-        writeSimResultText(os, *result);
-    });
-    return static_cast<long>(cache_.size());
+    return written;
 }
 
 long

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "util/fault.hpp"
 
 namespace sipre::service::http
 {
@@ -156,9 +160,12 @@ reasonPhrase(int status)
 {
     switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
@@ -310,14 +317,108 @@ dialTcp(const std::string &host, std::uint16_t port, std::string *error)
     return fd;
 }
 
-bool
-sendAll(int fd, std::string_view data)
+namespace
 {
-    while (!data.empty()) {
-        const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+
+/** Remaining milliseconds before `deadline`; clamped at 0. */
+int
+remainingMs(std::chrono::steady_clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+}
+
+/** poll one fd for `events`; 1 ready, 0 timeout, -1 error. */
+int
+pollOne(int fd, short events, int timeout_ms)
+{
+    for (;;) {
+        pollfd pfd{fd, events, 0};
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0 && errno == EINTR)
+            continue;
+        return ready;
+    }
+}
+
+} // namespace
+
+IoStatus
+recvSome(int fd, std::string &buffer, int timeout_ms)
+{
+    std::size_t want = 16384;
+    if (const fault::Decision d = fault::at(fault::Site::kRecv)) {
+        fault::applyDelay(d);
+        if (d.fail) {
+            errno = ECONNRESET;
+            return IoStatus::kError;
+        }
+        if (d.shorten)
+            want = 1; // dribble one byte to the parser
+    }
+    if (timeout_ms >= 0) {
+        const int ready = pollOne(fd, POLLIN, timeout_ms);
+        if (ready == 0)
+            return IoStatus::kTimeout;
+        if (ready < 0)
+            return IoStatus::kError;
+    }
+    char chunk[16384];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, want, 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            return IoStatus::kError;
+        }
+        if (n == 0)
+            return IoStatus::kClosed;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        return IoStatus::kOk;
+    }
+}
+
+bool
+sendAll(int fd, std::string_view data, int timeout_ms)
+{
+    bool shorten = false;
+    if (const fault::Decision d = fault::at(fault::Site::kSend)) {
+        fault::applyDelay(d);
+        if (d.fail) {
+            errno = ECONNRESET;
+            return false;
+        }
+        shorten = d.shorten;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              timeout_ms >= 0 ? timeout_ms : 0);
+    while (!data.empty()) {
+        // A "short" fault splits the first write so the partial-write
+        // resume path runs even when the kernel would take it whole.
+        std::size_t chunk = data.size();
+        if (shorten && chunk > 1) {
+            chunk = (chunk + 1) / 2;
+            shorten = false;
+        }
+        // With a deadline we must not block inside send(): ask for
+        // EAGAIN instead and wait for writability with poll below.
+        const int flags =
+            MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0);
+        const ssize_t n = ::send(fd, data.data(), chunk, flags);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+                timeout_ms >= 0) {
+                const int left = remainingMs(deadline);
+                if (left == 0 || pollOne(fd, POLLOUT, left) == 0) {
+                    errno = ETIMEDOUT;
+                    return false;
+                }
+                continue;
+            }
             return false;
         }
         data.remove_prefix(static_cast<std::size_t>(n));
@@ -327,15 +428,17 @@ sendAll(int fd, std::string_view data)
 
 bool
 roundTrip(int fd, const Request &request, Response &response,
-          std::string *error)
+          std::string *error, int timeout_ms)
 {
-    if (!sendAll(fd, serializeRequest(request))) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              timeout_ms >= 0 ? timeout_ms : 0);
+    if (!sendAll(fd, serializeRequest(request), timeout_ms)) {
         if (error)
             *error = std::string("send: ") + std::strerror(errno);
         return false;
     }
     std::string buffer;
-    char chunk[16384];
     for (;;) {
         std::size_t consumed = 0;
         std::string parse_error;
@@ -348,20 +451,24 @@ roundTrip(int fd, const Request &request, Response &response,
                 *error = "bad response: " + parse_error;
             return false;
         }
-        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
+        const int wait = timeout_ms >= 0 ? remainingMs(deadline) : -1;
+        switch (recvSome(fd, buffer, wait)) {
+        case IoStatus::kOk:
+            break;
+        case IoStatus::kClosed:
+            if (error)
+                *error = "connection closed mid-response";
+            return false;
+        case IoStatus::kTimeout:
+            if (error)
+                *error = "request timed out";
+            errno = ETIMEDOUT;
+            return false;
+        case IoStatus::kError:
             if (error)
                 *error = std::string("recv: ") + std::strerror(errno);
             return false;
         }
-        if (n == 0) {
-            if (error)
-                *error = "connection closed mid-response";
-            return false;
-        }
-        buffer.append(chunk, static_cast<std::size_t>(n));
     }
 }
 

@@ -85,15 +85,38 @@ std::string serializeResponse(const Response &response);
 int dialTcp(const std::string &host, std::uint16_t port,
             std::string *error);
 
-/** Write the whole buffer, retrying on short writes / EINTR. */
-bool sendAll(int fd, std::string_view data);
+/** How one socket read resolved (see recvSome). */
+enum class IoStatus : std::uint8_t {
+    kOk,      ///< at least one byte appended
+    kClosed,  ///< orderly EOF from the peer
+    kTimeout, ///< deadline expired with nothing to read
+    kError    ///< transport error (errno set)
+};
+
+/**
+ * Read whatever is available on `fd` into `buffer` (appending),
+ * waiting at most `timeout_ms` for the first byte (-1 blocks
+ * indefinitely). The `recv` fault-injection site wraps the call.
+ */
+IoStatus recvSome(int fd, std::string &buffer, int timeout_ms = -1);
+
+/**
+ * Write the whole buffer, retrying on short writes / EINTR. With a
+ * non-negative `timeout_ms`, progress is bounded by a poll-based
+ * deadline: a peer that stops reading makes this fail with
+ * errno == ETIMEDOUT instead of blocking the thread forever. The
+ * `send` fault-injection site wraps the call (a "short" fault forces
+ * the partial-write path).
+ */
+bool sendAll(int fd, std::string_view data, int timeout_ms = -1);
 
 /**
  * Issue one request over an open connection and read one response
  * (keep-alive friendly). Returns false on transport or parse failure.
+ * A non-negative `timeout_ms` bounds the whole exchange.
  */
 bool roundTrip(int fd, const Request &request, Response &response,
-               std::string *error);
+               std::string *error, int timeout_ms = -1);
 
 } // namespace sipre::service::http
 

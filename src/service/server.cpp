@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -13,6 +14,7 @@
 #include <unistd.h>
 
 #include "core/json_io.hpp"
+#include "util/fault.hpp"
 
 namespace sipre::service
 {
@@ -161,9 +163,16 @@ ServiceServer::handleConnection(int fd)
         std::lock_guard<std::mutex> lock(conn_mutex_);
         active_fds_.push_back(fd);
     }
+    const int write_timeout = options_.write_timeout_ms > 0
+                                  ? static_cast<int>(
+                                        options_.write_timeout_ms)
+                                  : -1;
     std::string buffer;
-    char chunk[16384];
     bool keep_alive = true;
+    // Deadline for the request currently being read, armed when its
+    // first byte arrives. The budget covers the *whole* request, so a
+    // slow-loris dribbling one byte per poll can't reset it.
+    auto request_deadline = std::chrono::steady_clock::time_point{};
     while (keep_alive && !stopping_.load()) {
         http::Request request;
         std::size_t consumed = 0;
@@ -174,19 +183,56 @@ ServiceServer::handleConnection(int fd)
             http::Response response =
                 errorResponse(400, "malformed request: " + parse_error);
             response.headers.emplace_back("Connection", "close");
-            http::sendAll(fd, http::serializeResponse(response));
+            http::sendAll(fd, http::serializeResponse(response),
+                          write_timeout);
             break;
         }
         if (status == http::ParseStatus::kNeedMore) {
-            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-            if (n < 0 && errno == EINTR)
-                continue;
-            if (n <= 0)
+            const bool mid_request = !buffer.empty();
+            int timeout = -1;
+            if (mid_request && options_.read_timeout_ms > 0) {
+                if (request_deadline ==
+                    std::chrono::steady_clock::time_point{})
+                    request_deadline =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            options_.read_timeout_ms);
+                const auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        request_deadline -
+                        std::chrono::steady_clock::now())
+                        .count();
+                timeout = static_cast<int>(
+                    std::max<long long>(0, left));
+            } else if (!mid_request && options_.idle_timeout_ms > 0) {
+                timeout = static_cast<int>(options_.idle_timeout_ms);
+            }
+            const http::IoStatus io =
+                http::recvSome(fd, buffer, timeout);
+            if (io == http::IoStatus::kTimeout) {
+                if (mid_request) {
+                    // Slow-loris (or a stalled sender): evict with a
+                    // 408 so the thread goes back to serving others.
+                    connections_timed_out_.fetch_add(1);
+                    http::Response response = errorResponse(
+                        408, "request read deadline exceeded");
+                    response.headers.emplace_back("Connection",
+                                                  "close");
+                    http::sendAll(fd,
+                                  http::serializeResponse(response),
+                                  write_timeout);
+                } else {
+                    connections_idle_reaped_.fetch_add(1);
+                }
+                break;
+            }
+            if (io != http::IoStatus::kOk)
                 break; // peer closed or errored
-            buffer.append(chunk, static_cast<std::size_t>(n));
             continue;
         }
         buffer.erase(0, consumed);
+        request_deadline = {};
 
         const std::string *connection = request.header("Connection");
         keep_alive = !(request.version == "HTTP/1.0" ||
@@ -196,8 +242,14 @@ ServiceServer::handleConnection(int fd)
         http::Response response = dispatch(request);
         response.headers.emplace_back("Connection",
                                       keep_alive ? "keep-alive" : "close");
-        if (!http::sendAll(fd, http::serializeResponse(response)))
+        if (!http::sendAll(fd, http::serializeResponse(response),
+                           write_timeout)) {
+            // A reader that stopped draining its socket counts as a
+            // deadline eviction, not a normal disconnect.
+            if (errno == ETIMEDOUT)
+                connections_timed_out_.fetch_add(1);
             break;
+        }
     }
     // Unregister before close so shutdown() never touches a stale fd:
     // its fd sweep also runs under conn_mutex_.
@@ -344,6 +396,12 @@ ServiceServer::handleMetrics() const
          << "# TYPE sipre_requests_rejected_total counter\n"
          << "sipre_requests_rejected_total " << requests_rejected_.load()
          << "\n"
+         << "# TYPE sipre_connections_timed_out_total counter\n"
+         << "sipre_connections_timed_out_total "
+         << connections_timed_out_.load() << "\n"
+         << "# TYPE sipre_connections_idle_reaped_total counter\n"
+         << "sipre_connections_idle_reaped_total "
+         << connections_idle_reaped_.load() << "\n"
          << "# TYPE sipre_queue_depth gauge\n"
          << "sipre_queue_depth " << stats.queue_depth << "\n"
          << "# TYPE sipre_inflight gauge\n"
@@ -370,6 +428,8 @@ ServiceServer::handleMetrics() const
          << stats.latency_p99_us << "\n";
     for (const auto &provider : metrics_providers_)
         body << provider();
+    // Accounts for every injected fault; empty when injection is off.
+    body << fault::Injector::global().metricsText();
     http::Response response;
     response.status = 200;
     response.headers.emplace_back("Content-Type",

@@ -33,6 +33,27 @@ struct ServerOptions
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     unsigned connection_threads = 4;
+
+    /**
+     * Deadline (ms) for a client to deliver one complete request,
+     * measured from its first byte. A slow-loris that dribbles header
+     * bytes gets a 408 and the connection closed instead of pinning a
+     * connection thread forever. 0 disables.
+     */
+    unsigned read_timeout_ms = 10'000;
+
+    /**
+     * Deadline (ms) for writing one response. A peer that stops
+     * reading (full socket buffer) is disconnected instead of
+     * blocking the thread in send(). 0 disables.
+     */
+    unsigned write_timeout_ms = 10'000;
+
+    /**
+     * Idle keep-alive reaper (ms): a connection with no request in
+     * flight is closed after this long without a new byte. 0 disables.
+     */
+    unsigned idle_timeout_ms = 60'000;
 };
 
 /**
@@ -100,6 +121,18 @@ class ServiceServer
         return connections_.load();
     }
 
+    /** Connections evicted on a read/write deadline (408 / send stall). */
+    std::uint64_t connectionsTimedOut() const
+    {
+        return connections_timed_out_.load();
+    }
+
+    /** Idle keep-alive connections closed by the reaper. */
+    std::uint64_t connectionsIdleReaped() const
+    {
+        return connections_idle_reaped_.load();
+    }
+
     /** Route one parsed request (exposed for direct unit testing). */
     http::Response dispatch(const http::Request &request);
 
@@ -124,6 +157,8 @@ class ServiceServer
     std::atomic<bool> draining_{false};
     std::atomic<std::uint64_t> connections_{0};
     std::atomic<std::uint64_t> requests_rejected_{0};
+    std::atomic<std::uint64_t> connections_timed_out_{0};
+    std::atomic<std::uint64_t> connections_idle_reaped_{0};
 
     std::mutex conn_mutex_;
     std::condition_variable conn_cv_;

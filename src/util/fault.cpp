@@ -1,0 +1,286 @@
+#include "util/fault.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace sipre::fault
+{
+
+const char *
+siteName(Site site)
+{
+    switch (site) {
+    case Site::kRecv: return "recv";
+    case Site::kSend: return "send";
+    case Site::kFsync: return "fsync";
+    case Site::kRename: return "rename";
+    case Site::kEngine: return "engine";
+    case Site::kShard: return "shard";
+    }
+    return "unknown";
+}
+
+bool
+parseSite(std::string_view token, Site &site)
+{
+    if (token == "recv") {
+        site = Site::kRecv;
+    } else if (token == "send" || token == "write") {
+        site = Site::kSend;
+    } else if (token == "fsync") {
+        site = Site::kFsync;
+    } else if (token == "rename") {
+        site = Site::kRename;
+    } else if (token == "engine") {
+        site = Site::kEngine;
+    } else if (token == "shard") {
+        site = Site::kShard;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+bool
+parseDouble(std::string_view text, double &out)
+{
+    const char *end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+    return ec == std::errc{} && ptr == end;
+}
+
+bool
+parseUint(std::string_view text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    const char *end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+    return ec == std::errc{} && ptr == end;
+}
+
+/** "50ms" or bare "50" — milliseconds either way. */
+bool
+parseDelayMs(std::string_view text, std::uint64_t &out)
+{
+    if (text.size() > 2 && text.substr(text.size() - 2) == "ms")
+        text.remove_suffix(2);
+    return parseUint(text, out);
+}
+
+bool
+applyEntry(std::string_view entry,
+           std::array<SiteRule, kSiteCount> &rules, std::uint64_t &seed,
+           std::string &error)
+{
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+        error = "entry '" + std::string(entry) + "' has no '='";
+        return false;
+    }
+    const std::string_view lhs = entry.substr(0, eq);
+    const std::string_view value = entry.substr(eq + 1);
+
+    if (lhs == "seed") {
+        if (!parseUint(value, seed)) {
+            error = "bad seed '" + std::string(value) + "'";
+            return false;
+        }
+        return true;
+    }
+
+    const std::size_t colon = lhs.find(':');
+    if (colon == std::string_view::npos) {
+        error = "entry '" + std::string(entry) +
+                "' is not <site>:<action>=<value> or seed=N";
+        return false;
+    }
+    Site site;
+    if (!parseSite(lhs.substr(0, colon), site)) {
+        error = "unknown fault site '" +
+                std::string(lhs.substr(0, colon)) + "'";
+        return false;
+    }
+    const std::string_view action = lhs.substr(colon + 1);
+    SiteRule &rule = rules[static_cast<std::size_t>(site)];
+
+    if (action == "err" || action == "short") {
+        double p = 0.0;
+        if (!parseDouble(value, p) || p < 0.0 || p > 1.0) {
+            error = "bad probability '" + std::string(value) + "' for " +
+                    std::string(lhs);
+            return false;
+        }
+        (action == "err" ? rule.err_p : rule.short_p) = p;
+        return true;
+    }
+    if (action == "fail") {
+        constexpr std::string_view kAfter = "after:";
+        if (value.rfind(kAfter, 0) != 0 ||
+            !parseUint(value.substr(kAfter.size()), rule.fail_after)) {
+            error = "bad value '" + std::string(value) +
+                    "' for fail (expected after:N)";
+            return false;
+        }
+        rule.fail_after_set = true;
+        return true;
+    }
+    if (action == "delay") {
+        if (!parseDelayMs(value, rule.delay_ms)) {
+            error = "bad delay '" + std::string(value) +
+                    "' (expected e.g. 50ms)";
+            return false;
+        }
+        return true;
+    }
+    error = "unknown fault action '" + std::string(action) + "'";
+    return false;
+}
+
+} // namespace
+
+bool
+parseSpec(std::string_view spec, std::array<SiteRule, kSiteCount> &rules,
+          std::uint64_t &seed, std::string &error)
+{
+    rules = {};
+    while (!spec.empty()) {
+        const std::size_t comma = spec.find(',');
+        const std::string_view entry = spec.substr(0, comma);
+        if (!entry.empty() && !applyEntry(entry, rules, seed, error))
+            return false;
+        if (comma == std::string_view::npos)
+            break;
+        spec.remove_prefix(comma + 1);
+    }
+    return true;
+}
+
+Injector &
+Injector::global()
+{
+    static Injector instance;
+    static std::once_flag env_once;
+    std::call_once(env_once, [] {
+        const char *env = std::getenv("SIPRE_FAULTS");
+        if (env == nullptr || *env == '\0')
+            return;
+        std::string error;
+        if (!instance.configure(env, &error))
+            std::fprintf(stderr,
+                         "[sipre] warning: ignoring bad SIPRE_FAULTS "
+                         "'%s': %s\n",
+                         env, error.c_str());
+    });
+    return instance;
+}
+
+bool
+Injector::configure(std::string_view spec, std::string *error)
+{
+    std::array<SiteRule, kSiteCount> rules{};
+    std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+    std::string parse_error;
+    if (!parseSpec(spec, rules, seed, parse_error)) {
+        if (error)
+            *error = parse_error;
+        return false;
+    }
+    bool any = false;
+    for (const SiteRule &rule : rules)
+        any = any || rule.active();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_ = rules;
+    ops_ = {};
+    injected_ = {};
+    rng_ = Rng(seed);
+    enabled_.store(any, std::memory_order_relaxed);
+    return true;
+}
+
+Decision
+Injector::decide(Site site)
+{
+    const auto index = static_cast<std::size_t>(site);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SiteRule &rule = rules_[index];
+    ++ops_[index];
+
+    Decision decision;
+    decision.delay_ms = rule.delay_ms;
+    if (rule.fail_after_set && ops_[index] > rule.fail_after)
+        decision.fail = true;
+    else if (rule.err_p > 0.0 && rng_.chance(rule.err_p))
+        decision.fail = true;
+    else if (rule.short_p > 0.0 && rng_.chance(rule.short_p))
+        decision.shorten = true;
+    if (decision)
+        ++injected_[index];
+    return decision;
+}
+
+std::uint64_t
+Injector::injected(Site site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injected_[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t
+Injector::injectedTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : injected_)
+        total += count;
+    return total;
+}
+
+std::uint64_t
+Injector::operations(Site site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ops_[static_cast<std::size_t>(site)];
+}
+
+std::string
+Injector::metricsText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool any = enabled_.load(std::memory_order_relaxed);
+    for (const std::uint64_t count : injected_)
+        any = any || count > 0;
+    if (!any)
+        return {};
+
+    std::ostringstream body;
+    body << "# TYPE sipre_faults_injected_total counter\n";
+    for (std::size_t i = 0; i < kSiteCount; ++i)
+        body << "sipre_faults_injected_total{site=\""
+             << siteName(static_cast<Site>(i)) << "\"} " << injected_[i]
+             << "\n";
+    body << "# TYPE sipre_fault_ops_total counter\n";
+    for (std::size_t i = 0; i < kSiteCount; ++i)
+        body << "sipre_fault_ops_total{site=\""
+             << siteName(static_cast<Site>(i)) << "\"} " << ops_[i]
+             << "\n";
+    return body.str();
+}
+
+void
+applyDelay(const Decision &decision)
+{
+    if (decision.delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(decision.delay_ms));
+}
+
+} // namespace sipre::fault

@@ -1,0 +1,96 @@
+#include "util/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fault.hpp"
+
+namespace sipre::fsio
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const char *what, const std::string &path)
+{
+    if (error)
+        *error = std::string(what) + " " + path + ": " +
+                 std::strerror(errno);
+}
+
+/** Open `path` read-only, fsync, close — with the fsync fault hook. */
+bool
+syncPath(const std::string &path, std::string *error)
+{
+    if (const fault::Decision d = fault::at(fault::Site::kFsync)) {
+        fault::applyDelay(d);
+        if (d.fail) {
+            errno = EIO;
+            setError(error, "fsync (injected)", path);
+            return false;
+        }
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setError(error, "open", path);
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    if (!ok)
+        setError(error, "fsync", path);
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
+syncFile(const std::string &path, std::string *error)
+{
+    return syncPath(path, error);
+}
+
+bool
+syncParentDir(const std::string &path, std::string *error)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    return syncPath(parent.empty() ? "." : parent.string(), error);
+}
+
+bool
+commitFile(const std::string &tmp, const std::string &path,
+           std::string *error)
+{
+    if (!syncFile(tmp, error)) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+
+    if (const fault::Decision d = fault::at(fault::Site::kRename)) {
+        fault::applyDelay(d);
+        if (d.fail) {
+            errno = EIO;
+            setError(error, "rename (injected)", path);
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename", path);
+        std::remove(tmp.c_str());
+        return false;
+    }
+
+    // The rename landed; a directory-fsync failure still means the
+    // publication may not survive a crash, so report it.
+    return syncParentDir(path, error);
+}
+
+} // namespace sipre::fsio

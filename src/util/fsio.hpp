@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Crash-durable file publication: fsync the temp file, rename it over
+ * the target, fsync the containing directory. A bare rename makes the
+ * replacement *atomic* but not *durable* — after a power cut the
+ * directory entry (or the file's own bytes) may not have reached the
+ * disk, silently rolling a checkpoint back. Every step is wrapped by
+ * the fault-injection sites `fsync` and `rename`, so chaos tests can
+ * prove callers survive a disk that starts failing mid-run.
+ */
+#ifndef SIPRE_UTIL_FSIO_HPP
+#define SIPRE_UTIL_FSIO_HPP
+
+#include <string>
+
+namespace sipre::fsio
+{
+
+/** fsync the file at `path`. False (with `error`) on failure. */
+bool syncFile(const std::string &path, std::string *error = nullptr);
+
+/** fsync the directory containing `path` (its parent, or "."). */
+bool syncParentDir(const std::string &path,
+                   std::string *error = nullptr);
+
+/**
+ * Durably publish `tmp` as `path` (same directory): fsync(tmp) →
+ * rename(tmp, path) → fsync(parent dir). On any failure the temp file
+ * is removed (when it still exists) and false is returned with
+ * `error`; the previous contents of `path`, if any, are untouched
+ * unless the rename itself succeeded.
+ */
+bool commitFile(const std::string &tmp, const std::string &path,
+                std::string *error = nullptr);
+
+} // namespace sipre::fsio
+
+#endif // SIPRE_UTIL_FSIO_HPP

@@ -28,6 +28,7 @@
 
 #include "core/json_io.hpp"
 #include "core/options.hpp"
+#include "service/client.hpp"
 #include "service/http.hpp"
 
 using namespace sipre;
@@ -66,23 +67,23 @@ struct ThreadTally
     std::uint64_t coalesced = 0;
     std::uint64_t rejected = 0;
     std::uint64_t errors = 0;
+    std::uint64_t retries = 0; ///< 429 backoffs + re-dials
     std::vector<double> latencies_ms;
 };
 
-/** GET `target` on a fresh connection; false on transport failure. */
+/** GET `target` with the shared retry policy (fresh connections). */
 bool
 getOnce(const std::string &host, std::uint16_t port,
         const std::string &target, http::Response &response)
 {
-    std::string error;
-    const int fd = http::dialTcp(host, port, &error);
-    if (fd < 0)
-        return false;
     http::Request request;
     request.target = target;
-    const bool ok = http::roundTrip(fd, request, response, &error);
-    ::close(fd);
-    return ok;
+    const ClientOutcome outcome =
+        requestWithRetry(host, port, request);
+    if (!outcome.ok)
+        return false;
+    response = outcome.response;
+    return true;
 }
 
 /**
@@ -106,29 +107,26 @@ runJobsMode(const std::string &host, std::uint16_t port,
     spec += "]}";
 
     const auto start = std::chrono::steady_clock::now();
-    std::string error;
-    const int fd = http::dialTcp(host, port, &error);
-    if (fd < 0) {
-        std::fprintf(stderr, "sipre_bench_client: error: %s\n",
-                     error.c_str());
-        return 1;
-    }
     http::Request submit;
     submit.method = "POST";
     submit.target = "/jobs";
     submit.body = spec;
     submit.headers.emplace_back("Content-Type", "application/json");
-    http::Response response;
-    const bool sent = http::roundTrip(fd, submit, response, &error);
-    ::close(fd);
-    if (!sent || response.status != 202) {
+    // The submit can legitimately see 429 (max active jobs); the
+    // shared policy retries it with backoff before giving up.
+    const ClientOutcome submitted =
+        requestWithRetry(host, port, submit);
+    const http::Response &response = submitted.response;
+    if (!submitted.ok || response.status != 202) {
         std::fprintf(stderr,
                      "sipre_bench_client: error: submit failed "
                      "(status %d): %s\n",
-                     sent ? response.status : -1,
-                     sent ? response.body.c_str() : error.c_str());
+                     submitted.ok ? response.status : -1,
+                     submitted.ok ? response.body.c_str()
+                                  : submitted.error.c_str());
         return 1;
     }
+    std::string error;
     JsonValue accepted;
     std::uint64_t id = 0;
     if (parseJson(response.body, accepted, error)) {
@@ -267,6 +265,8 @@ main(int argc, char **argv)
     for (unsigned t = 0; t < threads; ++t) {
         pool.emplace_back([&, t] {
             ThreadTally &tally = tallies[t];
+            RetryPolicy policy;
+            policy.jitter_seed ^= t; // decorrelate thread backoffs
             std::string error;
             int fd = http::dialTcp(host,
                                    static_cast<std::uint16_t>(port),
@@ -291,18 +291,40 @@ main(int argc, char **argv)
 
                 const auto t0 = std::chrono::steady_clock::now();
                 http::Response response;
-                if (!http::roundTrip(fd, request, response, &error)) {
-                    // The connection may have died (e.g. server
-                    // restart); try once to re-dial.
-                    ::close(fd);
-                    fd = http::dialTcp(
-                        host, static_cast<std::uint16_t>(port), &error);
-                    if (fd < 0 ||
-                        !http::roundTrip(fd, request, response,
-                                         &error)) {
-                        ++tally.errors;
-                        continue;
+                bool got = false;
+                // Keep-alive fast path with the shared backoff: 429s
+                // are retried on the same connection after the
+                // policy's jittered delay; a dead connection gets one
+                // re-dial per attempt.
+                for (unsigned attempt = 1;; ++attempt) {
+                    got = http::roundTrip(fd, request, response,
+                                          &error,
+                                          policy.request_timeout_ms);
+                    if (!got) {
+                        // The connection may have died (e.g. server
+                        // restart); re-dial and retry once.
+                        ::close(fd);
+                        fd = http::dialTcp(
+                            host, static_cast<std::uint16_t>(port),
+                            &error);
+                        if (fd >= 0) {
+                            ++tally.retries;
+                            got = http::roundTrip(
+                                fd, request, response, &error,
+                                policy.request_timeout_ms);
+                        }
                     }
+                    if (!got || response.status != 429 ||
+                        attempt >= policy.max_attempts)
+                        break;
+                    ++tally.retries;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            policy.backoffMs(attempt, &response)));
+                }
+                if (!got) {
+                    ++tally.errors;
+                    continue;
                 }
                 const double ms =
                     std::chrono::duration<double, std::milli>(
@@ -342,6 +364,7 @@ main(int argc, char **argv)
         total.coalesced += tally.coalesced;
         total.rejected += tally.rejected;
         total.errors += tally.errors;
+        total.retries += tally.retries;
         total.latencies_ms.insert(total.latencies_ms.end(),
                                   tally.latencies_ms.begin(),
                                   tally.latencies_ms.end());
@@ -362,7 +385,8 @@ main(int argc, char **argv)
     std::printf(
         "{\"bench\":\"service_client\",\"threads\":%u,\"requests\":%llu,"
         "\"ok\":%llu,\"cached\":%llu,\"coalesced\":%llu,"
-        "\"rejected\":%llu,\"errors\":%llu,\"elapsed_s\":%s,"
+        "\"rejected\":%llu,\"errors\":%llu,\"retries\":%llu,"
+        "\"elapsed_s\":%s,"
         "\"rps\":%s,\"p50_ms\":%s,\"p99_ms\":%s}\n",
         threads, static_cast<unsigned long long>(attempted),
         static_cast<unsigned long long>(total.ok),
@@ -370,6 +394,7 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(total.coalesced),
         static_cast<unsigned long long>(total.rejected),
         static_cast<unsigned long long>(total.errors),
+        static_cast<unsigned long long>(total.retries),
         jsonDouble(elapsed_s).c_str(),
         jsonDouble(elapsed_s > 0.0
                        ? static_cast<double>(total.ok) / elapsed_s

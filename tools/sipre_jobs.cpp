@@ -28,6 +28,7 @@
 
 #include "core/json_io.hpp"
 #include "core/options.hpp"
+#include "service/client.hpp"
 #include "service/http.hpp"
 
 using namespace sipre;
@@ -61,22 +62,25 @@ usage(const char *argv0, int exit_code)
     std::exit(exit_code);
 }
 
-/** One request/response exchange on a fresh connection. */
+/**
+ * One request/response exchange through the shared retry policy:
+ * transport failures, timeouts, 429 backpressure, and 503 draining are
+ * retried with capped, jittered backoff before giving up.
+ */
 bool
 call(const std::string &host, std::uint16_t port,
      const http::Request &request, http::Response &response)
 {
-    std::string error;
-    const int fd = http::dialTcp(host, port, &error);
-    if (fd < 0) {
-        std::fprintf(stderr, "sipre_jobs: error: %s\n", error.c_str());
+    const ClientOutcome outcome =
+        requestWithRetry(host, port, request);
+    if (!outcome.ok) {
+        std::fprintf(stderr,
+                     "sipre_jobs: error: %s (after %u attempts)\n",
+                     outcome.error.c_str(), outcome.attempts);
         return false;
     }
-    const bool ok = http::roundTrip(fd, request, response, &error);
-    ::close(fd);
-    if (!ok)
-        std::fprintf(stderr, "sipre_jobs: error: %s\n", error.c_str());
-    return ok;
+    response = outcome.response;
+    return true;
 }
 
 /** Pull a numeric field out of a parsed job object, 0 when absent. */

@@ -16,7 +16,9 @@
  *   sipre_served [--port N] [--workers N] [--queue N] [--cache N]
  *                [--cache-file PATH] [--campaign-cache DIR]
  *                [--conn-threads N] [--jobs-dir DIR] [--max-jobs N]
- *                [--job-workers N]
+ *                [--job-workers N] [--read-timeout-ms N]
+ *                [--write-timeout-ms N] [--idle-timeout-ms N]
+ *                [--faults SPEC]
  */
 #include <cerrno>
 #include <csignal>
@@ -32,6 +34,7 @@
 #include "jobs/manager.hpp"
 #include "service/engine.hpp"
 #include "service/server.hpp"
+#include "util/fault.hpp"
 
 using namespace sipre;
 using namespace sipre::service;
@@ -74,6 +77,19 @@ usage(const char *argv0, int exit_code)
         "  --max-jobs N         active async jobs before 429 (default "
         "4)\n"
         "  --job-workers N      shard executor threads (default 2)\n"
+        "  --read-timeout-ms N  whole-request read deadline; slow\n"
+        "                       requests get 408 (default 10000; 0 = "
+        "none)\n"
+        "  --write-timeout-ms N response write deadline (default "
+        "10000;\n"
+        "                       0 = none)\n"
+        "  --idle-timeout-ms N  idle keep-alive reap deadline (default\n"
+        "                       60000; 0 = none)\n"
+        "  --faults SPEC        deterministic fault injection, e.g.\n"
+        "                       'seed=7,recv:err=0.01,fsync:fail=after:"
+        "3'\n"
+        "                       (also via SIPRE_FAULTS; see DESIGN.md "
+        "§10)\n"
         "  --help               this text\n",
         argv0);
     std::exit(exit_code);
@@ -139,6 +155,29 @@ main(int argc, char **argv)
         } else if (arg == "--job-workers") {
             job_options.shard_workers =
                 static_cast<unsigned>(num(1024));
+        } else if (arg == "--read-timeout-ms") {
+            server_options.read_timeout_ms =
+                static_cast<int>(num(3'600'000));
+        } else if (arg == "--write-timeout-ms") {
+            server_options.write_timeout_ms =
+                static_cast<int>(num(3'600'000));
+        } else if (arg == "--idle-timeout-ms") {
+            server_options.idle_timeout_ms =
+                static_cast<int>(num(3'600'000));
+        } else if (arg == "--faults") {
+            const std::string spec = next();
+            std::string fault_error;
+            if (!fault::Injector::global().configure(spec,
+                                                     &fault_error)) {
+                std::fprintf(
+                    stderr,
+                    "sipre_served: error: bad --faults spec '%s': %s\n",
+                    spec.c_str(), fault_error.c_str());
+                return 2;
+            }
+            std::fprintf(stderr,
+                         "[sipre_served] fault injection armed: %s\n",
+                         spec.c_str());
         } else if (arg == "--help") {
             usage(argv[0], 0);
         } else {
