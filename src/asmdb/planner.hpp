@@ -76,6 +76,7 @@ struct AsmdbPlan
  * @param line_misses  per-line L1-I demand miss counts from profiling
  * @param profiled_ipc IPC of the profiling run (sets the min distance)
  * @param llc_latency  LLC access latency in cycles
+ * @param params       aggressiveness knobs (window, fanout threshold)
  */
 AsmdbPlan buildPlan(const Cfg &cfg,
                     const std::unordered_map<Addr, std::uint64_t>

@@ -160,8 +160,24 @@ writeResult(std::ostream &os, const SimResult &r)
     writeCache(os, r.l2);
     os << ' ';
     writeCache(os, r.llc);
+    // Scenario timeline (v5): tagged section so a garbled record fails
+    // loudly instead of shifting every following field.
+    os << " tl " << r.scenario_timeline.window_size << ' '
+       << r.scenario_timeline.windows.size();
+    for (const ScenarioWindow &w : r.scenario_timeline.windows) {
+        os << ' ' << w.start_cycle;
+        for (const std::uint64_t c : w.cycles)
+            os << ' ' << c;
+    }
     os << '\n';
 }
+
+/**
+ * Windows past this are a forged/garbled record, not a real timeline
+ * (also bounds the allocation a hostile record can demand before the
+ * stream check catches it).
+ */
+constexpr std::uint64_t kMaxTimelineWindows = 1'048'576;
 
 void
 readResult(std::istream &is, SimResult &r)
@@ -180,6 +196,25 @@ readResult(std::istream &is, SimResult &r)
     readCache(is, r.l1d);
     readCache(is, r.l2);
     readCache(is, r.llc);
+    std::string tag;
+    std::uint64_t windows = 0;
+    is >> tag;
+    if (tag != "tl") {
+        is.setstate(std::ios::failbit);
+        return;
+    }
+    is >> r.scenario_timeline.window_size >> windows;
+    if (!is || windows > kMaxTimelineWindows) {
+        is.setstate(std::ios::failbit);
+        return;
+    }
+    r.scenario_timeline.windows.assign(static_cast<std::size_t>(windows),
+                                       ScenarioWindow{});
+    for (ScenarioWindow &w : r.scenario_timeline.windows) {
+        is >> w.start_cycle;
+        for (std::uint64_t &c : w.cycles)
+            is >> c;
+    }
 }
 
 } // namespace

@@ -501,7 +501,22 @@ simResultToJson(const SimResult &r)
     writeCacheJson(os, r.l2);
     os << ",\"llc\":";
     writeCacheJson(os, r.llc);
-    os << "}";
+    // Always present (window_size 0 + empty windows when the feature
+    // was off) so served and direct serializations stay byte-identical.
+    os << ",\"scenario_timeline\":{\"window_size\":"
+       << r.scenario_timeline.window_size << ",\"windows\":[";
+    for (std::size_t i = 0; i < r.scenario_timeline.windows.size(); ++i) {
+        const ScenarioWindow &w = r.scenario_timeline.windows[i];
+        if (i != 0)
+            os << ",";
+        os << "{\"start_cycle\":" << w.start_cycle;
+        for (std::size_t s = 0; s < kFtqScenarioCount; ++s) {
+            os << ",\"" << ftqScenarioName(static_cast<FtqScenario>(s))
+               << "\":" << w.cycles[s];
+        }
+        os << "}";
+    }
+    os << "]}}";
     return os.str();
 }
 

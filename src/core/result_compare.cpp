@@ -173,6 +173,25 @@ diffSimResults(const SimResult &a, const SimResult &b)
     d.check("l1d", a.l1d, b.l1d);
     d.check("l2", a.l2, b.l2);
     d.check("llc", a.llc, b.llc);
+
+    const ScenarioTimeline &ta = a.scenario_timeline;
+    const ScenarioTimeline &tb = b.scenario_timeline;
+    d.check("scenario_timeline.window_size", ta.window_size,
+            tb.window_size);
+    d.check("scenario_timeline.windows", ta.windows.size(),
+            tb.windows.size());
+    for (std::size_t i = 0;
+         i < std::min(ta.windows.size(), tb.windows.size()); ++i) {
+        const std::string prefix =
+            "scenario_timeline.windows[" + std::to_string(i) + "]";
+        d.check(prefix + ".start_cycle", ta.windows[i].start_cycle,
+                tb.windows[i].start_cycle);
+        for (std::size_t s = 0; s < kFtqScenarioCount; ++s) {
+            d.check(prefix + "." +
+                        ftqScenarioName(static_cast<FtqScenario>(s)),
+                    ta.windows[i].cycles[s], tb.windows[i].cycles[s]);
+        }
+    }
     return d.result();
 }
 

@@ -12,6 +12,7 @@
 #include "backend/backend.hpp"
 #include "branch/unit.hpp"
 #include "frontend/frontend_stats.hpp"
+#include "frontend/scenario_timeline.hpp"
 #include "memory/cache.hpp"
 
 namespace sipre
@@ -43,6 +44,13 @@ struct SimResult
     CacheStats l1d;
     CacheStats l2;
     CacheStats llc;
+
+    /**
+     * Windowed FTQ-scenario attribution (empty with window_size 0
+     * unless Simulator::enableScenarioTimeline was called — the
+     * default, so cached results and differential runs are unaffected).
+     */
+    ScenarioTimeline scenario_timeline;
 
     /** IPC over the paper's instruction accounting. */
     double

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "trace_obs/recorder.hpp"
 #include "util/logging.hpp"
 
 namespace sipre
@@ -100,6 +101,10 @@ Simulator::nextEventCycle(Cycle now) const
 SimResult
 Simulator::run()
 {
+    trace_obs::Span span("sim.run", "core");
+    span.arg("workload", trace_.name());
+    span.arg("config", config_.label);
+
     const std::uint64_t total = trace_.size();
     const std::uint64_t warmup = static_cast<std::uint64_t>(
         static_cast<double>(total) * config_.warmup_fraction);
@@ -245,6 +250,7 @@ Simulator::run()
     result.l1d = memory_->l1d().stats();
     result.l2 = memory_->l2().stats();
     result.llc = memory_->llc().stats();
+    result.scenario_timeline = frontend_->scenarioTimeline();
     return result;
 }
 

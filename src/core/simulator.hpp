@@ -64,6 +64,18 @@ class Simulator
         return preloader_ ? &preloader_->stats() : nullptr;
     }
 
+    /**
+     * Turn on windowed FTQ-scenario attribution (off by default): every
+     * simulated cycle's taxonomy class is bucketed into `window`-cycle
+     * windows published as SimResult::scenario_timeline. `window` of 0
+     * turns it back off. Call before run(). Enabling it never changes
+     * any other result field — the differential tests depend on that.
+     */
+    void enableScenarioTimeline(std::uint32_t window)
+    {
+        frontend_->enableScenarioTimeline(window);
+    }
+
     /** Run the whole trace to retirement and collect results. */
     SimResult run();
 

@@ -1,0 +1,27 @@
+#include "core/trace_export.hpp"
+
+namespace sipre
+{
+
+trace_obs::CounterSeries
+scenarioCounterSeries(const ScenarioTimeline &timeline,
+                      const std::string &label)
+{
+    trace_obs::CounterSeries series;
+    series.name = label;
+    for (std::size_t s = 0; s < kFtqScenarioCount; ++s)
+        series.keys.push_back(
+            ftqScenarioName(static_cast<FtqScenario>(s)));
+    series.points.reserve(timeline.windows.size());
+    for (const ScenarioWindow &window : timeline.windows) {
+        trace_obs::CounterSeries::Point point;
+        // The track's time axis is simulated cycles, presented through
+        // the trace format's microsecond field: 1 "us" == 1 cycle.
+        point.ts_us = static_cast<double>(window.start_cycle);
+        point.values.assign(window.cycles.begin(), window.cycles.end());
+        series.points.push_back(std::move(point));
+    }
+    return series;
+}
+
+} // namespace sipre

@@ -105,6 +105,12 @@ DecoupledFrontEnd::accountSkippedCycles(Cycle count)
         return;
     if (ftq_.empty()) {
         stats_.ftq_empty_cycles += count;
+        if (timeline_) {
+            timeline_->record(stall_ != StallReason::kNone
+                                  ? FtqScenario::kRedirect
+                                  : FtqScenario::kEmpty,
+                              count);
+        }
         return;
     }
     // Mirrors classifyCycle() on a frozen FTQ: no entry changes fetch
@@ -113,6 +119,8 @@ DecoupledFrontEnd::accountSkippedCycles(Cycle count)
     // counters advance.
     if (ftq_.front().fetchDone()) {
         stats_.scenario1_cycles += count;
+        if (timeline_)
+            timeline_->record(FtqScenario::kShootThrough, count);
         return;
     }
     stats_.head_stall_cycles += count;
@@ -125,6 +133,11 @@ DecoupledFrontEnd::accountSkippedCycles(Cycle count)
         stats_.scenario3_cycles += count;
     else
         stats_.scenario2_cycles += count;
+    if (timeline_) {
+        timeline_->record(any_other_unready ? FtqScenario::kShadowStall
+                                            : FtqScenario::kStallingHead,
+                          count);
+    }
 }
 
 void
@@ -450,12 +463,20 @@ DecoupledFrontEnd::classifyCycle(Cycle now)
     (void)now;
     if (ftq_.empty()) {
         ++stats_.ftq_empty_cycles;
+        if (timeline_) {
+            timeline_->record(stall_ != StallReason::kNone
+                                  ? FtqScenario::kRedirect
+                                  : FtqScenario::kEmpty,
+                              1);
+        }
         return;
     }
 
     const FtqEntry &head = ftq_.front();
     if (head.fetchDone()) {
         ++stats_.scenario1_cycles;
+        if (timeline_)
+            timeline_->record(FtqScenario::kShootThrough, 1);
         return;
     }
 
@@ -476,6 +497,11 @@ DecoupledFrontEnd::classifyCycle(Cycle now)
         ++stats_.scenario3_cycles;
     else
         ++stats_.scenario2_cycles;
+    if (timeline_) {
+        timeline_->record(any_other_unready ? FtqScenario::kShadowStall
+                                            : FtqScenario::kStallingHead,
+                          1);
+    }
 }
 
 void

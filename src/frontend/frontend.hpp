@@ -27,6 +27,7 @@
 #include "frontend/decode_queue.hpp"
 #include "frontend/frontend_stats.hpp"
 #include "frontend/ftq.hpp"
+#include "frontend/scenario_timeline.hpp"
 #include "memory/hierarchy.hpp"
 #include "memory/tlb.hpp"
 #include "trace/trace.hpp"
@@ -133,6 +134,27 @@ class DecoupledFrontEnd
     const FrontendStats &stats() const { return stats_; }
     const BranchUnit &branchUnit() const { return unit_; }
 
+    /**
+     * Attach (window > 0) or detach (window == 0) the windowed
+     * scenario-attribution recorder. Off by default; when attached,
+     * every simulated cycle's taxonomy class is also bucketed into
+     * N-cycle windows retrievable via scenarioTimeline().
+     */
+    void
+    enableScenarioTimeline(std::uint32_t window)
+    {
+        timeline_ = window != 0
+                        ? std::make_unique<ScenarioTimelineRecorder>(window)
+                        : nullptr;
+    }
+
+    /** The recorded timeline; empty/disabled when never attached. */
+    ScenarioTimeline
+    scenarioTimeline() const
+    {
+        return timeline_ ? timeline_->finish() : ScenarioTimeline{};
+    }
+
     /** The instruction TLB (null when FrontendConfig::itlb is false). */
     const Tlb *itlb() const { return itlb_ ? itlb_.get() : nullptr; }
     BranchUnit &branchUnit() { return unit_; }
@@ -143,6 +165,8 @@ class DecoupledFrontEnd
     {
         stats_ = FrontendStats{};
         unit_.resetStats();
+        if (timeline_)
+            timeline_->resetKeepPosition();
     }
     const Ftq &ftq() const { return ftq_; }
 
@@ -195,6 +219,7 @@ class DecoupledFrontEnd
 
     const SwPrefetchTriggers *triggers_ = nullptr;
     std::unique_ptr<Tlb> itlb_;
+    std::unique_ptr<ScenarioTimelineRecorder> timeline_;
 };
 
 } // namespace sipre

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Windowed FTQ-scenario attribution: the per-cycle taxonomy of Sec. III
+ * (Scenario 1 Shoot-Through / Scenario 2 Stalling-Head / Scenario 3
+ * Shadow-Stalls, plus FTQ-empty and redirect) bucketed into fixed
+ * N-cycle windows, so a run's aggregate counters gain a time axis —
+ * where in the run a workload transitions between scenarios.
+ *
+ * Off by default: the front-end records into a ScenarioTimelineRecorder
+ * only when one is attached (Simulator::enableScenarioTimeline), so the
+ * differential tests stay bit-identical and the hot loop pays a single
+ * null-pointer check. The recorder is fed exactly once per simulated
+ * cycle — either by classifyCycle() on a real tick or in bulk by
+ * accountSkippedCycles() over a fast-forwarded span — so the sum of all
+ * window counts equals the run's cycle count.
+ */
+#ifndef SIPRE_FRONTEND_SCENARIO_TIMELINE_HPP
+#define SIPRE_FRONTEND_SCENARIO_TIMELINE_HPP
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** The per-cycle FTQ state classes the timeline distinguishes. */
+enum class FtqScenario : std::uint8_t {
+    kShootThrough = 0, ///< Scenario 1: head fetch-done, delivering
+    kStallingHead,     ///< Scenario 2: head stalled, all others ready
+    kShadowStall,      ///< Scenario 3: head + other entries stalled
+    kEmpty,            ///< FTQ empty, fetch-ahead running
+    kRedirect,         ///< FTQ empty because fetch-ahead is stalled
+};
+
+inline constexpr std::size_t kFtqScenarioCount = 5;
+
+/** Stable short name for serialization and counter-track keys. */
+inline const char *
+ftqScenarioName(FtqScenario scenario)
+{
+    switch (scenario) {
+    case FtqScenario::kShootThrough: return "scenario1";
+    case FtqScenario::kStallingHead: return "scenario2";
+    case FtqScenario::kShadowStall: return "scenario3";
+    case FtqScenario::kEmpty: return "ftq_empty";
+    case FtqScenario::kRedirect: return "redirect";
+    }
+    return "?";
+}
+
+/** One window: per-class cycle counts starting at `start_cycle`. */
+struct ScenarioWindow
+{
+    Cycle start_cycle = 0;
+    std::array<std::uint64_t, kFtqScenarioCount> cycles{};
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const std::uint64_t c : cycles)
+            sum += c;
+        return sum;
+    }
+};
+
+/**
+ * The timeline attached to a SimResult. `window_size == 0` means the
+ * feature was off for the run (the default) and `windows` is empty.
+ * Window start cycles count from the start of simulation; the first
+ * post-warmup window may be partial because warmup cycles are dropped.
+ */
+struct ScenarioTimeline
+{
+    std::uint32_t window_size = 0;
+    std::vector<ScenarioWindow> windows;
+
+    bool enabled() const { return window_size != 0; }
+
+    std::uint64_t
+    totalCycles() const
+    {
+        std::uint64_t sum = 0;
+        for (const ScenarioWindow &w : windows)
+            sum += w.total();
+        return sum;
+    }
+
+    bool
+    operator==(const ScenarioTimeline &other) const
+    {
+        if (window_size != other.window_size ||
+            windows.size() != other.windows.size())
+            return false;
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+            if (windows[i].start_cycle != other.windows[i].start_cycle ||
+                windows[i].cycles != other.windows[i].cycles)
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Accumulates consecutive per-cycle classifications into windows. The
+ * cursor is the absolute cycle of the next record; record(s, n) spreads
+ * n consecutive cycles of class s across window boundaries, so a bulk
+ * skipped span lands in the same windows a cycle-by-cycle loop would
+ * fill (the differential tests rely on this).
+ */
+class ScenarioTimelineRecorder
+{
+  public:
+    explicit ScenarioTimelineRecorder(std::uint32_t window_size)
+        : window_size_(window_size == 0 ? 1 : window_size)
+    {
+    }
+
+    void
+    record(FtqScenario scenario, Cycle count)
+    {
+        const std::size_t slot = static_cast<std::size_t>(scenario);
+        while (count > 0) {
+            if (!dirty_) {
+                current_.start_cycle = cursor_ - (cursor_ % window_size_);
+                dirty_ = true;
+            }
+            const Cycle window_end = current_.start_cycle + window_size_;
+            const Cycle take = std::min<Cycle>(count, window_end - cursor_);
+            current_.cycles[slot] += take;
+            cursor_ += take;
+            count -= take;
+            if (cursor_ == window_end)
+                flush();
+        }
+    }
+
+    /**
+     * End-of-warmup: drop everything recorded so far but keep the
+     * cursor, so post-warmup cycles keep their absolute positions (the
+     * warmup window they land in simply starts partial).
+     */
+    void
+    resetKeepPosition()
+    {
+        windows_.clear();
+        current_ = ScenarioWindow{};
+        dirty_ = false;
+    }
+
+    /** The completed timeline, including any partial final window. */
+    ScenarioTimeline
+    finish() const
+    {
+        ScenarioTimeline timeline;
+        timeline.window_size = window_size_;
+        timeline.windows = windows_;
+        if (dirty_)
+            timeline.windows.push_back(current_);
+        return timeline;
+    }
+
+  private:
+    void
+    flush()
+    {
+        windows_.push_back(current_);
+        current_ = ScenarioWindow{};
+        dirty_ = false;
+    }
+
+    std::uint32_t window_size_;
+    Cycle cursor_ = 0;
+    ScenarioWindow current_{};
+    bool dirty_ = false;
+    std::vector<ScenarioWindow> windows_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_FRONTEND_SCENARIO_TIMELINE_HPP

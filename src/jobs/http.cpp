@@ -4,6 +4,9 @@
 
 #include "core/json_io.hpp"
 #include "core/options.hpp"
+#include "core/trace_export.hpp"
+#include "trace_obs/chrome_trace.hpp"
+#include "trace_obs/recorder.hpp"
 
 namespace sipre::jobs
 {
@@ -105,19 +108,49 @@ JobHttpHandler::handle(const Request &request)
         return methodNotAllowed("GET, POST");
     }
 
-    // /jobs/<id> or /jobs/<id>/result
+    // /jobs/<id>, /jobs/<id>/result, or /jobs/<id>/trace
     std::string rest = target.substr(6);
     bool want_result = false;
+    bool want_trace = false;
     const std::size_t slash = rest.find('/');
     if (slash != std::string::npos) {
-        if (rest.substr(slash) != "/result")
+        const std::string suffix = rest.substr(slash);
+        if (suffix == "/result")
+            want_result = true;
+        else if (suffix == "/trace")
+            want_trace = true;
+        else
             return errorResponse(404, "no route for " + target);
-        want_result = true;
         rest = rest.substr(0, slash);
     }
     const auto id = parseUnsigned(rest);
     if (!id)
         return errorResponse(404, "bad job id '" + rest + "'");
+
+    if (want_trace) {
+        if (request.method != "GET")
+            return methodNotAllowed("GET");
+        std::vector<ShardTraceInfo> shards;
+        if (!manager_.traceInfo(*id, shards))
+            return errorResponse(404, "no such job " + rest);
+        // Chrome trace JSON: this job's spans from the shared recorder
+        // (empty unless the daemon runs with tracing armed) plus one
+        // scenario counter track per shard that recorded a timeline
+        // (empty unless --scenario-window is set). A running job gets
+        // a partial — still loadable — trace.
+        std::vector<trace_obs::CounterSeries> series;
+        series.reserve(shards.size());
+        for (const ShardTraceInfo &shard : shards) {
+            series.push_back(scenarioCounterSeries(
+                shard.timeline,
+                "ftq scenarios: shard" + std::to_string(shard.index) +
+                    " " + shard.workload + "/" + shard.config_label));
+        }
+        return jsonResponse(
+            200, trace_obs::buildChromeTrace(
+                     trace_obs::Recorder::global(), *id, series,
+                     "sipre_served job " + rest));
+    }
 
     if (want_result) {
         if (request.method != "GET")

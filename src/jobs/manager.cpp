@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "core/json_io.hpp"
+#include "trace_obs/recorder.hpp"
 #include "util/fault.hpp"
 
 namespace sipre::jobs
@@ -216,7 +217,14 @@ JobManager::executorLoop()
         if (injected_fail) {
             outcome.status = service::SubmitStatus::kFailed;
             outcome.error = "injected shard fault";
-        } else
+        } else {
+            // Everything below — including the engine.submit span and
+            // the worker-side sim span it hands off to — is attributed
+            // to this job id for GET /jobs/<id>/trace.
+            const trace_obs::ScopedJob job_scope(job->record.id);
+            trace_obs::Span span("jobs.shard", "jobs");
+            span.arg("workload", request.workload);
+            span.arg("shard", std::to_string(index));
             for (;;) {
                 outcome = engine_.submit(request);
                 if (outcome.status ==
@@ -239,6 +247,7 @@ JobManager::executorLoop()
                     abandoned = true;
                 break;
             }
+        }
 
         std::lock_guard<std::mutex> lock(mutex_);
         ShardRecord &shard = job->record.shards[index];
@@ -385,6 +394,30 @@ JobManager::result(std::uint64_t id, std::string &json) const
     }
     json += ']';
     return JobResultStatus::kOk;
+}
+
+bool
+JobManager::traceInfo(std::uint64_t id,
+                      std::vector<ShardTraceInfo> &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    const JobRecord &record = it->second->record;
+    for (std::size_t i = 0; i < record.shards.size(); ++i) {
+        const ShardRecord &shard = record.shards[i];
+        if (shard.state != ShardState::kDone ||
+            !shard.result.scenario_timeline.enabled())
+            continue;
+        ShardTraceInfo info;
+        info.index = i;
+        info.workload = shard.result.workload;
+        info.config_label = shard.result.config_label;
+        info.timeline = shard.result.scenario_timeline;
+        out.push_back(std::move(info));
+    }
+    return true;
 }
 
 JobManagerStats

@@ -90,6 +90,15 @@ enum class JobResultStatus : std::uint8_t {
     kNotFinished ///< job not in a terminal state yet
 };
 
+/** Per-shard data the trace endpoint renders as counter tracks. */
+struct ShardTraceInfo
+{
+    std::size_t index = 0;
+    std::string workload;
+    std::string config_label;
+    ScenarioTimeline timeline;
+};
+
 /** Counters and gauges for /metrics. */
 struct JobManagerStats
 {
@@ -156,6 +165,15 @@ class JobManager
      * bit-exact SimResult document.
      */
     JobResultStatus result(std::uint64_t id, std::string &json) const;
+
+    /**
+     * Scenario timelines of the job's completed shards (shards with no
+     * recorded timeline are skipped), for GET /jobs/<id>/trace. Unlike
+     * result() this works on a running job — a partial trace is still
+     * a useful trace. Returns false for an unknown id.
+     */
+    bool traceInfo(std::uint64_t id,
+                   std::vector<ShardTraceInfo> &out) const;
 
     JobManagerStats stats() const;
 

@@ -9,6 +9,7 @@
 #include "asmdb/pipeline.hpp"
 #include "core/simulator.hpp"
 #include "trace/synth/workload.hpp"
+#include "trace_obs/recorder.hpp"
 #include "util/fault.hpp"
 #include "util/fsio.hpp"
 
@@ -16,7 +17,7 @@ namespace sipre::service
 {
 
 SimResult
-runSimRequest(const SimRequest &request)
+runSimRequest(const SimRequest &request, std::uint32_t scenario_window)
 {
     const auto suite = synth::cvp1LikeSuite();
     const synth::WorkloadSpec *spec = nullptr;
@@ -29,22 +30,27 @@ runSimRequest(const SimRequest &request)
 
     const Trace trace = synth::generateTrace(*spec, request.instructions);
     const SimConfig config = request.toConfig();
+    const auto run = [scenario_window](Simulator &sim) {
+        if (scenario_window != 0)
+            sim.enableScenarioTimeline(scenario_window);
+        return sim.run();
+    };
 
     switch (request.mode) {
     case SimMode::kBase: {
         Simulator sim(config, trace);
-        return sim.run();
+        return run(sim);
     }
     case SimMode::kAsmdb: {
         const auto artifacts = asmdb::runPipeline(trace, config);
         Simulator sim(config, artifacts.rewrite.trace);
-        return sim.run();
+        return run(sim);
     }
     case SimMode::kNoOverhead: {
         const auto artifacts = asmdb::runPipeline(trace, config);
         Simulator sim(config, trace);
         sim.setSwPrefetchTriggers(&artifacts.triggers);
-        return sim.run();
+        return run(sim);
     }
     case SimMode::kMetadata: {
         const auto artifacts = asmdb::runPipeline(trace, config);
@@ -52,12 +58,12 @@ runSimRequest(const SimRequest &request)
         sim.attachMetadataPreloader(
             MetadataPreloadConfig{},
             asmdb::buildMetadataMap(artifacts.plan));
-        return sim.run();
+        return run(sim);
     }
     case SimMode::kFeedback: {
         const auto fb = asmdb::runFeedbackDirected(trace, config);
         Simulator sim(config, fb.rewrite.trace);
-        return sim.run();
+        return run(sim);
     }
     }
     throw std::runtime_error("unhandled mode");
@@ -171,12 +177,16 @@ SimulationEngine::submit(const SimRequest &request)
     const auto start = std::chrono::steady_clock::now();
     const std::string key = request.canonicalKey();
 
+    trace_obs::Span span("engine.submit", "service");
+    span.arg("workload", request.workload);
+
     std::shared_ptr<Job> job;
     bool coalesced = false;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         ++requests_;
         if (stopping_) {
+            span.arg("tier", "shutdown");
             SubmitOutcome outcome;
             outcome.status = SubmitStatus::kShutdown;
             outcome.error = "engine shutting down";
@@ -185,6 +195,7 @@ SimulationEngine::submit(const SimRequest &request)
 
         if (auto hit = cache_.get(key)) {
             ++cache_hits_;
+            span.arg("tier", "result-cache");
             SubmitOutcome outcome;
             outcome.status = SubmitStatus::kOk;
             outcome.result = *hit;
@@ -201,9 +212,11 @@ SimulationEngine::submit(const SimRequest &request)
             ++coalesced_;
             job = it->second;
             coalesced = true;
+            span.arg("tier", "coalesced");
         } else if (const auto disk = disk_cache_.find(key);
                    disk != disk_cache_.end()) {
             ++disk_hits_;
+            span.arg("tier", "campaign-cache");
             cache_.put(key, disk->second);
             SubmitOutcome outcome;
             outcome.status = SubmitStatus::kOk;
@@ -218,6 +231,7 @@ SimulationEngine::submit(const SimRequest &request)
         } else {
             if (queue_.size() >= options_.queue_capacity) {
                 ++rejected_;
+                span.arg("tier", "rejected");
                 SubmitOutcome outcome;
                 outcome.status = SubmitStatus::kRejected;
                 outcome.error = "queue full (" +
@@ -229,6 +243,8 @@ SimulationEngine::submit(const SimRequest &request)
             job = std::make_shared<Job>();
             job->key = key;
             job->request = request;
+            job->trace_job = trace_obs::currentJob();
+            span.arg("tier", "simulated");
             inflight_.emplace(key, job);
             queue_.push_back(job);
             queue_cv_.notify_one();
@@ -269,9 +285,14 @@ SimulationEngine::workerLoop()
         if (injected) {
             error = "injected engine fault";
         } else {
+            // Attribute the worker's span to the job the (first)
+            // submitter was executing, carried across the queue hop.
+            const trace_obs::ScopedJob job_scope(job->trace_job);
+            trace_obs::Span span("engine.simulate", "service");
+            span.arg("workload", job->request.workload);
             try {
-                result = std::make_shared<const SimResult>(
-                    runSimRequest(job->request));
+                result = std::make_shared<const SimResult>(runSimRequest(
+                    job->request, options_.scenario_window));
             } catch (const std::exception &e) {
                 error = e.what();
             }
@@ -372,7 +393,7 @@ SimulationEngine::saveResultCache(const std::string &path) const
         if (!os)
             return -1;
         std::lock_guard<std::mutex> lock(mutex_);
-        os << "sipre-results 1 " << cache_.size() << '\n';
+        os << "sipre-results 2 " << cache_.size() << '\n';
         cache_.forEach(
             [&os](const std::string &key,
                   const std::shared_ptr<const SimResult> &result) {
@@ -400,7 +421,9 @@ SimulationEngine::loadResultCache(const std::string &path)
     int version = 0;
     std::size_t count = 0;
     is >> magic >> version >> count;
-    if (magic != "sipre-results" || version != 1)
+    // v1 predates the scenario-timeline section; stale caches reload
+    // from scratch rather than misparse.
+    if (magic != "sipre-results" || version != 2)
         return -1;
     long loaded = 0;
     for (std::size_t i = 0; i < count; ++i) {

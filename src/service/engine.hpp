@@ -46,6 +46,15 @@ struct EngineOptions
      */
     bool use_campaign_cache = false;
     CampaignOptions campaign;
+
+    /**
+     * When nonzero, freshly simulated results carry a windowed FTQ
+     * scenario timeline (Simulator::enableScenarioTimeline) with this
+     * window size in cycles. Cache-tier results (LRU, campaign disk)
+     * keep whatever timeline they were stored with — typically none —
+     * which is why this is not part of the request key.
+     */
+    std::uint32_t scenario_window = 0;
 };
 
 /** How a submit() call was resolved. */
@@ -114,9 +123,11 @@ struct EngineStats
  * Run one validated request to completion (trace synthesis, optional
  * AsmDB pipeline, simulation). This is the exact per-mode recipe
  * sipre_cli executes, factored out so both entry points and the
- * service workers share it.
+ * service workers share it. A nonzero `scenario_window` turns on the
+ * windowed FTQ scenario timeline for the run.
  */
-SimResult runSimRequest(const SimRequest &request);
+SimResult runSimRequest(const SimRequest &request,
+                        std::uint32_t scenario_window = 0);
 
 /** See file comment. Thread-safe; submit() blocks until resolution. */
 class SimulationEngine
@@ -162,6 +173,11 @@ class SimulationEngine
     {
         std::string key;
         SimRequest request;
+        /// Job id for trace attribution, captured from the submitting
+        /// thread's trace_obs::currentJob() so the worker's sim span
+        /// lands on the right job even across the queue hop. Coalesced
+        /// submitters share the first submitter's attribution.
+        std::uint64_t trace_job = 0;
         std::mutex mutex;
         std::condition_variable cv;
         bool done = false;

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "core/json_io.hpp"
+#include "trace_obs/recorder.hpp"
 #include "util/fault.hpp"
 
 namespace sipre::service
@@ -264,6 +265,9 @@ ServiceServer::handleConnection(int fd)
 http::Response
 ServiceServer::dispatch(const http::Request &request)
 {
+    trace_obs::Span span("http.request", "service");
+    span.arg("method", request.method);
+    span.arg("target", request.target);
     http::Response response = route(request);
     // Unknown paths and wrong methods are client mistakes worth
     // watching for (a misdeployed client, a scanner): count them.
@@ -430,6 +434,7 @@ ServiceServer::handleMetrics() const
         body << provider();
     // Accounts for every injected fault; empty when injection is off.
     body << fault::Injector::global().metricsText();
+    body << trace_obs::Recorder::global().metricsText();
     http::Response response;
     response.status = 200;
     response.headers.emplace_back("Content-Type",

@@ -1,0 +1,171 @@
+#include "trace_obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace sipre::trace_obs
+{
+
+namespace
+{
+
+/** Minimal JSON string escape (control chars, quote, backslash). */
+std::string
+escape(std::string_view in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Append one "ts" value in microseconds with ns precision. */
+void
+appendUs(std::string &out, double us)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    out += buf;
+}
+
+void
+appendMetadata(std::string &out, int pid, int tid, const char *name,
+               const std::string &value, bool &first)
+{
+    if (!first)
+        out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"";
+    out += name;
+    out += "\",\"args\":{\"name\":\"";
+    out += escape(value);
+    out += "\"}}";
+}
+
+} // namespace
+
+std::string
+buildChromeTrace(const Recorder &recorder, std::uint64_t job_filter,
+                 const std::vector<CounterSeries> &counters,
+                 const std::string &process_name)
+{
+    constexpr int kSpanPid = 1;
+    constexpr int kCounterPidBase = 1000;
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+
+    appendMetadata(out, kSpanPid, 0, "process_name", process_name, first);
+
+    // Span events, one pass to collect thread ids, one to emit. The
+    // recorder snapshot is taken once so both passes agree.
+    std::vector<std::pair<TraceEvent, std::uint32_t>> spans;
+    recorder.forEachEvent(
+        [&](const TraceEvent &event, std::uint32_t tid) {
+            if (job_filter != 0 && event.job != job_filter)
+                return;
+            spans.emplace_back(event, tid);
+        });
+
+    std::set<std::uint32_t> tids;
+    for (const auto &[event, tid] : spans)
+        tids.insert(tid);
+    for (const std::uint32_t tid : tids) {
+        appendMetadata(out, kSpanPid, static_cast<int>(tid), "thread_name",
+                       "thread-" + std::to_string(tid), first);
+    }
+
+    for (const auto &[event, tid] : spans) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"ph\":\"X\",\"pid\":";
+        out += std::to_string(kSpanPid);
+        out += ",\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"name\":\"";
+        out += escape(event.name);
+        out += "\",\"cat\":\"";
+        out += escape(event.cat);
+        out += "\",\"ts\":";
+        appendUs(out, static_cast<double>(event.ts_ns) / 1000.0);
+        out += ",\"dur\":";
+        appendUs(out, static_cast<double>(event.dur_ns) / 1000.0);
+        out += ",\"args\":{";
+        bool first_arg = true;
+        if (event.job != 0) {
+            out += "\"job\":";
+            out += std::to_string(event.job);
+            first_arg = false;
+        }
+        for (std::size_t i = 0; i < kMaxArgs; ++i) {
+            if (event.arg_key[i][0] == '\0')
+                continue;
+            if (!first_arg)
+                out += ",";
+            first_arg = false;
+            out += "\"";
+            out += escape(event.arg_key[i]);
+            out += "\":\"";
+            out += escape(event.arg_val[i]);
+            out += "\"";
+        }
+        out += "}}";
+    }
+
+    for (std::size_t s = 0; s < counters.size(); ++s) {
+        const CounterSeries &series = counters[s];
+        const int pid = kCounterPidBase + static_cast<int>(s);
+        appendMetadata(out, pid, 0, "process_name", series.name, first);
+        for (const auto &point : series.points) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{\"ph\":\"C\",\"pid\":";
+            out += std::to_string(pid);
+            out += ",\"tid\":0,\"name\":\"";
+            out += escape(series.name);
+            out += "\",\"ts\":";
+            appendUs(out, point.ts_us);
+            out += ",\"args\":{";
+            const std::size_t n =
+                std::min(series.keys.size(), point.values.size());
+            for (std::size_t k = 0; k < n; ++k) {
+                if (k != 0)
+                    out += ",";
+                out += "\"";
+                out += escape(series.keys[k]);
+                out += "\":";
+                out += std::to_string(point.values[k]);
+            }
+            out += "}}";
+        }
+    }
+
+    out += "]}";
+    return out;
+}
+
+} // namespace sipre::trace_obs

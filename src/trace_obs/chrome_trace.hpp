@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chrome trace-event JSON assembly: turns the recorder's span buffers
+ * (plus optional counter tracks, e.g. the simulator's FTQ scenario
+ * timeline) into one JSON document that Perfetto and chrome://tracing
+ * load directly.
+ *
+ * Layout of the emitted trace:
+ *  - pid 1 hosts the span events, one Chrome "thread" per recorder
+ *    thread index, named `thread-<n>`.
+ *  - Each counter series gets its own pid (1000, 1001, ...) whose
+ *    process_name is the series label, so cycle-based scenario tracks
+ *    never share a timeline axis with wall-clock spans.
+ */
+#ifndef SIPRE_TRACE_OBS_CHROME_TRACE_HPP
+#define SIPRE_TRACE_OBS_CHROME_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace_obs/recorder.hpp"
+
+namespace sipre::trace_obs
+{
+
+/**
+ * One stacked counter track ("C" events). `points[i].values` parallels
+ * `keys`; `ts_us` is the point's position on the track's own time axis
+ * (the scenario timeline uses simulated cycles, not wall time).
+ */
+struct CounterSeries
+{
+    std::string name;              ///< track label (process_name)
+    std::vector<std::string> keys; ///< stacked value names
+    struct Point
+    {
+        double ts_us = 0;
+        std::vector<std::uint64_t> values;
+    };
+    std::vector<Point> points;
+};
+
+/**
+ * Build the full trace document. `job_filter` of 0 exports every span;
+ * a nonzero value keeps only spans attributed to that job (see
+ * ScopedJob). Counter series are always emitted.
+ */
+std::string buildChromeTrace(const Recorder &recorder,
+                             std::uint64_t job_filter,
+                             const std::vector<CounterSeries> &counters,
+                             const std::string &process_name);
+
+} // namespace sipre::trace_obs
+
+#endif // SIPRE_TRACE_OBS_CHROME_TRACE_HPP

@@ -1,0 +1,237 @@
+#include "trace_obs/recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sipre::trace_obs
+{
+
+namespace
+{
+
+thread_local std::uint64_t t_current_job = 0;
+
+/** Bounded NUL-terminated copy into a fixed char array. */
+template <std::size_t N>
+void
+copyField(char (&dst)[N], std::string_view src)
+{
+    const std::size_t n = std::min(src.size(), N - 1);
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+} // namespace
+
+Recorder::Recorder() : epoch_(std::chrono::steady_clock::now())
+{
+    // SIPRE_TRACE: "0"/"off"/"" leaves the recorder disabled; "1"/"on"
+    // arms it with the default capacity; a number > 1 is an explicit
+    // per-thread event capacity. Malformed values warn and disable,
+    // mirroring envSize()/SIPRE_FAULTS behavior.
+    const char *env = std::getenv("SIPRE_TRACE");
+    if (env == nullptr || *env == '\0')
+        return;
+    const std::string value(env);
+    if (value == "0" || value == "off")
+        return;
+    if (value == "1" || value == "on") {
+        enable();
+        return;
+    }
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < 2) {
+        std::fprintf(stderr,
+                     "sipre: ignoring malformed SIPRE_TRACE=\"%s\" "
+                     "(want 1, on, or an event capacity > 1)\n",
+                     value.c_str());
+        return;
+    }
+    enable(static_cast<std::size_t>(parsed));
+}
+
+Recorder &
+Recorder::global()
+{
+    static Recorder instance;
+    return instance;
+}
+
+void
+Recorder::enable(std::size_t capacity_per_thread)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = std::max<std::size_t>(capacity_per_thread, 16);
+    }
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+Recorder::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+void
+Recorder::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &log : logs_) {
+        log->count.store(0, std::memory_order_release);
+        log->dropped.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+Recorder::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+Recorder::ThreadLog &
+Recorder::threadLog()
+{
+    // The registry owns every log; the thread_local is just this
+    // thread's shortcut into it, valid for the process lifetime.
+    thread_local ThreadLog *t_log = nullptr;
+    if (t_log == nullptr) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        logs_.push_back(std::make_unique<ThreadLog>(capacity_));
+        t_log = logs_.back().get();
+    }
+    return *t_log;
+}
+
+void
+Recorder::record(const TraceEvent &event)
+{
+    ThreadLog &log = threadLog();
+    const std::size_t index = log.count.load(std::memory_order_relaxed);
+    if (index >= log.events.size()) {
+        log.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    log.events[index] = event;
+    // Release-publish: an exporter that acquires `count` sees the fully
+    // written entry. This thread is the only writer, so no CAS needed.
+    log.count.store(index + 1, std::memory_order_release);
+}
+
+std::uint64_t
+Recorder::bufferedEvents() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &log : logs_)
+        total += log->count.load(std::memory_order_acquire);
+    return total;
+}
+
+std::uint64_t
+Recorder::droppedEvents() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &log : logs_)
+        total += log->dropped.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Recorder::forEachEvent(
+    const std::function<void(const TraceEvent &, std::uint32_t tid)> &fn)
+    const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t t = 0; t < logs_.size(); ++t) {
+        const ThreadLog &log = *logs_[t];
+        const std::size_t n = std::min(
+            log.count.load(std::memory_order_acquire), log.events.size());
+        for (std::size_t i = 0; i < n; ++i)
+            fn(log.events[i], static_cast<std::uint32_t>(t));
+    }
+}
+
+std::string
+Recorder::metricsText() const
+{
+    std::string out;
+    out += "# HELP sipre_trace_enabled 1 when the span recorder is armed\n";
+    out += "# TYPE sipre_trace_enabled gauge\n";
+    out += "sipre_trace_enabled ";
+    out += enabled() ? "1" : "0";
+    out += "\n";
+    out += "# HELP sipre_trace_events_buffered Spans currently held in "
+           "the per-thread ring buffers\n";
+    out += "# TYPE sipre_trace_events_buffered gauge\n";
+    out += "sipre_trace_events_buffered " +
+           std::to_string(bufferedEvents()) + "\n";
+    out += "# HELP sipre_trace_events_dropped_total Spans dropped "
+           "because a thread buffer was full\n";
+    out += "# TYPE sipre_trace_events_dropped_total counter\n";
+    out += "sipre_trace_events_dropped_total " +
+           std::to_string(droppedEvents()) + "\n";
+    return out;
+}
+
+std::uint64_t
+currentJob()
+{
+    return t_current_job;
+}
+
+ScopedJob::ScopedJob(std::uint64_t job) : previous_(t_current_job)
+{
+    t_current_job = job;
+}
+
+ScopedJob::~ScopedJob()
+{
+    t_current_job = previous_;
+}
+
+Span::Span(const char *name, const char *cat)
+{
+    Recorder &recorder = Recorder::global();
+    if (!recorder.enabled())
+        return; // inert: one relaxed load, nothing else
+    armed_ = true;
+    copyField(event_.name, name);
+    copyField(event_.cat, cat);
+    // Unused arg slots are detected by an empty key at export time;
+    // only the keys need clearing (the struct is otherwise left
+    // uninitialized so the disabled path never touches it).
+    for (std::size_t i = 0; i < kMaxArgs; ++i)
+        event_.arg_key[i][0] = '\0';
+    event_.ts_ns = recorder.nowNs();
+}
+
+void
+Span::arg(const char *key, std::string_view value)
+{
+    if (!armed_ || args_ >= kMaxArgs)
+        return;
+    copyField(event_.arg_key[args_], key);
+    copyField(event_.arg_val[args_], value);
+    ++args_;
+}
+
+Span::~Span()
+{
+    if (!armed_)
+        return;
+    Recorder &recorder = Recorder::global();
+    if (!recorder.enabled())
+        return; // disarmed mid-span: drop rather than record a torn span
+    event_.dur_ns = recorder.nowNs() - event_.ts_ns;
+    event_.job = t_current_job;
+    recorder.record(event_);
+}
+
+} // namespace sipre::trace_obs

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate relative links and anchors across the repo's documentation.
+
+Checks README.md, DESIGN.md, EXPERIMENTS.md, CHANGES.md, and docs/*.md:
+
+* every relative link target (``[text](path)`` / ``[text](path#anchor)``)
+  must exist on disk, resolved against the linking file's directory;
+* every anchor must match a heading in the target file, using GitHub's
+  slug rules (lowercase, punctuation stripped, spaces to dashes,
+  ``-1``/``-2`` suffixes for duplicates);
+* bare intra-file anchors (``[text](#anchor)``) are checked against the
+  linking file itself.
+
+Absolute URLs (http/https/mailto) are skipped — this is an offline
+checker for the links we control. Exits 0 when everything resolves,
+1 with one line per broken link otherwise. No dependencies beyond the
+standard library; registered as the ``docs_links`` ctest and run in the
+CI docs job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Markdown links: [text](target). Skips images by allowing the leading
+# "!" to fail the match text, and ignores code spans separately below.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    files = []
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGES.md"):
+        path = REPO / name
+        if path.exists():
+            files.append(path)
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return files
+
+
+def github_slug(heading, seen):
+    """GitHub's heading-to-anchor rule, including duplicate suffixes."""
+    # Strip inline code/emphasis markers and links before slugging.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    slug = "".join(
+        ch for ch in text.lower() if ch.isalnum() or ch in " -"
+    )
+    slug = slug.strip().replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        seen = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(github_slug(match.group(2), seen))
+        cache[path] = anchors
+    return cache[path]
+
+
+def links_of(path):
+    """Yield (lineno, target) for markdown links outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Drop inline code spans so `[x](y)` examples aren't checked.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in LINK_RE.finditer(stripped):
+            yield lineno, match.group(1)
+
+
+def check():
+    errors = []
+    for doc in doc_files():
+        rel = doc.relative_to(REPO)
+        for lineno, target in links_of(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                dest, anchor = doc, target[1:]
+            else:
+                raw, _, anchor = target.partition("#")
+                dest = (doc.parent / raw).resolve()
+                try:
+                    dest.relative_to(REPO)
+                except ValueError:
+                    errors.append(
+                        f"{rel}:{lineno}: link escapes the repo: {target}"
+                    )
+                    continue
+                if not dest.exists():
+                    errors.append(
+                        f"{rel}:{lineno}: broken link target: {target}"
+                    )
+                    continue
+            if anchor:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue
+                if anchor.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: no heading for anchor: {target}"
+                    )
+    return errors
+
+
+def main():
+    errors = check()
+    for error in errors:
+        print(error, file=sys.stderr)
+    docs = doc_files()
+    if errors:
+        print(f"check_doc_links: {len(errors)} broken link(s) "
+              f"across {len(docs)} files", file=sys.stderr)
+        return 1
+    total = sum(1 for doc in docs for _ in links_of(doc))
+    print(f"check_doc_links: {total} links OK across {len(docs)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

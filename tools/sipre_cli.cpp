@@ -11,10 +11,12 @@
  *             [--hw-prefetcher none|nextline|eip]
  *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path] [--json]
  *             [--save-trace PATH] [--load-trace PATH] [--list]
+ *             [--trace-out PATH] [--scenario-window N]
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -24,8 +26,11 @@
 #include "core/options.hpp"
 #include "core/report.hpp"
 #include "core/simulator.hpp"
+#include "core/trace_export.hpp"
 #include "trace/champsim_import.hpp"
 #include "trace/synth/workload.hpp"
+#include "trace_obs/chrome_trace.hpp"
+#include "trace_obs/recorder.hpp"
 
 using namespace sipre;
 
@@ -55,7 +60,14 @@ usage(const char *argv0)
         "                             report\n"
         "  --save-trace PATH          write the generated trace and exit\n"
         "  --load-trace PATH          run a previously saved trace\n"
-        "  --load-champsim PATH       run a raw ChampSim-format trace\n",
+        "  --load-champsim PATH       run a raw ChampSim-format trace\n"
+        "  --trace-out PATH           write a Chrome trace-event JSON of\n"
+        "                             the run (spans + per-window FTQ\n"
+        "                             scenario tracks) to PATH; load it\n"
+        "                             at ui.perfetto.dev. Implies\n"
+        "                             --scenario-window 4096 unless set\n"
+        "  --scenario-window N        record the FTQ scenario timeline\n"
+        "                             with N-cycle windows (0 = off)\n",
         argv0, kSimModeChoices, kPredictorChoices, kHwPrefetcherChoices);
     std::exit(1);
 }
@@ -78,7 +90,10 @@ main(int argc, char **argv)
     std::string workload = "secret_srv12";
     std::string mode_name = "base";
     std::string save_path, load_path, champsim_path;
+    std::string trace_out;
     std::size_t instructions = 2'000'000;
+    std::uint32_t scenario_window = 0;
+    bool scenario_window_set = false;
     bool json = false;
     SimConfig config = SimConfig::industry();
 
@@ -140,6 +155,16 @@ main(int argc, char **argv)
             load_path = next();
         } else if (arg == "--load-champsim") {
             champsim_path = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--scenario-window") {
+            const std::string value = next();
+            const auto n = parseUnsigned(value, ~std::uint32_t{0});
+            if (!n)
+                return badValue("--scenario-window", value,
+                                "an unsigned integer");
+            scenario_window = static_cast<std::uint32_t>(*n);
+            scenario_window_set = true;
         } else {
             usage(argv[0]);
         }
@@ -148,6 +173,13 @@ main(int argc, char **argv)
     const auto mode = parseSimMode(mode_name);
     if (!mode)
         return badValue("--mode", mode_name, kSimModeChoices);
+
+    // --trace-out without an explicit window still gets a scenario
+    // timeline: a trace with no counter tracks is rarely what was meant.
+    if (!trace_out.empty() && !scenario_window_set)
+        scenario_window = 4096;
+    if (!trace_out.empty())
+        trace_obs::Recorder::global().enable();
 
     // Obtain the trace.
     Trace trace;
@@ -191,18 +223,27 @@ main(int argc, char **argv)
 
     // With --json the only stdout output is the result document, so
     // scripts can pipe it straight into a JSON parser.
+    SimResult last_result;
     auto emit = [&](const SimResult &result) {
+        last_result = result;
         if (json)
             std::printf("%s\n", simResultToJson(result).c_str());
         else
             printReport(result, std::cout);
+    };
+    // Applied to every simulator below so each mode's run records the
+    // scenario timeline when one was requested.
+    auto armed = [&](Simulator &sim) -> Simulator & {
+        if (scenario_window != 0)
+            sim.enableScenarioTimeline(scenario_window);
+        return sim;
     };
 
     // Run the requested mode.
     switch (*mode) {
     case SimMode::kBase: {
         Simulator sim(config, trace);
-        emit(sim.run());
+        emit(armed(sim).run());
         break;
     }
     case SimMode::kAsmdb:
@@ -218,17 +259,17 @@ main(int argc, char **argv)
         }
         if (*mode == SimMode::kAsmdb) {
             Simulator sim(config, artifacts.rewrite.trace);
-            emit(sim.run());
+            emit(armed(sim).run());
         } else if (*mode == SimMode::kNoOverhead) {
             Simulator sim(config, trace);
             sim.setSwPrefetchTriggers(&artifacts.triggers);
-            emit(sim.run());
+            emit(armed(sim).run());
         } else {
             Simulator sim(config, trace);
             sim.attachMetadataPreloader(
                 MetadataPreloadConfig{},
                 asmdb::buildMetadataMap(artifacts.plan));
-            const SimResult result = sim.run();
+            const SimResult result = armed(sim).run();
             emit(result);
             if (!json) {
                 const auto *stats = sim.metadataStats();
@@ -256,9 +297,30 @@ main(int argc, char **argv)
                             fb.dropped_insertions));
         }
         Simulator sim(config, fb.rewrite.trace);
-        emit(sim.run());
+        emit(armed(sim).run());
         break;
     }
+    }
+
+    if (!trace_out.empty()) {
+        std::vector<trace_obs::CounterSeries> series;
+        if (last_result.scenario_timeline.enabled())
+            series.push_back(scenarioCounterSeries(
+                last_result.scenario_timeline,
+                "ftq scenarios: " + last_result.workload + "/" +
+                    last_result.config_label));
+        const std::string doc = trace_obs::buildChromeTrace(
+            trace_obs::Recorder::global(), /*job_filter=*/0, series,
+            "sipre_cli");
+        std::ofstream out(trace_out, std::ios::trunc);
+        out << doc << '\n';
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write trace to %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[sipre_cli] wrote trace to %s\n",
+                     trace_out.c_str());
     }
     return 0;
 }

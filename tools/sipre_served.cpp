@@ -18,7 +18,8 @@
  *                [--conn-threads N] [--jobs-dir DIR] [--max-jobs N]
  *                [--job-workers N] [--read-timeout-ms N]
  *                [--write-timeout-ms N] [--idle-timeout-ms N]
- *                [--faults SPEC]
+ *                [--faults SPEC] [--trace] [--trace-buffer N]
+ *                [--scenario-window N]
  */
 #include <cerrno>
 #include <csignal>
@@ -34,6 +35,7 @@
 #include "jobs/manager.hpp"
 #include "service/engine.hpp"
 #include "service/server.hpp"
+#include "trace_obs/recorder.hpp"
 #include "util/fault.hpp"
 
 using namespace sipre;
@@ -90,6 +92,14 @@ usage(const char *argv0, int exit_code)
         "3'\n"
         "                       (also via SIPRE_FAULTS; see DESIGN.md "
         "§10)\n"
+        "  --trace              arm the span recorder (also via\n"
+        "                       SIPRE_TRACE=1); spans surface on\n"
+        "                       GET /jobs/<id>/trace\n"
+        "  --trace-buffer N     per-thread trace buffer capacity in\n"
+        "                       events (default 65536; implies --trace)\n"
+        "  --scenario-window N  record an FTQ scenario timeline with\n"
+        "                       N-cycle windows on freshly simulated\n"
+        "                       results (default 0 = off)\n"
         "  --help               this text\n",
         argv0);
     std::exit(exit_code);
@@ -106,6 +116,8 @@ main(int argc, char **argv)
     std::string cache_file;
     jobs::JobManagerOptions job_options;
     job_options.store_dir = "sipre_jobs";
+    bool trace = false;
+    std::size_t trace_buffer = trace_obs::kDefaultCapacityPerThread;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -164,6 +176,15 @@ main(int argc, char **argv)
         } else if (arg == "--idle-timeout-ms") {
             server_options.idle_timeout_ms =
                 static_cast<int>(num(3'600'000));
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--trace-buffer") {
+            trace = true;
+            trace_buffer = static_cast<std::size_t>(
+                num(~std::uint64_t{0} >> 1));
+        } else if (arg == "--scenario-window") {
+            engine_options.scenario_window =
+                static_cast<std::uint32_t>(num(~std::uint32_t{0}));
         } else if (arg == "--faults") {
             const std::string spec = next();
             std::string fault_error;
@@ -191,6 +212,15 @@ main(int argc, char **argv)
     if (::pipe(g_signal_pipe) != 0) {
         std::perror("sipre_served: pipe");
         return 1;
+    }
+
+    // Arm before the engine spawns its workers so every thread's buffer
+    // gets the requested capacity.
+    if (trace) {
+        trace_obs::Recorder::global().enable(trace_buffer);
+        std::fprintf(stderr,
+                     "[sipre_served] tracing armed (%zu events/thread)\n",
+                     trace_buffer);
     }
 
     SimulationEngine engine(engine_options);
