@@ -13,6 +13,16 @@ Backend::Backend(const BackendConfig &config, const Trace &trace,
       decode_queue_(decode_queue), rob_(config.rob_size)
 {
     producers_.fill(kNoProducer);
+
+    std::uint32_t slots = 1;
+    while (slots < config.rob_size)
+        slots <<= 1;
+    slot_mask_ = slots - 1;
+    slot_state_.assign(slots, static_cast<std::uint8_t>(State::kDone));
+    slot_deps_.assign(slots, 0);
+    slot_trace_index_.assign(slots, 0);
+    waiter_head_.assign(slots, kNilWaiter);
+    waiter_next_.assign(std::size_t{slots} * 2, kNilWaiter);
 }
 
 Cycle
@@ -37,45 +47,31 @@ Backend::latencyFor(InstClass cls) const
     }
 }
 
-Backend::RobEntry *
-Backend::entryFor(std::uint64_t seq)
-{
-    if (rob_.empty())
-        return nullptr;
-    const std::uint64_t front_seq = rob_.front().seq;
-    if (seq < front_seq || seq >= front_seq + rob_.size())
-        return nullptr;
-    // Dispatch order equals sequence order and pops happen only at the
-    // front, so position in the ROB is the sequence offset.
-    return &rob_.at(static_cast<std::size_t>(seq - front_seq));
-}
-
-bool
-Backend::sourcesReady(const RobEntry &entry) const
-{
-    for (std::uint64_t producer : entry.src_seq) {
-        if (producer == kNoProducer)
-            continue;
-        const RobEntry *other =
-            const_cast<Backend *>(this)->entryFor(producer);
-        if (other == nullptr)
-            continue; // producer already retired
-        if (other->state != State::kDone)
-            return false;
-    }
-    return true;
-}
-
 void
 Backend::markDone(std::uint64_t seq, Cycle now)
 {
-    RobEntry *entry = entryFor(seq);
-    SIPRE_ASSERT(entry != nullptr && entry->seq == seq,
-                 "completion for an instruction not in the ROB");
-    entry->state = State::kDone;
-    entry->done_cycle = now;
-    if (trace_[entry->trace_index].isBranch() && onBranchExecuted)
-        onBranchExecuted(entry->trace_index, now);
+    SIPRE_ASSERT(inRob(seq), "completion for an instruction not in the ROB");
+    const std::uint32_t slot = slotOf(seq);
+    slot_state_[slot] = static_cast<std::uint8_t>(State::kDone);
+
+    // Wake the consumers registered against this producer. A consumer
+    // is always younger than its producer, so it is still in the ROB
+    // (its nodes are valid) when the producer completes. An entry whose
+    // outstanding-producer count reaches zero is necessarily still
+    // kWaiting — it could never have issued with a dependence pending.
+    std::uint32_t node = waiter_head_[slot];
+    waiter_head_[slot] = kNilWaiter;
+    while (node != kNilWaiter) {
+        const std::uint32_t next = waiter_next_[node];
+        waiter_next_[node] = kNilWaiter;
+        if (--slot_deps_[node >> 1] == 0)
+            ++ready_count_;
+        node = next;
+    }
+
+    const std::uint64_t trace_index = slot_trace_index_[slot];
+    if (trace_[trace_index].isBranch() && onBranchExecuted)
+        onBranchExecuted(trace_index, now);
 }
 
 void
@@ -96,7 +92,9 @@ Cycle
 Backend::nextEventCycle(Cycle now) const
 {
     // Retirement: a completed head retires next cycle.
-    if (!rob_.empty() && rob_.front().state == State::kDone)
+    if (!rob_.empty() &&
+        slot_state_[slotOf(rob_.front().seq)] ==
+            static_cast<std::uint8_t>(State::kDone))
         return now + 1;
 
     // Issue: a waiting instruction with possibly-ready sources inside
@@ -132,11 +130,11 @@ Backend::complete(Cycle now)
     // Loads returning from the hierarchy.
     auto &done = memory_.dataCompleted();
     for (const MemRequest &req : done) {
-        auto it = inflight_loads_.find(req.id);
-        if (it == inflight_loads_.end())
+        const std::uint64_t *seq = inflight_loads_.find(req.id);
+        if (seq == nullptr)
             continue;
-        markDone(it->second, now);
-        inflight_loads_.erase(it);
+        markDone(*seq, now);
+        inflight_loads_.erase(req.id);
     }
     done.clear();
 
@@ -154,7 +152,8 @@ Backend::retire(Cycle now)
     (void)now;
     std::uint32_t budget = config_.retire_width;
     while (budget > 0 && !rob_.empty() &&
-           rob_.front().state == State::kDone) {
+           slot_state_[slotOf(rob_.front().seq)] ==
+               static_cast<std::uint8_t>(State::kDone)) {
         const RobEntry entry = rob_.pop();
         if (trace_[entry.trace_index].isSwPrefetch())
             ++stats_.retired_sw_prefetches;
@@ -167,22 +166,32 @@ Backend::retire(Cycle now)
 void
 Backend::issue(Cycle now)
 {
+    // Nothing in the whole ROB is ready: the scan would find no issue
+    // candidate and no port leftovers, so skip it outright.
+    if (ready_count_ == 0) {
+        ready_waiting_ = config_.issue_width == 0;
+        return;
+    }
+
     std::uint32_t budget = config_.issue_width;
     std::uint32_t load_ports = config_.load_ports;
     std::uint32_t store_ports = config_.store_ports;
     bool leftover = false;
 
-    // Scan a bounded scheduler window from the oldest instruction.
+    // Scan a bounded scheduler window from the oldest instruction. The
+    // scan touches only the SoA state/deps bytes; full entries are
+    // consulted only for instructions that actually issue.
+    const std::uint64_t front_seq = rob_.front().seq;
     const std::size_t window =
         std::min<std::size_t>(rob_.size(), config_.sched_window);
     for (std::size_t pos = 0; pos < window && budget > 0; ++pos) {
-        RobEntry &entry = rob_.at(pos);
-        if (entry.state != State::kWaiting)
-            continue;
-        if (!sourcesReady(entry))
+        const std::uint64_t seq = front_seq + pos;
+        const std::uint32_t slot = slotOf(seq);
+        if (slot_state_[slot] != static_cast<std::uint8_t>(State::kWaiting)
+            || slot_deps_[slot] != 0)
             continue;
 
-        const TraceInstruction &inst = trace_[entry.trace_index];
+        const TraceInstruction &inst = trace_[slot_trace_index_[slot]];
         if (inst.isLoad()) {
             if (load_ports == 0 || !memory_.dataCanAccept()) {
                 leftover = true; // ready but port/queue-blocked
@@ -190,8 +199,9 @@ Backend::issue(Cycle now)
             }
             const ReqId id =
                 memory_.issueLoad(inst.mem_addr, now, inst.pc);
-            inflight_loads_.emplace(id, entry.seq);
-            entry.state = State::kWaitingMem;
+            inflight_loads_.insert(id, seq);
+            slot_state_[slot] =
+                static_cast<std::uint8_t>(State::kWaitingMem);
             --load_ports;
             ++stats_.loads_issued;
         } else if (inst.isStore()) {
@@ -200,15 +210,15 @@ Backend::issue(Cycle now)
                 continue;
             }
             memory_.issueStore(inst.mem_addr, now);
-            entry.state = State::kExecuting;
-            exec_done_.push(ExecEvent{now + config_.alu_latency, entry.seq});
+            slot_state_[slot] = static_cast<std::uint8_t>(State::kExecuting);
+            exec_done_.push(ExecEvent{now + config_.alu_latency, seq});
             --store_ports;
             ++stats_.stores_issued;
         } else {
-            entry.state = State::kExecuting;
-            exec_done_.push(
-                ExecEvent{now + latencyFor(inst.cls), entry.seq});
+            slot_state_[slot] = static_cast<std::uint8_t>(State::kExecuting);
+            exec_done_.push(ExecEvent{now + latencyFor(inst.cls), seq});
         }
+        --ready_count_;
         --budget;
     }
     // Budget exhaustion may leave further ready entries unscanned;
@@ -225,24 +235,46 @@ Backend::dispatch(Cycle now)
         const DecodedUop uop = decode_queue_.pop();
         const TraceInstruction &inst = trace_[uop.trace_index];
 
-        RobEntry entry;
-        entry.trace_index = uop.trace_index;
-        entry.seq = next_seq_++;
-        for (std::size_t s = 0; s < inst.src.size(); ++s) {
-            if (inst.src[s] != kNoReg)
-                entry.src_seq[s] = producers_[inst.src[s]];
-        }
-        if (inst.dst != kNoReg)
-            producers_[inst.dst] = entry.seq;
+        const std::uint64_t seq = next_seq_++;
+        const std::uint32_t slot = slotOf(seq);
+        slot_state_[slot] = static_cast<std::uint8_t>(State::kWaiting);
+        slot_trace_index_[slot] = uop.trace_index;
+        waiter_head_[slot] = kNilWaiter;
 
-        rob_.push(entry);
+        // Register a dependence per source operand whose producer is
+        // still in the ROB and not yet Done; anything else (no
+        // producer, retired producer, completed producer) is ready now,
+        // matching the original sourcesReady() walk.
+        std::uint8_t deps = 0;
+        for (std::size_t s = 0; s < inst.src.size(); ++s) {
+            if (inst.src[s] == kNoReg)
+                continue;
+            const std::uint64_t producer = producers_[inst.src[s]];
+            if (producer == kNoProducer || !inRob(producer))
+                continue;
+            const std::uint32_t pslot = slotOf(producer);
+            if (slot_state_[pslot] == static_cast<std::uint8_t>(State::kDone))
+                continue;
+            ++deps;
+            const std::uint32_t node =
+                slot * 2 + static_cast<std::uint32_t>(s);
+            waiter_next_[node] = waiter_head_[pslot];
+            waiter_head_[pslot] = node;
+        }
+        slot_deps_[slot] = deps;
+        if (deps == 0)
+            ++ready_count_;
+        if (inst.dst != kNoReg)
+            producers_[inst.dst] = seq;
+
+        rob_.push(RobEntry{uop.trace_index, seq});
         ++stats_.dispatched;
         --budget;
 
         // A newly dispatched entry with no outstanding producers can
         // issue next cycle; note it for the O(1) nextEventCycle().
         if (!ready_waiting_ && rob_.size() <= config_.sched_window &&
-            sourcesReady(entry))
+            deps == 0)
             ready_waiting_ = true;
 
         if (inst.isBranch() && onBranchDecoded)

@@ -8,6 +8,17 @@
  * The back-end's job in this study is to provide realistic consumption
  * pressure and resolution timing for the front-end characterization;
  * it is deliberately simpler than a full scheduler model.
+ *
+ * Hot-path layout: the issue scan is the single most expensive loop in
+ * the whole simulator (it walks up to sched_window entries every busy
+ * cycle), so the per-entry scheduling state lives in flat
+ * structure-of-arrays mirrors indexed by `seq & slot_mask_` — a
+ * power-of-two slot space at least as large as the ROB, so live
+ * sequence numbers never collide. Instead of re-deriving operand
+ * readiness from producer ROB entries on every scan (two pointer chases
+ * per waiting entry), each entry carries an outstanding-producer count
+ * that is decremented by the producer's completion through a pooled
+ * intrusive waiter list; the scan then touches exactly two small arrays.
  */
 #ifndef SIPRE_BACKEND_BACKEND_HPP
 #define SIPRE_BACKEND_BACKEND_HPP
@@ -16,13 +27,13 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "frontend/decode_queue.hpp"
 #include "memory/hierarchy.hpp"
 #include "trace/trace.hpp"
 #include "util/circular_buffer.hpp"
+#include "util/flat_map.hpp"
 
 namespace sipre
 {
@@ -112,7 +123,7 @@ class Backend
   private:
     enum class State : std::uint8_t {
         kWaiting,   ///< in ROB, operands possibly outstanding
-        kExecuting, ///< latency counting down (done_cycle set)
+        kExecuting, ///< latency counting down
         kWaitingMem,///< load in flight in the hierarchy
         kDone
     };
@@ -121,9 +132,6 @@ class Backend
     {
         std::uint64_t trace_index = 0;
         std::uint64_t seq = 0;         ///< global dispatch sequence number
-        State state = State::kWaiting;
-        Cycle done_cycle = kNoCycle;
-        std::array<std::uint64_t, 2> src_seq{kNoProducer, kNoProducer};
     };
 
     struct ExecEvent
@@ -140,10 +148,20 @@ class Backend
     };
 
     static constexpr std::uint64_t kNoProducer = ~std::uint64_t{0};
+    static constexpr std::uint32_t kNilWaiter = ~std::uint32_t{0};
 
     Cycle latencyFor(InstClass cls) const;
-    RobEntry *entryFor(std::uint64_t seq);
-    bool sourcesReady(const RobEntry &entry) const;
+    std::uint32_t slotOf(std::uint64_t seq) const
+    {
+        return static_cast<std::uint32_t>(seq) & slot_mask_;
+    }
+    /** Is seq still in the ROB? Sequence numbers are contiguous. */
+    bool
+    inRob(std::uint64_t seq) const
+    {
+        return !rob_.empty() && seq >= rob_.front().seq &&
+               seq - rob_.front().seq < rob_.size();
+    }
     void markDone(std::uint64_t seq, Cycle now);
     void dispatch(Cycle now);
     void issue(Cycle now);
@@ -156,6 +174,28 @@ class Backend
     DecodeQueue &decode_queue_;
 
     CircularBuffer<RobEntry> rob_;
+
+    // --- SoA mirrors of per-entry scheduling state, indexed by
+    // seq & slot_mask_ (see file comment). slot_deps_ counts producers
+    // that were in the ROB and not yet Done when the consumer
+    // dispatched; it reaches zero exactly when the original
+    // sourcesReady() scan would first report true.
+    std::uint32_t slot_mask_ = 0;
+    std::vector<std::uint8_t> slot_state_;
+    std::vector<std::uint8_t> slot_deps_;
+    std::vector<std::uint64_t> slot_trace_index_;
+    /**
+     * Pooled intrusive waiter lists: node id `slot * 2 + src_operand`
+     * lives in waiter_next_; waiter_head_[p] chains the consumers of
+     * producer slot p. No allocation after construction — a consumer
+     * occupies at most its own two nodes.
+     */
+    std::vector<std::uint32_t> waiter_head_;
+    std::vector<std::uint32_t> waiter_next_;
+
+    /** kWaiting entries with zero outstanding producers, whole ROB. */
+    std::size_t ready_count_ = 0;
+
     /**
      * True when some kWaiting entry inside the scheduler window may
      * have ready sources — maintained as a byproduct of issue() (port
@@ -175,7 +215,7 @@ class Backend
     std::array<std::uint64_t, 256> producers_;
 
     /** Outstanding load request id -> producing sequence number. */
-    std::unordered_map<ReqId, std::uint64_t> inflight_loads_;
+    FlatMap<std::uint64_t> inflight_loads_;
 
     BackendStats stats_;
 };

@@ -11,7 +11,9 @@ Btb::Btb(std::uint32_t entries, std::uint32_t ways) : ways_(ways)
     SIPRE_ASSERT(entries % ways == 0, "BTB entries must divide into ways");
     sets_ = entries / ways;
     SIPRE_ASSERT(isPowerOfTwo(sets_), "BTB set count must be a power of 2");
-    table_.resize(entries);
+    tags_.assign(entries, kInvalidTag);
+    stamps_.resize(entries);
+    entries_.resize(entries);
 }
 
 std::uint32_t
@@ -30,14 +32,13 @@ std::optional<BtbEntry>
 Btb::lookup(Addr pc)
 {
     ++stats_.lookups;
-    const std::uint32_t set = setOf(pc);
+    const std::size_t base = std::size_t{setOf(pc)} * ways_;
     const Addr tag = tagOf(pc);
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = table_[std::size_t{set} * ways_ + w];
-        if (way.valid && way.tag == tag) {
-            way.stamp = ++clock_;
+        if (tags_[base + w] == tag) {
+            stamps_[base + w] = ++clock_;
             ++stats_.hits;
-            return way.entry;
+            return entries_[base + w];
         }
     }
     return std::nullopt;
@@ -46,12 +47,11 @@ Btb::lookup(Addr pc)
 std::optional<BtbEntry>
 Btb::probe(Addr pc) const
 {
-    const std::uint32_t set = setOf(pc);
+    const std::size_t base = std::size_t{setOf(pc)} * ways_;
     const Addr tag = tagOf(pc);
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        const Way &way = table_[std::size_t{set} * ways_ + w];
-        if (way.valid && way.tag == tag)
-            return way.entry;
+        if (tags_[base + w] == tag)
+            return entries_[base + w];
     }
     return std::nullopt;
 }
@@ -60,35 +60,32 @@ void
 Btb::update(Addr pc, Addr target, InstClass cls)
 {
     ++stats_.updates;
-    const std::uint32_t set = setOf(pc);
+    const std::size_t base = std::size_t{setOf(pc)} * ways_;
     const Addr tag = tagOf(pc);
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = table_[std::size_t{set} * ways_ + w];
-        if (way.valid && way.tag == tag) {
-            way.entry.target = target;
-            way.entry.cls = cls;
-            way.stamp = ++clock_;
+        if (tags_[base + w] == tag) {
+            entries_[base + w] = BtbEntry{target, cls};
+            stamps_[base + w] = ++clock_;
             return;
         }
     }
     // Miss: pick an invalid way, else the least recently used one.
-    Way *victim = nullptr;
+    std::size_t victim = base;
+    bool found_invalid = false;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = table_[std::size_t{set} * ways_ + w];
-        if (!way.valid) {
-            victim = &way;
+        if (tags_[base + w] == kInvalidTag) {
+            victim = base + w;
+            found_invalid = true;
             break;
         }
-        if (victim == nullptr || way.stamp < victim->stamp)
-            victim = &way;
+        if (stamps_[base + w] < stamps_[victim])
+            victim = base + w;
     }
-    SIPRE_ASSERT(victim != nullptr, "BTB victim selection failed");
-    if (victim->valid)
+    if (!found_invalid)
         ++stats_.evictions;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->entry = BtbEntry{target, cls};
-    victim->stamp = ++clock_;
+    tags_[victim] = tag;
+    entries_[victim] = BtbEntry{target, cls};
+    stamps_[victim] = ++clock_;
 }
 
 } // namespace sipre

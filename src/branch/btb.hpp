@@ -56,20 +56,25 @@ class Btb
     void resetStats() { stats_ = BtbStats{}; }
 
   private:
-    struct Way
-    {
-        Addr tag = 0;
-        bool valid = false;
-        BtbEntry entry;
-        std::uint64_t stamp = 0;
-    };
+    /**
+     * Tag value no real branch can produce: tags are pc >> 2, so the
+     * top two bits of an all-ones tag would require a pc above the
+     * 64-bit address space. Invalid ways carry this tag, which lets the
+     * hit loop compare tags with no validity branch.
+     */
+    static constexpr Addr kInvalidTag = ~Addr{0};
 
     std::uint32_t setOf(Addr pc) const;
     Addr tagOf(Addr pc) const;
 
     std::uint32_t sets_;
     std::uint32_t ways_;
-    std::vector<Way> table_;
+    // Structure-of-arrays: the hit loop touches only tags_, so a set's
+    // tags share a cache line instead of being strided across
+    // {tag, valid, entry, stamp} records.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> stamps_;
+    std::vector<BtbEntry> entries_;
     std::uint64_t clock_ = 0;
     BtbStats stats_;
 };

@@ -85,6 +85,37 @@ class ReturnAddressStack
         slots_ = cp.slots;
     }
 
+    /**
+     * Allocation-free snapshot for the single-speculation window the
+     * FDP uses: between capture and restore at most ONE push or pop may
+     * occur. A push overwrites exactly slot (top+1) % depth and a pop
+     * overwrites nothing, so saving that one slot's value restores the
+     * stack exactly — without copying the whole slot array per branch.
+     */
+    struct LightCheckpoint
+    {
+        std::uint32_t top = 0;
+        std::uint32_t count = 0;
+        std::uint32_t slot = 0; ///< the only slot one push can overwrite
+        Addr slot_value = kNoAddr;
+    };
+
+    LightCheckpoint
+    lightCheckpoint() const
+    {
+        const std::uint32_t slot =
+            (top_ + 1) % static_cast<std::uint32_t>(slots_.size());
+        return LightCheckpoint{top_, count_, slot, slots_[slot]};
+    }
+
+    void
+    restore(const LightCheckpoint &cp)
+    {
+        top_ = cp.top;
+        count_ = cp.count;
+        slots_[cp.slot] = cp.slot_value;
+    }
+
   private:
     std::vector<Addr> slots_;
     std::uint32_t top_ = 0;

@@ -139,6 +139,21 @@ BranchUnit::restore(const BranchCheckpoint &cp)
     ras_.restore(cp.ras);
 }
 
+BranchLightCheckpoint
+BranchUnit::lightCheckpoint() const
+{
+    return BranchLightCheckpoint{ghr_.checkpoint(), path_,
+                                 ras_.lightCheckpoint()};
+}
+
+void
+BranchUnit::restore(const BranchLightCheckpoint &cp)
+{
+    ghr_.restore(cp.ghr);
+    path_ = cp.path;
+    ras_.restore(cp.ras);
+}
+
 void
 BranchUnit::resolve(const TraceInstruction &br, const BranchPrediction &pred)
 {
@@ -167,10 +182,8 @@ BranchUnit::resolve(const TraceInstruction &br, const BranchPrediction &pred)
 }
 
 void
-BranchUnit::repairHistory(const BranchCheckpoint &cp,
-                          const TraceInstruction &br, bool btb_hit_now)
+BranchUnit::replayCommitted(const TraceInstruction &br, bool btb_hit_now)
 {
-    restore(cp);
     const bool visible =
         btb_hit_now || !config_.ghr_filter_btb_miss || br.taken;
     if (br.cls == InstClass::kCondBranch) {
@@ -187,6 +200,22 @@ BranchUnit::repairHistory(const BranchCheckpoint &cp,
         ras_.push(br.nextPc());
     else if (br.cls == InstClass::kReturn)
         ras_.pop();
+}
+
+void
+BranchUnit::repairHistory(const BranchCheckpoint &cp,
+                          const TraceInstruction &br, bool btb_hit_now)
+{
+    restore(cp);
+    replayCommitted(br, btb_hit_now);
+}
+
+void
+BranchUnit::repairHistory(const BranchLightCheckpoint &cp,
+                          const TraceInstruction &br, bool btb_hit_now)
+{
+    restore(cp);
+    replayCommitted(br, btb_hit_now);
 }
 
 } // namespace sipre

@@ -62,6 +62,21 @@ struct BranchCheckpoint
     ReturnAddressStack::Checkpoint ras;
 };
 
+/**
+ * Allocation-free checkpoint for the FDP's per-branch snapshot. Valid
+ * to restore only while at most one predictAndSpeculate() has run since
+ * capture (see ReturnAddressStack::LightCheckpoint) — exactly the FDP's
+ * situation: it checkpoints immediately before predicting a branch, and
+ * a wrong prediction stalls fetch-ahead, so no further speculation
+ * happens before the repair.
+ */
+struct BranchLightCheckpoint
+{
+    std::uint64_t ghr = 0;
+    std::uint64_t path = 0;
+    ReturnAddressStack::LightCheckpoint ras;
+};
+
 /** Aggregate prediction statistics. */
 struct BranchUnitStats
 {
@@ -91,6 +106,10 @@ class BranchUnit
     /** Restore a snapshot (on squash of the predicting branch). */
     void restore(const BranchCheckpoint &cp);
 
+    /** Allocation-free snapshot; see BranchLightCheckpoint's contract. */
+    BranchLightCheckpoint lightCheckpoint() const;
+    void restore(const BranchLightCheckpoint &cp);
+
     /**
      * Train with the committed outcome. `pred` must be the value
      * returned by predictAndSpeculate for this instance of the branch.
@@ -103,6 +122,8 @@ class BranchUnit
      * is visible to the history per the configured filter).
      */
     void repairHistory(const BranchCheckpoint &cp,
+                       const TraceInstruction &br, bool btb_hit_now);
+    void repairHistory(const BranchLightCheckpoint &cp,
                        const TraceInstruction &br, bool btb_hit_now);
 
     const GlobalHistory &history() const { return ghr_; }
@@ -139,6 +160,7 @@ class BranchUnit
 
   private:
     void shiftPath(Addr target);
+    void replayCommitted(const TraceInstruction &br, bool btb_hit_now);
 
     BranchUnitConfig config_;
     Btb btb_;

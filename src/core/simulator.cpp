@@ -28,6 +28,7 @@ Simulator::Simulator(const SimConfig &config, const Trace &trace)
         config_.frontend, trace_, *memory_, *decode_queue_);
     backend_ = std::make_unique<Backend>(config_.backend, trace_, *memory_,
                                          *decode_queue_);
+    memory_->setProfiler(&profile_);
 
     // The poke flag tells the fast-forward loop that the back-end
     // mutated front-end state mid-cycle (stall resume, PFC), so the
@@ -129,10 +130,18 @@ Simulator::run()
         current_cycle_ = cycle;
         if (!fast_forward) {
             memory_->tick(cycle);
-            if (preloader_)
+            if (preloader_) {
+                ProfScope scope(&profile_, ProfComponent::kPreloader);
                 preloader_->tick(cycle, *memory_);
-            backend_->tick(cycle);
-            frontend_->tick(cycle);
+            }
+            {
+                ProfScope scope(&profile_, ProfComponent::kBackend);
+                backend_->tick(cycle);
+            }
+            {
+                ProfScope scope(&profile_, ProfComponent::kFrontend);
+                frontend_->tick(cycle);
+            }
         } else {
             bool mem_ticked = false;
             bool pre_ticked = false;
@@ -148,6 +157,7 @@ Simulator::run()
             if (preloader_ &&
                 (cycle == 0 ||
                  preloader_->nextEventCycle(cycle - 1) <= cycle)) {
+                ProfScope scope(&profile_, ProfComponent::kPreloader);
                 preloader_->tick(cycle, *memory_);
                 pre_ticked = true;
             }
@@ -155,6 +165,7 @@ Simulator::run()
             // arrived, exactly as in the reference order.
             const std::size_t decode_before = decode_queue_->size();
             if (c_be <= cycle || !memory_->dataCompleted().empty()) {
+                ProfScope scope(&profile_, ProfComponent::kBackend);
                 backend_->tick(cycle);
                 be_ticked = true;
             } else {
@@ -165,6 +176,7 @@ Simulator::run()
             if (c_fe <= cycle || frontend_poked_ ||
                 decode_queue_->size() < decode_before ||
                 !memory_->ifetchCompleted().empty()) {
+                ProfScope scope(&profile_, ProfComponent::kFrontend);
                 frontend_->tick(cycle);
                 fe_ticked = true;
             } else {

@@ -96,6 +96,13 @@ class Simulator
     DecoupledFrontEnd &frontend() { return *frontend_; }
     Backend &backend() { return *backend_; }
 
+    /**
+     * Per-component wall-clock attribution of this simulator's run.
+     * Populated only while the process-wide CycleProfiler is armed
+     * (sipre_cli --profile or SIPRE_PROFILE); empty otherwise.
+     */
+    const ProfileAccumulator &profile() const { return profile_; }
+
   private:
     SimConfig config_;
     const Trace &trace_;
@@ -105,6 +112,7 @@ class Simulator
     std::unique_ptr<Backend> backend_;
     std::unique_ptr<MetadataPreloader> preloader_;
     Cycle current_cycle_ = 0;
+    ProfileAccumulator profile_;
     /// Set when a back-end branch callback mutated front-end state this
     /// cycle; forces a front-end tick in the fast-forward loop.
     bool frontend_poked_ = false;

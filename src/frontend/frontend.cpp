@@ -1,6 +1,7 @@
 #include "frontend/frontend.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/logging.hpp"
 
@@ -45,6 +46,14 @@ DecoupledFrontEnd::DecoupledFrontEnd(const FrontendConfig &config,
     SIPRE_ASSERT(config_.max_block_instrs >= 1, "block cap must be >= 1");
     if (config_.itlb)
         itlb_ = std::make_unique<Tlb>(config_.itlb_config);
+    // A shadow walk emits at most two lines per block, so this bound
+    // makes the wrong-path scratch allocation-free from the first stall.
+    wrong_path_lines_.reserve(
+        2 * std::min<std::size_t>(config_.ftq_entries,
+                                  config_.wrong_path_depth) +
+        2);
+    if (const char *cc = std::getenv("SIPRE_FRONTEND_CROSSCHECK"))
+        crosscheck_ = cc[0] != '\0' && !(cc[0] == '0' && cc[1] == '\0');
 }
 
 void
@@ -56,6 +65,36 @@ DecoupledFrontEnd::tick(Cycle now)
     issueLineFetches(now);
     issueWrongPathFetches(now);
     classifyCycle(now);
+    if (crosscheck_)
+        crosscheckCounters();
+}
+
+void
+DecoupledFrontEnd::crosscheckCounters() const
+{
+    std::size_t unready = 0, done_uncounted = 0;
+    std::size_t not_issued = 0, tlb_waiting = 0;
+    for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
+        const FtqEntry &entry = ftq_.at(pos);
+        if (!entry.fetchDone())
+            ++unready;
+        else if (!entry.counted_waiting)
+            ++done_uncounted;
+        for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
+            if (entry.line_state[i] == LineState::kNotIssued)
+                ++not_issued;
+            else if (entry.line_state[i] == LineState::kWaitingTlb)
+                ++tlb_waiting;
+        }
+    }
+    SIPRE_ASSERT(unready == unready_entries_,
+                 "unready_entries_ diverged from the FTQ scan");
+    SIPRE_ASSERT(done_uncounted == done_uncounted_,
+                 "done_uncounted_ diverged from the FTQ scan");
+    SIPRE_ASSERT(not_issued == not_issued_lines_,
+                 "not_issued_lines_ diverged from the FTQ scan");
+    SIPRE_ASSERT(tlb_waiting == tlb_waiting_lines_,
+                 "tlb_waiting_lines_ diverged from the FTQ scan");
 }
 
 Cycle
@@ -77,16 +116,18 @@ DecoupledFrontEnd::nextEventCycle(Cycle now) const
         return now + 1; // allocateBlocks makes progress every cycle
     }
 
-    for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
-        const FtqEntry &entry = ftq_.at(pos);
-        for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
-            // An unissued line retries every cycle (port backpressure
-            // implies a non-empty L1I queue, which reports on its own).
-            if (entry.line_state[i] == LineState::kNotIssued)
-                return now + 1;
-            if (entry.line_state[i] == LineState::kWaitingTlb) {
-                next = std::min(next,
-                                std::max(now + 1, entry.issue_ready[i]));
+    // An unissued line retries every cycle (port backpressure implies a
+    // non-empty L1I queue, which reports on its own).
+    if (not_issued_lines_ > 0)
+        return now + 1;
+    if (tlb_waiting_lines_ > 0) {
+        for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
+            const FtqEntry &entry = ftq_.at(pos);
+            for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
+                if (entry.line_state[i] == LineState::kWaitingTlb) {
+                    next = std::min(
+                        next, std::max(now + 1, entry.issue_ready[i]));
+                }
             }
         }
     }
@@ -124,11 +165,9 @@ DecoupledFrontEnd::accountSkippedCycles(Cycle count)
         return;
     }
     stats_.head_stall_cycles += count;
-    bool any_other_unready = false;
-    for (std::size_t pos = 1; pos < ftq_.size(); ++pos) {
-        if (!ftq_.at(pos).fetchDone())
-            any_other_unready = true;
-    }
+    // The head is not fetch-done, so it is one of the unready entries;
+    // any second unready entry is a scenario-3 shadow stall.
+    const bool any_other_unready = unready_entries_ > 1;
     if (any_other_unready)
         stats_.scenario3_cycles += count;
     else
@@ -206,6 +245,11 @@ DecoupledFrontEnd::drainCompletions(Cycle now)
             }
             if (touched && entry.fetchDone() &&
                 entry.fetch_complete_cycle == kNoCycle) {
+                // The unique became-fetch-done transition: line states
+                // only ever move towards kReady, so this fires exactly
+                // once per entry.
+                --unready_entries_;
+                ++done_uncounted_;
                 entry.fetch_complete_cycle = now;
                 const double latency =
                     static_cast<double>(now - entry.alloc_cycle);
@@ -266,12 +310,12 @@ void
 DecoupledFrontEnd::resumeFromStall(Cycle now)
 {
     SIPRE_ASSERT(stall_ != StallReason::kNone, "resume without a stall");
-    auto it = pending_branches_.find(stall_branch_index_);
-    SIPRE_ASSERT(it != pending_branches_.end(),
+    PendingBranch *pending = pending_branches_.find(stall_branch_index_);
+    SIPRE_ASSERT(pending != nullptr,
                  "stalling branch lost its pending record");
     const TraceInstruction &br = trace_[stall_branch_index_];
 
-    unit_.repairHistory(it->second.checkpoint, br, /*btb_hit_now=*/true);
+    unit_.repairHistory(pending->checkpoint, br, /*btb_hit_now=*/true);
     // Make the branch visible to the BTB immediately so tight loops
     // around the same branch hit on re-encounter.
     if (br.taken)
@@ -314,10 +358,15 @@ DecoupledFrontEnd::deliverToDecode(Cycle now)
             ++stats_.instructions_delivered;
         }
         delivered_index_ = head.first_index + head.delivered;
-        if (head.fullyDelivered())
+        if (head.fullyDelivered()) {
+            // Popped entries are always fetch-done; one that was never
+            // swept by the classify scan leaves the done-uncounted set.
+            if (!head.counted_waiting)
+                --done_uncounted_;
             ftq_.pop();
-        else
+        } else {
             break;
+        }
     }
 }
 
@@ -349,7 +398,7 @@ DecoupledFrontEnd::allocateBlocks(Cycle now)
                 entry.branch_index = fetch_index_ - 1;
 
                 PendingBranch pending;
-                pending.checkpoint = unit_.checkpoint();
+                pending.checkpoint = unit_.lightCheckpoint();
                 pending.pred = unit_.predictAndSpeculate(inst);
 
                 const bool actual_taken = inst.taken;
@@ -396,8 +445,8 @@ DecoupledFrontEnd::allocateBlocks(Cycle now)
                                        config_.wrong_path_depth));
                     }
                 }
-                pending_branches_.emplace(entry.branch_index,
-                                          std::move(pending));
+                pending_branches_.insert(entry.branch_index,
+                                         std::move(pending));
                 break;
             }
         }
@@ -411,6 +460,10 @@ DecoupledFrontEnd::allocateBlocks(Cycle now)
         }
 
         ftq_.push(entry);
+        // Fresh entries start with every line kNotIssued, so they are
+        // never fetch-done on arrival.
+        ++unready_entries_;
+        not_issued_lines_ += entry.num_lines;
         ++stats_.blocks_allocated;
     }
 }
@@ -418,6 +471,9 @@ DecoupledFrontEnd::allocateBlocks(Cycle now)
 void
 DecoupledFrontEnd::issueLineFetches(Cycle now)
 {
+    // Nothing to issue and no TLB walk to re-check: skip the FTQ scan.
+    if (not_issued_lines_ == 0 && tlb_waiting_lines_ == 0)
+        return;
     for (std::size_t pos = 0; pos < ftq_.size(); ++pos) {
         FtqEntry &entry = ftq_.at(pos);
         for (std::uint8_t i = 0; i < entry.num_lines; ++i) {
@@ -427,6 +483,8 @@ DecoupledFrontEnd::issueLineFetches(Cycle now)
                 if (walk > 0) {
                     entry.line_state[i] = LineState::kWaitingTlb;
                     entry.issue_ready[i] = now + walk;
+                    --not_issued_lines_;
+                    ++tlb_waiting_lines_;
                     ++stats_.itlb_walks;
                     continue;
                 }
@@ -435,23 +493,26 @@ DecoupledFrontEnd::issueLineFetches(Cycle now)
                 if (entry.issue_ready[i] > now)
                     continue;
                 entry.line_state[i] = LineState::kNotIssued;
+                --tlb_waiting_lines_;
+                ++not_issued_lines_;
             }
             if (entry.line_state[i] != LineState::kNotIssued)
                 continue;
             const Addr line = entry.lines[i];
-            if (auto it = inflight_lines_.find(line);
-                it != inflight_lines_.end()) {
+            if (std::uint32_t *refs = inflight_lines_.find(line)) {
                 // Another FTQ entry already requested this line: merge.
                 entry.line_state[i] = LineState::kInFlight;
-                ++it->second;
+                --not_issued_lines_;
+                ++*refs;
                 ++stats_.l1i_fetches_merged;
                 continue;
             }
             if (!memory_.ifetchCanAccept())
                 return; // port backpressure: retry next cycle
             memory_.issueIFetch(line, now);
-            inflight_lines_.emplace(line, 1);
+            inflight_lines_.insert(line, 1);
             entry.line_state[i] = LineState::kInFlight;
+            --not_issued_lines_;
             ++stats_.l1i_fetches_issued;
         }
     }
@@ -481,18 +542,21 @@ DecoupledFrontEnd::classifyCycle(Cycle now)
     }
 
     ++stats_.head_stall_cycles;
-    bool any_other_unready = false;
-    for (std::size_t pos = 1; pos < ftq_.size(); ++pos) {
-        FtqEntry &entry = ftq_.at(pos);
-        if (entry.fetchDone()) {
-            if (!entry.counted_waiting) {
+    // The head is unready here, so every done-but-uncounted entry sits
+    // at position >= 1: sweep them into the Fig. 10 event count. The
+    // sweep only runs on cycles that follow a new completion, which
+    // makes the reference model's every-cycle scan amortized O(1).
+    if (done_uncounted_ > 0) {
+        for (std::size_t pos = 1; pos < ftq_.size(); ++pos) {
+            FtqEntry &entry = ftq_.at(pos);
+            if (entry.fetchDone() && !entry.counted_waiting) {
                 entry.counted_waiting = true;
                 ++stats_.waiting_entry_events;
             }
-        } else {
-            any_other_unready = true;
         }
+        done_uncounted_ = 0;
     }
+    const bool any_other_unready = unready_entries_ > 1;
     if (any_other_unready)
         ++stats_.scenario3_cycles;
     else
@@ -519,18 +583,18 @@ DecoupledFrontEnd::onBranchDecoded(std::uint64_t trace_index, Cycle now)
 void
 DecoupledFrontEnd::onBranchExecuted(std::uint64_t trace_index, Cycle now)
 {
-    auto it = pending_branches_.find(trace_index);
-    if (it == pending_branches_.end())
+    PendingBranch *pending = pending_branches_.find(trace_index);
+    if (pending == nullptr)
         return;
 
     const TraceInstruction &br = trace_[trace_index];
-    unit_.resolve(br, it->second.pred);
+    unit_.resolve(br, pending->pred);
 
     if (stall_ != StallReason::kNone &&
         stall_branch_index_ == trace_index) {
         resumeFromStall(now);
     }
-    pending_branches_.erase(it);
+    pending_branches_.erase(trace_index);
 }
 
 } // namespace sipre

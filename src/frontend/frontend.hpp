@@ -31,6 +31,7 @@
 #include "memory/hierarchy.hpp"
 #include "memory/tlb.hpp"
 #include "trace/trace.hpp"
+#include "util/flat_map.hpp"
 
 namespace sipre
 {
@@ -159,6 +160,15 @@ class DecoupledFrontEnd
     const Tlb *itlb() const { return itlb_ ? itlb_.get() : nullptr; }
     BranchUnit &branchUnit() { return unit_; }
 
+    /**
+     * Validate the incremental FTQ counters against a full rescan at
+     * the end of every tick (and panic on divergence). Also enabled by
+     * the SIPRE_FRONTEND_CROSSCHECK environment variable; used by the
+     * differential suite to pin the O(1) fast path to the scan
+     * semantics it replaced.
+     */
+    void enableCounterCrosscheck(bool on) { crosscheck_ = on; }
+
     /** Zero all event counters (end-of-warmup). State is kept warm. */
     void
     resetStats()
@@ -181,7 +191,11 @@ class DecoupledFrontEnd
     struct PendingBranch
     {
         BranchPrediction pred;
-        BranchCheckpoint checkpoint;
+        // Light (allocation-free) checkpoint: valid because the FDP
+        // snapshots immediately before predicting and a wrong
+        // prediction stalls fetch-ahead, so at most one speculation
+        // separates capture from any repair.
+        BranchLightCheckpoint checkpoint;
         bool stalling = false;
     };
 
@@ -194,6 +208,7 @@ class DecoupledFrontEnd
     void classifyCycle(Cycle now);
     void firePredecode(const FtqEntry &entry, Cycle now);
     void resumeFromStall(Cycle now);
+    void crosscheckCounters() const;
 
     FrontendConfig config_;
     const Trace &trace_;
@@ -212,10 +227,26 @@ class DecoupledFrontEnd
     std::vector<Addr> wrong_path_lines_; ///< shadow-walk result, drained
     std::size_t wrong_path_next_ = 0;
 
-    std::unordered_map<std::uint64_t, PendingBranch> pending_branches_;
+    FlatMap<PendingBranch> pending_branches_;
 
     /** Lines with an in-flight FTQ-issued request (for merging). */
-    std::unordered_map<Addr, std::uint32_t> inflight_lines_;
+    FlatMap<std::uint32_t> inflight_lines_;
+
+    // --- Incremental FTQ summaries -----------------------------------
+    // Every per-cycle scan the reference model did over the FTQ is
+    // answered by these counters instead; crosscheckCounters() pins
+    // them to the scans they replaced. Maintained at the (unique)
+    // transition points: entry push, line-state changes, the
+    // became-fetch-done moment in drainCompletions, and entry pop.
+    /** Entries (any position) whose fetch is not yet complete. */
+    std::size_t unready_entries_ = 0;
+    /** fetch-done entries not yet counted as Fig. 10 waiting events. */
+    std::size_t done_uncounted_ = 0;
+    /** Lines in state kNotIssued across the whole FTQ. */
+    std::size_t not_issued_lines_ = 0;
+    /** Lines in state kWaitingTlb across the whole FTQ. */
+    std::size_t tlb_waiting_lines_ = 0;
+    bool crosscheck_ = false;
 
     const SwPrefetchTriggers *triggers_ = nullptr;
     std::unique_ptr<Tlb> itlb_;

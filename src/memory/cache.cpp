@@ -17,9 +17,11 @@ Cache::Cache(CacheConfig config, MemoryDevice *lower)
     sets_ = config_.size_bytes / (line_size * config_.ways);
     SIPRE_ASSERT(isPowerOfTwo(sets_), "cache set count must be a power of 2");
     line_shift_ = config_.line_bits;
-    lines_.resize(std::size_t{sets_} * config_.ways);
+    tags_.assign(std::size_t{sets_} * config_.ways, kInvalidTag);
+    meta_.assign(std::size_t{sets_} * config_.ways, 0);
     repl_ = makeReplacementPolicy(config_.policy, sets_, config_.ways,
                                   /*seed=*/mix64(sets_ ^ config_.ways));
+    mshr_addrs_.assign(config_.mshrs, kInvalidTag);
     mshrs_.resize(config_.mshrs);
     SIPRE_ASSERT(config_.tags_per_cycle > 0, "need tag bandwidth");
     SIPRE_ASSERT(config_.queue_size > 0, "need a nonempty input queue");
@@ -38,64 +40,55 @@ Cache::tagOf(Addr line_addr) const
     return line_addr >> line_shift_;
 }
 
-Cache::Line *
-Cache::lookup(Addr line_addr)
+std::uint32_t
+Cache::lookupWay(Addr line_addr) const
 {
-    const std::uint32_t set = setIndex(line_addr);
+    const std::size_t base =
+        std::size_t{setIndex(line_addr)} * config_.ways;
     const Addr tag = tagOf(line_addr);
+    // Invalid ways hold kInvalidTag, which no line number matches, so
+    // the scan needs no validity test.
     for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        Line &line = lines_[std::size_t{set} * config_.ways + w];
-        if (line.valid && line.tag == tag)
-            return &line;
+        if (tags_[base + w] == tag)
+            return w;
     }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::lookup(Addr line_addr) const
-{
-    return const_cast<Cache *>(this)->lookup(line_addr);
+    return kNoWay;
 }
 
 bool
 Cache::contains(Addr line_addr) const
 {
-    return lookup(line_addr) != nullptr;
+    return lookupWay(line_addr) != kNoWay;
 }
 
 bool
 Cache::mshrPending(Addr line_addr) const
 {
-    for (const auto &mshr : mshrs_) {
-        if (mshr.valid && mshr.line_addr == line_addr)
-            return true;
-    }
-    return false;
+    return findMshr(line_addr) != kNoWay;
 }
 
-Cache::Mshr *
-Cache::findMshr(Addr line_addr)
+std::uint32_t
+Cache::findMshr(Addr line_addr) const
 {
-    for (auto &mshr : mshrs_) {
-        if (mshr.valid && mshr.line_addr == line_addr)
-            return &mshr;
+    for (std::uint32_t i = 0; i < config_.mshrs; ++i) {
+        if (mshr_addrs_[i] == line_addr)
+            return i;
     }
-    return nullptr;
+    return kNoWay;
 }
 
-Cache::Mshr *
+std::uint32_t
 Cache::allocMshr(Addr line_addr)
 {
     if (mshrs_in_use_ == config_.mshrs)
-        return nullptr;
-    for (auto &mshr : mshrs_) {
-        if (!mshr.valid) {
-            mshr.valid = true;
-            mshr.line_addr = line_addr;
-            mshr.prefetch_only = true;
-            mshr.waiters.clear();
+        return kNoWay;
+    for (std::uint32_t i = 0; i < config_.mshrs; ++i) {
+        if (mshr_addrs_[i] == kInvalidTag) {
+            mshr_addrs_[i] = line_addr;
+            mshrs_[i].prefetch_only = true;
+            mshrs_[i].waiters.clear();
             ++mshrs_in_use_;
-            return &mshr;
+            return i;
         }
     }
     panic("MSHR accounting out of sync");
@@ -131,12 +124,15 @@ Cache::deliver(MemRequest &req)
 }
 
 void
-Cache::processRequest(MemRequest &req, Cycle now)
+Cache::processRequest(MemRequest &req, Cycle now, std::uint32_t way)
 {
+    const std::uint32_t set = setIndex(req.line_addr);
+    const std::size_t slot = std::size_t{set} * config_.ways + way;
+
     if (req.type == AccessType::kWriteback) {
         ++stats_.writebacks_in;
-        if (Line *line = lookup(req.line_addr)) {
-            line->dirty = true;
+        if (way != kNoWay) {
+            meta_[slot] |= kMetaDirty;
         } else {
             // No allocation on writeback miss; pass it down.
             writebacks_.push_back(req);
@@ -145,30 +141,26 @@ Cache::processRequest(MemRequest &req, Cycle now)
     }
 
     const bool is_prefetch = req.type == AccessType::kPrefetch;
-    Line *line = lookup(req.line_addr);
 
     if (onAccess && !is_prefetch)
-        onAccess(req.line_addr, req.type, line != nullptr);
+        onAccess(req.line_addr, req.type, way != kNoWay);
     if (is_prefetch)
         ++stats_.prefetch_requests;
     else
         ++stats_.accesses;
 
-    if (line != nullptr) {
+    if (way != kNoWay) {
         // Hit: complete after this level's latency.
         if (is_prefetch) {
             ++stats_.prefetch_hits;
         } else {
             ++stats_.hits;
-            if (line->prefetched) {
-                line->prefetched = false;
+            if (meta_[slot] & kMetaPrefetched) {
+                meta_[slot] &= static_cast<std::uint8_t>(~kMetaPrefetched);
                 ++stats_.prefetch_useful;
             }
             if (req.type == AccessType::kStore)
-                line->dirty = true;
-            const std::uint32_t set = setIndex(req.line_addr);
-            const std::uint32_t way = static_cast<std::uint32_t>(
-                line - &lines_[std::size_t{set} * config_.ways]);
+                meta_[slot] |= kMetaDirty;
             repl_->onHit(set, way);
         }
         req.served_by = config_.level_tag;
@@ -178,10 +170,11 @@ Cache::processRequest(MemRequest &req, Cycle now)
     }
 
     // Miss: merge into an existing MSHR or allocate a new one.
-    if (Mshr *mshr = findMshr(req.line_addr)) {
-        if (!is_prefetch && mshr->prefetch_only) {
+    if (const std::uint32_t m = findMshr(req.line_addr); m != kNoWay) {
+        Mshr &mshr = mshrs_[m];
+        if (!is_prefetch && mshr.prefetch_only) {
             // A demand caught up with an in-flight prefetch: late prefetch.
-            mshr->prefetch_only = false;
+            mshr.prefetch_only = false;
             ++stats_.misses;
             ++stats_.prefetch_late;
             if (onDemandMiss)
@@ -189,15 +182,15 @@ Cache::processRequest(MemRequest &req, Cycle now)
         } else if (!is_prefetch) {
             ++stats_.mshr_merges;
         }
-        mshr->waiters.push_back(req);
+        mshr.waiters.push_back(req);
         return;
     }
 
-    Mshr *mshr = allocMshr(req.line_addr);
-    SIPRE_ASSERT(mshr != nullptr,
-                 "processRequest called without a free MSHR");
-    mshr->prefetch_only = is_prefetch;
-    mshr->waiters.push_back(req);
+    const std::uint32_t m = allocMshr(req.line_addr);
+    SIPRE_ASSERT(m != kNoWay, "processRequest called without a free MSHR");
+    Mshr &mshr = mshrs_[m];
+    mshr.prefetch_only = is_prefetch;
+    mshr.waiters.push_back(req);
     if (!is_prefetch) {
         ++stats_.misses;
         if (onDemandMiss)
@@ -245,19 +238,22 @@ Cache::tick(Cycle now)
     }
 
     // 3. Look up new requests with limited tag bandwidth. A request that
-    //    needs an MSHR when none is free blocks the queue head.
+    //    needs an MSHR when none is free blocks the queue head. The way
+    //    resolved here is handed to processRequest so each request does
+    //    exactly one tag walk.
     for (std::uint32_t i = 0;
          i < config_.tags_per_cycle && !input_.empty(); ++i) {
         MemRequest &head = input_.front();
-        const bool will_miss = lookup(head.line_addr) == nullptr &&
-                               head.type != AccessType::kWriteback;
-        if (will_miss && findMshr(head.line_addr) == nullptr &&
+        const std::uint32_t way = lookupWay(head.line_addr);
+        const bool will_miss =
+            way == kNoWay && head.type != AccessType::kWriteback;
+        if (will_miss && findMshr(head.line_addr) == kNoWay &&
             mshrs_in_use_ == config_.mshrs) {
             break; // head-of-line blocking until an MSHR frees up
         }
         MemRequest req = head;
         input_.pop_front();
-        processRequest(req, now);
+        processRequest(req, now, way);
     }
 }
 
@@ -280,56 +276,60 @@ void
 Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
 {
     const std::uint32_t set = setIndex(line_addr);
-    Line *slot = nullptr;
-    std::uint32_t way = 0;
+    const std::size_t base = std::size_t{set} * config_.ways;
+    std::uint32_t way = kNoWay;
     for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        Line &line = lines_[std::size_t{set} * config_.ways + w];
-        if (!line.valid) {
-            slot = &line;
+        if (tags_[base + w] == kInvalidTag) {
             way = w;
             break;
         }
     }
-    if (slot == nullptr) {
+    if (way == kNoWay) {
         way = repl_->victim(set);
-        slot = &lines_[std::size_t{set} * config_.ways + way];
         ++stats_.evictions;
-        if (slot->dirty && lower_ != nullptr) {
+        if ((meta_[base + way] & kMetaDirty) && lower_ != nullptr) {
             MemRequest wb;
             // The stored tag is the full line number, so shifting it back
             // reconstructs the complete line address.
-            wb.line_addr = slot->tag << line_shift_;
+            wb.line_addr = tags_[base + way] << line_shift_;
             wb.type = AccessType::kWriteback;
             writebacks_.push_back(wb);
         }
     }
-    slot->valid = true;
-    slot->tag = tagOf(line_addr);
-    slot->dirty = dirty;
-    slot->prefetched = prefetched;
+    tags_[base + way] = tagOf(line_addr);
+    meta_[base + way] =
+        static_cast<std::uint8_t>((dirty ? kMetaDirty : 0) |
+                                  (prefetched ? kMetaPrefetched : 0));
     repl_->onFill(set, way);
 }
 
 void
 Cache::handleFill(const MemRequest &fill)
 {
-    Mshr *mshr = findMshr(fill.line_addr);
-    SIPRE_ASSERT(mshr != nullptr, "fill without a matching MSHR");
+    const std::uint32_t m = findMshr(fill.line_addr);
+    SIPRE_ASSERT(m != kNoWay, "fill without a matching MSHR");
+    Mshr &mshr = mshrs_[m];
 
     bool dirty = false;
-    for (const auto &w : mshr->waiters)
+    for (const auto &w : mshr.waiters)
         dirty |= w.type == AccessType::kStore;
-    installLine(fill.line_addr, dirty, mshr->prefetch_only);
-    if (mshr->prefetch_only)
+    installLine(fill.line_addr, dirty, mshr.prefetch_only);
+    if (mshr.prefetch_only)
         ++stats_.prefetch_fills;
 
-    // Complete every merged waiter with the fill's timing.
-    std::vector<MemRequest> waiters = std::move(mshr->waiters);
-    mshr->valid = false;
-    mshr->waiters.clear();
+    // Complete every merged waiter with the fill's timing. The waiter
+    // storage is recycled through fill_waiters_ — the swap hands this
+    // MSHR the scratch vector's capacity for its next allocation, so
+    // steady-state fills never touch the allocator. deliver() only ever
+    // recurses into the *upper* level's handleFill, never back into
+    // this cache, so the single scratch vector cannot be clobbered
+    // mid-iteration.
+    fill_waiters_.clear();
+    fill_waiters_.swap(mshr.waiters);
+    mshr_addrs_[m] = kInvalidTag;
     --mshrs_in_use_;
 
-    for (auto &w : waiters) {
+    for (auto &w : fill_waiters_) {
         w.complete_cycle = fill.complete_cycle;
         w.served_by = fill.served_by;
         deliver(w);

@@ -9,6 +9,16 @@
  * next level. Fills propagate back up synchronously through the
  * requester chain, so a request's total latency is the sum of the tag
  * latencies on its way down plus the serving level's latency.
+ *
+ * Hot-path layout: tag matching dominates the cache's host cost, so the
+ * tag and metadata arrays are structure-of-arrays — one flat Addr array
+ * scanned way-by-way (invalid ways hold an impossible sentinel tag, so
+ * the match loop has no validity branch) and one byte array for the
+ * dirty/prefetched flags. Each request does exactly one tag walk per
+ * level: tick() resolves the way once and hands it to processRequest().
+ * MSHR occupancy is likewise scanned through a flat address array, and
+ * fill delivery recycles one scratch waiter vector instead of
+ * reallocating per fill.
  */
 #ifndef SIPRE_MEMORY_CACHE_HPP
 #define SIPRE_MEMORY_CACHE_HPP
@@ -82,6 +92,17 @@ class Cache : public MemoryDevice
     /** Is there an MSHR in flight for this line? */
     bool mshrPending(Addr line_addr) const;
 
+    /**
+     * Combined drop-check for prefetch issue: line already present OR
+     * already being fetched. One call where the prefetch paths used to
+     * walk the tags and the MSHR file separately.
+     */
+    bool
+    presentOrPending(Addr line_addr) const
+    {
+        return contains(line_addr) || mshrPending(line_addr);
+    }
+
     std::uint32_t sets() const { return sets_; }
     const CacheConfig &config() const { return config_; }
     const CacheStats &stats() const { return stats_; }
@@ -95,8 +116,8 @@ class Cache : public MemoryDevice
     resetStats()
     {
         stats_ = CacheStats{};
-        for (auto &line : lines_)
-            line.prefetched = false;
+        for (auto &meta : meta_)
+            meta &= static_cast<std::uint8_t>(~kMetaPrefetched);
     }
 
     /** Fired once per *primary* demand miss (and per late prefetch). */
@@ -106,20 +127,16 @@ class Cache : public MemoryDevice
     std::function<void(Addr line_addr, AccessType type, bool hit)> onAccess;
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-    };
+    /** Sentinel stored in invalid ways; no real line number reaches it. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+    static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+    static constexpr std::uint8_t kMetaDirty = 1u << 0;
+    static constexpr std::uint8_t kMetaPrefetched = 1u << 1;
 
     struct Mshr
     {
-        Addr line_addr = 0;
-        bool valid = false;
         bool prefetch_only = true; ///< no demand waiter yet
-        std::vector<MemRequest> waiters;
+        std::vector<MemRequest> waiters; ///< capacity kept across reuse
     };
 
     struct Scheduled
@@ -139,11 +156,12 @@ class Cache : public MemoryDevice
 
     std::uint32_t setIndex(Addr line_addr) const;
     Addr tagOf(Addr line_addr) const;
-    Line *lookup(Addr line_addr);
-    const Line *lookup(Addr line_addr) const;
-    Mshr *findMshr(Addr line_addr);
-    Mshr *allocMshr(Addr line_addr);
-    void processRequest(MemRequest &req, Cycle now);
+    /** Way holding line_addr in its set, or kNoWay. One tag walk. */
+    std::uint32_t lookupWay(Addr line_addr) const;
+    /** Index of the MSHR tracking line_addr, or kNoWay. */
+    std::uint32_t findMshr(Addr line_addr) const;
+    std::uint32_t allocMshr(Addr line_addr);
+    void processRequest(MemRequest &req, Cycle now, std::uint32_t way);
     void installLine(Addr line_addr, bool dirty, bool prefetched);
     void deliver(MemRequest &req);
     void schedule(Cycle ready, bool is_forward, const MemRequest &req);
@@ -152,12 +170,20 @@ class Cache : public MemoryDevice
     MemoryDevice *lower_;
     std::uint32_t sets_;
     std::uint32_t line_shift_;
-    std::vector<Line> lines_;
+    /** Per-way line numbers (SoA); kInvalidTag marks an empty way. */
+    std::vector<Addr> tags_;
+    /** Per-way dirty/prefetched flag bytes, parallel to tags_. */
+    std::vector<std::uint8_t> meta_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::deque<MemRequest> input_;
     std::deque<MemRequest> writebacks_;
+    /** In-flight line addresses (SoA); kInvalidTag marks a free MSHR. */
+    std::vector<Addr> mshr_addrs_;
     std::vector<Mshr> mshrs_;
     std::uint32_t mshrs_in_use_ = 0;
+    /** Scratch for handleFill; swapped with an MSHR's waiter list so
+     *  steady-state fills allocate nothing. */
+    std::vector<MemRequest> fill_waiters_;
     std::priority_queue<Scheduled, std::vector<Scheduled>,
                         std::greater<Scheduled>>
         sched_;

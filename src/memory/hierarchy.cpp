@@ -50,10 +50,8 @@ MemoryHierarchy::issueIPrefetch(Addr addr, Cycle now)
 {
     const Addr line = lineOf(addr);
     // Drop prefetches for lines already present or in flight.
-    if (l1i_->contains(line) || l1i_->mshrPending(line) ||
-        !l1i_->canAccept()) {
+    if (l1i_->presentOrPending(line) || !l1i_->canAccept())
         return 0;
-    }
     MemRequest req;
     req.id = next_id_++;
     req.line_addr = line;
@@ -84,10 +82,8 @@ ReqId
 MemoryHierarchy::issueDPrefetch(Addr addr, Cycle now)
 {
     const Addr line = lineOf(addr);
-    if (l1d_->contains(line) || l1d_->mshrPending(line) ||
-        !l1d_->canAccept()) {
+    if (l1d_->presentOrPending(line) || !l1d_->canAccept())
         return 0;
-    }
     MemRequest req;
     req.id = next_id_++;
     req.line_addr = line;
@@ -114,11 +110,26 @@ void
 MemoryHierarchy::tick(Cycle now)
 {
     now_ = now;
-    dram_->tick(now);
-    llc_->tick(now);
-    l2_->tick(now);
-    l1d_->tick(now);
-    l1i_->tick(now);
+    {
+        ProfScope scope(profile_, ProfComponent::kDram);
+        dram_->tick(now);
+    }
+    {
+        ProfScope scope(profile_, ProfComponent::kLlc);
+        llc_->tick(now);
+    }
+    {
+        ProfScope scope(profile_, ProfComponent::kL2);
+        l2_->tick(now);
+    }
+    {
+        ProfScope scope(profile_, ProfComponent::kL1d);
+        l1d_->tick(now);
+    }
+    {
+        ProfScope scope(profile_, ProfComponent::kL1i);
+        l1i_->tick(now);
+    }
 
     if (iprefetcher_ != nullptr) {
         auto &cands = iprefetcher_->candidates();

@@ -14,6 +14,7 @@
 #include "memory/dram.hpp"
 #include "memory/dprefetcher.hpp"
 #include "memory/iprefetcher.hpp"
+#include "util/profiler.hpp"
 
 namespace sipre
 {
@@ -114,6 +115,14 @@ class MemoryHierarchy
     /** Round-trip latency of an LLC hit as seen from the core. */
     Cycle llcAccessLatency() const;
 
+    /**
+     * Attach a per-run profile accumulator: tick() attributes each
+     * device's wall-clock to its component slot while the process-wide
+     * CycleProfiler is armed. Null detaches. The accumulator must
+     * outlive the hierarchy.
+     */
+    void setProfiler(ProfileAccumulator *acc) { profile_ = acc; }
+
   private:
     Addr lineOf(Addr addr) const { return addr & ~Addr{63}; }
 
@@ -126,6 +135,7 @@ class MemoryHierarchy
     std::unique_ptr<DataPrefetcher> dprefetcher_;
     std::vector<MemRequest> ifetch_done_;
     std::vector<MemRequest> data_done_;
+    ProfileAccumulator *profile_ = nullptr;
     ReqId next_id_ = 1;
     Cycle now_ = 0;
 };

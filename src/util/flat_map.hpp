@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Open-addressing hash map from 64-bit keys to small values, built for
+ * the simulator's hot paths (in-flight request ids, pending branches,
+ * in-flight line de-duplication). Compared to std::unordered_map it
+ * allocates no per-node memory — one flat key array and one flat value
+ * array, grown by doubling — so steady-state insert/erase churn in the
+ * tick path touches only memory the map already owns.
+ *
+ * Constraints that keep it simple and fast:
+ *  - The all-ones key (~0) is reserved as the empty sentinel. All
+ *    current users store request ids (start at 1), trace indices
+ *    (bounded by trace size) or 64-byte-aligned line addresses, none of
+ *    which can be ~0.
+ *  - Deletion uses backward-shift (no tombstones), so lookups never
+ *    degrade as the map churns.
+ *  - Iteration order is unspecified; callers must not depend on it.
+ */
+#ifndef SIPRE_UTIL_FLAT_MAP_HPP
+#define SIPRE_UTIL_FLAT_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre
+{
+
+/** See file comment. V must be movable. */
+template <typename V>
+class FlatMap
+{
+  public:
+    /** Key value that can never be stored. */
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        keys_.assign(cap, kEmptyKey);
+        values_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the value for key, or nullptr when absent. */
+    V *
+    find(std::uint64_t key)
+    {
+        std::size_t i = slotOf(key);
+        return keys_[i] == key ? &values_[i] : nullptr;
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        std::size_t i = slotOf(key);
+        return keys_[i] == key ? &values_[i] : nullptr;
+    }
+
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /**
+     * Insert key -> value, overwriting any existing entry. Returns a
+     * reference to the stored value (invalidated by the next mutation).
+     */
+    V &
+    insert(std::uint64_t key, V value)
+    {
+        SIPRE_ASSERT(key != kEmptyKey, "FlatMap cannot store ~0 as a key");
+        if ((size_ + 1) * 4 > (mask_ + 1) * 3)
+            grow();
+        std::size_t i = slotOf(key);
+        if (keys_[i] != key) {
+            keys_[i] = key;
+            ++size_;
+        }
+        values_[i] = std::move(value);
+        return values_[i];
+    }
+
+    /** Value for key, default-constructing an entry when absent. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        SIPRE_ASSERT(key != kEmptyKey, "FlatMap cannot store ~0 as a key");
+        if ((size_ + 1) * 4 > (mask_ + 1) * 3)
+            grow();
+        std::size_t i = slotOf(key);
+        if (keys_[i] != key) {
+            keys_[i] = key;
+            values_[i] = V{};
+            ++size_;
+        }
+        return values_[i];
+    }
+
+    /** Remove key if present; returns true when an entry was removed. */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t i = slotOf(key);
+        if (keys_[i] != key)
+            return false;
+        --size_;
+        // Backward-shift deletion: walk the probe chain after i and pull
+        // back any element whose home slot cannot reach it once i is
+        // emptied, so probes never need tombstones.
+        std::size_t j = i;
+        while (true) {
+            keys_[i] = kEmptyKey;
+            while (true) {
+                j = (j + 1) & mask_;
+                if (keys_[j] == kEmptyKey)
+                    return true;
+                const std::size_t home = homeOf(keys_[j]);
+                const bool stays = i <= j ? (i < home && home <= j)
+                                          : (i < home || home <= j);
+                if (!stays)
+                    break;
+            }
+            keys_[i] = keys_[j];
+            values_[i] = std::move(values_[j]);
+            i = j;
+        }
+    }
+
+    /** Drop every entry; keeps the current capacity. */
+    void
+    clear()
+    {
+        std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+        size_ = 0;
+    }
+
+  private:
+    std::size_t homeOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(mix64(key)) & mask_;
+    }
+
+    /** Slot holding key, or the empty slot where it would be inserted. */
+    std::size_t
+    slotOf(std::uint64_t key) const
+    {
+        std::size_t i = homeOf(key);
+        while (keys_[i] != key && keys_[i] != kEmptyKey)
+            i = (i + 1) & mask_;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<V> old_values = std::move(values_);
+        const std::size_t cap = (mask_ + 1) * 2;
+        keys_.assign(cap, kEmptyKey);
+        values_.clear();
+        values_.resize(cap);
+        mask_ = cap - 1;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == kEmptyKey)
+                continue;
+            std::size_t j = homeOf(old_keys[i]);
+            while (keys_[j] != kEmptyKey)
+                j = (j + 1) & mask_;
+            keys_[j] = old_keys[i];
+            values_[j] = std::move(old_values[i]);
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<V> values_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_FLAT_MAP_HPP

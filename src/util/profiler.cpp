@@ -1,0 +1,111 @@
+#include "util/profiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sipre
+{
+
+const char *
+profComponentName(ProfComponent c)
+{
+    switch (c) {
+      case ProfComponent::kFrontend:
+        return "frontend";
+      case ProfComponent::kBackend:
+        return "backend";
+      case ProfComponent::kL1i:
+        return "l1i";
+      case ProfComponent::kL1d:
+        return "l1d";
+      case ProfComponent::kL2:
+        return "l2";
+      case ProfComponent::kLlc:
+        return "llc";
+      case ProfComponent::kDram:
+        return "dram";
+      case ProfComponent::kPreloader:
+        return "preloader";
+      default:
+        return "unknown";
+    }
+}
+
+CycleProfiler::CycleProfiler()
+{
+    if (const char *env = std::getenv("SIPRE_PROFILE")) {
+        if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+            enabled_.store(true, std::memory_order_relaxed);
+    }
+}
+
+CycleProfiler &
+CycleProfiler::global()
+{
+    static CycleProfiler instance;
+    return instance;
+}
+
+std::string
+ProfileAccumulator::table(std::uint64_t cycles) const
+{
+    const std::uint64_t total = totalNs();
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-10s %12s %12s %9s %7s",
+                  "component", "total_ms", "ticks", "ns/tick", "share");
+    out += line;
+    if (cycles != 0) {
+        std::snprintf(line, sizeof(line), " %9s", "ns/cycle");
+        out += line;
+    }
+    out += '\n';
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Slot &s = slots[i];
+        if (s.ticks == 0)
+            continue;
+        const double ms = static_cast<double>(s.ns) / 1e6;
+        const double per_tick =
+            static_cast<double>(s.ns) / static_cast<double>(s.ticks);
+        const double share =
+            total != 0
+                ? 100.0 * static_cast<double>(s.ns) /
+                      static_cast<double>(total)
+                : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "%-10s %12.2f %12llu %9.1f %6.1f%%",
+                      profComponentName(static_cast<ProfComponent>(i)), ms,
+                      static_cast<unsigned long long>(s.ticks), per_tick,
+                      share);
+        out += line;
+        if (cycles != 0) {
+            std::snprintf(line, sizeof(line), " %9.1f",
+                          static_cast<double>(s.ns) /
+                              static_cast<double>(cycles));
+            out += line;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+ProfileAccumulator::json() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Slot &s = slots[i];
+        if (!first)
+            out += ",";
+        first = false;
+        out += '"';
+        out += profComponentName(static_cast<ProfComponent>(i));
+        out += "_ns\":";
+        out += std::to_string(s.ns);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace sipre

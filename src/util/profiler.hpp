@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Lightweight per-component cycle-cost profiling: attributes the
+ * simulator's wall-clock time to the component ticks that consume it
+ * (front-end = FTQ/fetch/branch, back-end = decode/issue/retire, each
+ * cache level, DRAM, the metadata preloader).
+ *
+ * Design contract (mirrors trace_obs/recorder.hpp and util/fault):
+ *  - Disabled is the default and costs one relaxed atomic load per
+ *    ProfScope construction — no clock read, no allocation.
+ *    bench/bench_profile_overhead puts a number on it.
+ *  - Armed process-wide (the `--profile` flag on sipre_cli or the
+ *    SIPRE_PROFILE environment variable); accumulation is per-Simulator
+ *    so concurrent shards never contend on shared counters.
+ *  - Scopes are per-component-per-cycle, not per-event: the profile
+ *    answers "where do busy cycles go" (EXPERIMENTS.md), not "what did
+ *    request 4711 do" (that is trace_obs territory).
+ */
+#ifndef SIPRE_UTIL_PROFILER_HPP
+#define SIPRE_UTIL_PROFILER_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sipre
+{
+
+/** The components wall-clock time is attributed to. */
+enum class ProfComponent : std::uint8_t {
+    kFrontend = 0, ///< FTQ allocate/issue/deliver + branch prediction
+    kBackend,      ///< decode/dispatch, scheduler issue, retire
+    kL1i,
+    kL1d,
+    kL2,
+    kLlc,
+    kDram,
+    kPreloader,
+    kCount
+};
+
+/** Stable short name for reports ("frontend", "l1i", ...). */
+const char *profComponentName(ProfComponent c);
+
+/**
+ * The process-wide arm switch. Accumulation state lives in per-run
+ * ProfileAccumulators; this only gates whether scopes read the clock.
+ */
+class CycleProfiler
+{
+  public:
+    /** The singleton; first call applies SIPRE_PROFILE if set. */
+    static CycleProfiler &global();
+
+    /** Hot-path gate: one relaxed atomic load. */
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    void enable() { enabled_.store(true, std::memory_order_relaxed); }
+    void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    CycleProfiler();
+    std::atomic<bool> enabled_{false};
+};
+
+/** Per-run accumulation: total ns and tick count per component. */
+struct ProfileAccumulator
+{
+    struct Slot
+    {
+        std::uint64_t ns = 0;
+        std::uint64_t ticks = 0;
+    };
+    std::array<Slot, static_cast<std::size_t>(ProfComponent::kCount)> slots;
+
+    const Slot &
+    operator[](ProfComponent c) const
+    {
+        return slots[static_cast<std::size_t>(c)];
+    }
+
+    void clear() { slots.fill(Slot{}); }
+
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t total = 0;
+        for (const Slot &s : slots)
+            total += s.ns;
+        return total;
+    }
+
+    /**
+     * Human-readable table: one line per component with total ms, tick
+     * count, ns/tick, and share of the profiled total. `cycles`, when
+     * non-zero, adds an ns/cycle column (the EXPERIMENTS.md metric).
+     */
+    std::string table(std::uint64_t cycles = 0) const;
+
+    /** One-line JSON object ({"frontend_ns":..., ...}). */
+    std::string json() const;
+};
+
+/**
+ * RAII scope attributing the enclosed wall-clock to one component of
+ * one accumulator. Inert (no clock read) when the profiler is disabled
+ * at construction or the accumulator is null.
+ */
+class ProfScope
+{
+  public:
+    ProfScope(ProfileAccumulator *acc, ProfComponent c)
+    {
+        if (acc != nullptr && CycleProfiler::global().enabled()) {
+            acc_ = acc;
+            comp_ = c;
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ProfScope()
+    {
+        if (acc_ != nullptr) {
+            const auto end = std::chrono::steady_clock::now();
+            ProfileAccumulator::Slot &slot =
+                acc_->slots[static_cast<std::size_t>(comp_)];
+            slot.ns += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    end - start_)
+                    .count());
+            ++slot.ticks;
+        }
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    ProfileAccumulator *acc_ = nullptr;
+    ProfComponent comp_ = ProfComponent::kFrontend;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_PROFILER_HPP

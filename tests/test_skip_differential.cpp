@@ -112,6 +112,32 @@ TEST_F(SkipDifferential, StandardCampaignAllConfigsBitIdentical)
     }
 }
 
+// The incremental FTQ counters (unready entries, uncounted fetch-done
+// entries, not-issued / TLB-waiting lines) replaced per-cycle FTQ scans
+// in the front-end fast path. With the crosscheck armed the front-end
+// re-derives all four by full rescan at the end of every tick and
+// panics on divergence — on both the reference and the skip loop — and
+// arming it must not change a single result field.
+TEST_F(SkipDifferential, FrontendCounterCrosscheck)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.frontend.itlb = true; // exercise the kWaitingTlb counter too
+    auto runChecked = [&](bool fast_forward) {
+        SimConfig c = config;
+        c.fast_forward = fast_forward;
+        Simulator sim(c, trace);
+        sim.frontend().enableCounterCrosscheck(true);
+        return sim.run();
+    };
+    const SimResult ref = runChecked(false);
+    const SimResult ffw = runChecked(true);
+    EXPECT_EQ(diffSimResults(ref, ffw), "");
+    const SimResult plain = runOnce(config, trace, true);
+    EXPECT_EQ(diffSimResults(ffw, plain), "");
+}
+
 // Feature combinations the campaign does not exercise.
 
 TEST_F(SkipDifferential, InstructionTlb)

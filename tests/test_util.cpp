@@ -5,11 +5,13 @@
  */
 #include <deque>
 #include <sstream>
+#include <unordered_map>
 
 #include <gtest/gtest.h>
 
 #include "util/bits.hpp"
 #include "util/circular_buffer.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/sat_counter.hpp"
 #include "util/statistics.hpp"
@@ -391,6 +393,95 @@ TEST(Table, Formatters)
 {
     EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
     EXPECT_EQ(Table::pct(0.204, 1), "20.4%");
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<int> map;
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_TRUE(map.empty());
+
+    map.insert(42, 7);
+    ASSERT_NE(map.find(42), nullptr);
+    EXPECT_EQ(*map.find(42), 7);
+    EXPECT_EQ(map.size(), 1u);
+
+    map.insert(42, 9); // overwrite, not duplicate
+    EXPECT_EQ(*map.find(42), 9);
+    EXPECT_EQ(map.size(), 1u);
+
+    EXPECT_TRUE(map.erase(42));
+    EXPECT_FALSE(map.erase(42));
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, SubscriptDefaultConstructs)
+{
+    FlatMap<std::uint32_t> map;
+    ++map[100];
+    ++map[100];
+    EXPECT_EQ(map[100], 2u);
+    EXPECT_EQ(map[200], 0u);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacityAndMatchesReference)
+{
+    FlatMap<std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(99);
+    // Mixed insert/erase traffic with keys dense enough to collide in
+    // the open-addressed table; the reference map defines the truth.
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t key = rng.below(4'096);
+        if (rng.chance(0.3)) {
+            const bool erased_map = map.erase(key);
+            const bool erased_ref = ref.erase(key) != 0;
+            EXPECT_EQ(erased_map, erased_ref) << "key " << key;
+        } else {
+            const std::uint64_t value = rng.next();
+            map.insert(key, value);
+            ref[key] = value;
+        }
+    }
+    EXPECT_EQ(map.size(), ref.size());
+    for (const auto &[key, value] : ref) {
+        ASSERT_NE(map.find(key), nullptr) << "key " << key;
+        EXPECT_EQ(*map.find(key), value) << "key " << key;
+    }
+}
+
+TEST(FlatMap, EraseBackwardShiftKeepsProbeChainsIntact)
+{
+    // Force a dense cluster: insert many keys, then delete from the
+    // middle of probe chains and verify every survivor stays findable.
+    FlatMap<int> map;
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        map.insert(k, static_cast<int>(k));
+    for (std::uint64_t k = 2; k <= 64; k += 2)
+        EXPECT_TRUE(map.erase(k));
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+        if (k % 2 == 1) {
+            ASSERT_NE(map.find(k), nullptr) << "key " << k;
+            EXPECT_EQ(*map.find(k), static_cast<int>(k));
+        } else {
+            EXPECT_EQ(map.find(k), nullptr) << "key " << k;
+        }
+    }
+}
+
+TEST(FlatMap, ClearEmptiesWithoutShrinking)
+{
+    FlatMap<int> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map.insert(k, 1);
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(map.find(k), nullptr);
+    map.insert(5, 3); // still usable after clear
+    EXPECT_EQ(*map.find(5), 3);
 }
 
 } // namespace

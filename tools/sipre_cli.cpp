@@ -11,7 +11,7 @@
  *             [--hw-prefetcher none|nextline|eip]
  *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path] [--json]
  *             [--save-trace PATH] [--load-trace PATH] [--list]
- *             [--trace-out PATH] [--scenario-window N]
+ *             [--trace-out PATH] [--scenario-window N] [--profile]
  */
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +31,7 @@
 #include "trace/synth/workload.hpp"
 #include "trace_obs/chrome_trace.hpp"
 #include "trace_obs/recorder.hpp"
+#include "util/profiler.hpp"
 
 using namespace sipre;
 
@@ -67,7 +68,11 @@ usage(const char *argv0)
         "                             at ui.perfetto.dev. Implies\n"
         "                             --scenario-window 4096 unless set\n"
         "  --scenario-window N        record the FTQ scenario timeline\n"
-        "                             with N-cycle windows (0 = off)\n",
+        "                             with N-cycle windows (0 = off)\n"
+        "  --profile                  attribute the run's wall-clock to\n"
+        "                             per-component ticks (front-end,\n"
+        "                             back-end, each cache level, DRAM)\n"
+        "                             and print the table to stderr\n",
         argv0, kSimModeChoices, kPredictorChoices, kHwPrefetcherChoices);
     std::exit(1);
 }
@@ -95,6 +100,7 @@ main(int argc, char **argv)
     std::uint32_t scenario_window = 0;
     bool scenario_window_set = false;
     bool json = false;
+    bool profile = false;
     SimConfig config = SimConfig::industry();
 
     for (int i = 1; i < argc; ++i) {
@@ -157,6 +163,8 @@ main(int argc, char **argv)
             champsim_path = next();
         } else if (arg == "--trace-out") {
             trace_out = next();
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--scenario-window") {
             const std::string value = next();
             const auto n = parseUnsigned(value, ~std::uint32_t{0});
@@ -180,6 +188,8 @@ main(int argc, char **argv)
         scenario_window = 4096;
     if (!trace_out.empty())
         trace_obs::Recorder::global().enable();
+    if (profile)
+        CycleProfiler::global().enable();
 
     // Obtain the trace.
     Trace trace;
@@ -238,12 +248,26 @@ main(int argc, char **argv)
             sim.enableScenarioTimeline(scenario_window);
         return sim;
     };
+    // Run + emit + (on --profile) the per-component wall-clock table.
+    // The table goes to stderr so --json keeps stdout machine-readable.
+    auto runAndEmit = [&](Simulator &sim) {
+        emit(armed(sim).run());
+        if (profile) {
+            std::fprintf(stderr,
+                         "[sipre_cli] busy-cycle profile (%s, %llu "
+                         "cycles):\n%s",
+                         last_result.workload.c_str(),
+                         static_cast<unsigned long long>(
+                             last_result.cycles),
+                         sim.profile().table(last_result.cycles).c_str());
+        }
+    };
 
     // Run the requested mode.
     switch (*mode) {
     case SimMode::kBase: {
         Simulator sim(config, trace);
-        emit(armed(sim).run());
+        runAndEmit(sim);
         break;
     }
     case SimMode::kAsmdb:
@@ -259,18 +283,17 @@ main(int argc, char **argv)
         }
         if (*mode == SimMode::kAsmdb) {
             Simulator sim(config, artifacts.rewrite.trace);
-            emit(armed(sim).run());
+            runAndEmit(sim);
         } else if (*mode == SimMode::kNoOverhead) {
             Simulator sim(config, trace);
             sim.setSwPrefetchTriggers(&artifacts.triggers);
-            emit(armed(sim).run());
+            runAndEmit(sim);
         } else {
             Simulator sim(config, trace);
             sim.attachMetadataPreloader(
                 MetadataPreloadConfig{},
                 asmdb::buildMetadataMap(artifacts.plan));
-            const SimResult result = armed(sim).run();
-            emit(result);
+            runAndEmit(sim);
             if (!json) {
                 const auto *stats = sim.metadataStats();
                 std::printf(
@@ -297,7 +320,7 @@ main(int argc, char **argv)
                             fb.dropped_insertions));
         }
         Simulator sim(config, fb.rewrite.trace);
-        emit(armed(sim).run());
+        runAndEmit(sim);
         break;
     }
     }
