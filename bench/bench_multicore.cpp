@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Multi-core scheduler benchmark: times the MultiCoreSimulator at
+ * cores={1,2,4} and pins down the cost of the generalized next-event
+ * heap at cores=1 against the single-core Simulator on the exact same
+ * traces (the two must also stay bit-identical — a perf win that
+ * changes results is a bug, not a win).
+ *
+ * Emits one machine-readable JSON line on stdout:
+ *   {"bench":"multicore", "heap_overhead":..., "identical":...,
+ *    "per_cores":[{"cores":1,"seconds":...,"mips":...}, ...]}
+ *
+ * Environment knobs: SIPRE_WORKLOADS (default 8), SIPRE_INSTRUCTIONS
+ * (default 1,000,000).
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/result_compare.hpp"
+#include "core/simulator.hpp"
+#include "multicore/multicore.hpp"
+#include "trace/synth/workload.hpp"
+
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+double
+seconds(const std::chrono::steady_clock::time_point t0,
+        const std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sipre;
+
+    const std::size_t workloads =
+        static_cast<std::size_t>(envOr("SIPRE_WORKLOADS", 8));
+    const std::size_t instructions =
+        static_cast<std::size_t>(envOr("SIPRE_INSTRUCTIONS", 1'000'000));
+    std::cerr << "[multicore] workloads=" << workloads
+              << " instructions=" << instructions << "\n";
+
+    const auto suite = synth::cvp1LikeSuite(workloads);
+    std::vector<Trace> traces;
+    traces.reserve(suite.size());
+    for (const auto &spec : suite)
+        traces.push_back(synth::generateTrace(spec, instructions));
+    const SimConfig config = SimConfig::industry();
+
+    // --- cores=1 heap overhead: Simulator vs MultiCoreSimulator ------
+    std::cerr << "[multicore] single-core Simulator baseline...\n";
+    std::vector<SimResult> single_results;
+    const auto s0 = std::chrono::steady_clock::now();
+    for (const Trace &trace : traces) {
+        Simulator sim(config, trace);
+        single_results.push_back(sim.run());
+    }
+    const auto s1 = std::chrono::steady_clock::now();
+    const double single_seconds = seconds(s0, s1);
+
+    std::cerr << "[multicore] MultiCoreSimulator at cores=1...\n";
+    std::vector<SimResult> mc1_results;
+    const auto m0 = std::chrono::steady_clock::now();
+    for (const Trace &trace : traces) {
+        MultiCoreSimulator sim(config, {&trace});
+        mc1_results.push_back(sim.run());
+    }
+    const auto m1 = std::chrono::steady_clock::now();
+    const double mc1_seconds = seconds(m0, m1);
+
+    bool identical = true;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        const std::string diff =
+            diffSimResults(single_results[i], mc1_results[i]);
+        if (!diff.empty()) {
+            identical = false;
+            std::cerr << "[multicore] MISMATCH " << traces[i].name()
+                      << ": " << diff << "\n";
+        }
+    }
+
+    std::uint64_t single_instructions = 0;
+    for (const SimResult &r : single_results)
+        single_instructions += r.instructions;
+    const double heap_overhead =
+        single_seconds > 0.0 ? mc1_seconds / single_seconds - 1.0 : 0.0;
+
+    // --- MIPS at cores={1,2,4}: co-run the workloads in groups -------
+    std::cout << "{\"bench\":\"multicore\""
+              << ",\"workloads\":" << traces.size()
+              << ",\"instructions\":" << instructions
+              << ",\"single_seconds\":" << single_seconds
+              << ",\"mc1_seconds\":" << mc1_seconds
+              << ",\"heap_overhead\":" << heap_overhead
+              << ",\"identical\":" << (identical ? "true" : "false")
+              << ",\"per_cores\":[";
+    bool first = true;
+    for (const std::size_t cores : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+        std::cerr << "[multicore] co-runs at cores=" << cores << "...\n";
+        std::uint64_t simulated = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t base = 0; base + cores <= traces.size();
+             base += cores) {
+            // Rebased copies, like the real entry points: core i gets
+            // its own address range (the shared `traces` stay pristine
+            // for the bit-identity comparison above).
+            std::vector<Trace> rebased(traces.begin() + base,
+                                       traces.begin() + base + cores);
+            std::vector<const Trace *> group;
+            for (std::size_t i = 0; i < cores; ++i) {
+                rebased[i].rebase(i * kCoreAddressStride);
+                group.push_back(&rebased[i]);
+            }
+            MultiCoreSimulator sim(config, group);
+            simulated += sim.run().instructions;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = seconds(t0, t1);
+        const double mips =
+            secs > 0.0 ? static_cast<double>(simulated) / secs / 1e6
+                       : 0.0;
+        if (!first)
+            std::cout << ",";
+        first = false;
+        std::cout << "{\"cores\":" << cores << ",\"seconds\":" << secs
+                  << ",\"instructions_simulated\":" << simulated
+                  << ",\"mips\":" << mips << "}";
+    }
+    std::cout << "]}\n";
+    return identical ? 0 : 1;
+}

@@ -135,7 +135,7 @@ readCache(std::istream &is, CacheStats &c)
 }
 
 void
-writeResult(std::ostream &os, const SimResult &r)
+writeResultBody(std::ostream &os, const SimResult &r)
 {
     // Both labels are single whitespace-free tokens by construction.
     os << r.workload << ' ' << r.config_label << ' ';
@@ -169,6 +169,46 @@ writeResult(std::ostream &os, const SimResult &r)
         for (const std::uint64_t c : w.cycles)
             os << ' ' << c;
     }
+}
+
+void
+writeU64Vector(std::ostream &os, const std::vector<std::uint64_t> &v)
+{
+    os << ' ' << v.size();
+    for (const std::uint64_t x : v)
+        os << ' ' << x;
+}
+
+/**
+ * Full record (v6): the single-core body plus a tagged "mc" section
+ * with the per-core results and the shared LLC/DRAM contention view.
+ * Single-core results write "mc 0" so every record has the same shape.
+ */
+void
+writeResult(std::ostream &os, const SimResult &r)
+{
+    writeResultBody(os, r);
+    os << " mc " << r.core_results.size();
+    if (!r.core_results.empty()) {
+        os << ' ';
+        writeCache(os, r.shared_mem.llc);
+        os << ' ' << r.shared_mem.dram.reads << ' '
+           << r.shared_mem.dram.writebacks << ' '
+           << r.shared_mem.dram.row_hits << ' '
+           << r.shared_mem.dram.row_misses;
+        writeU64Vector(os, r.shared_mem.llc_core_hits);
+        writeU64Vector(os, r.shared_mem.llc_core_misses);
+        writeU64Vector(os, r.shared_mem.port_grants);
+        writeU64Vector(os, r.shared_mem.port_queued);
+        os << ' ' << r.shared_mem.dram_queue_depth.sum();
+        for (std::size_t i = 0; i < r.shared_mem.dram_queue_depth.buckets();
+             ++i)
+            os << ' ' << r.shared_mem.dram_queue_depth.count(i);
+        for (const SimResult &core : r.core_results) {
+            os << ' ';
+            writeResultBody(os, core);
+        }
+    }
     os << '\n';
 }
 
@@ -180,7 +220,7 @@ writeResult(std::ostream &os, const SimResult &r)
 constexpr std::uint64_t kMaxTimelineWindows = 1'048'576;
 
 void
-readResult(std::istream &is, SimResult &r)
+readResultBody(std::istream &is, SimResult &r)
 {
     is >> r.workload >> r.config_label;
     is >> r.instructions >> r.effective_instructions >> r.cycles;
@@ -215,6 +255,61 @@ readResult(std::istream &is, SimResult &r)
         for (std::uint64_t &c : w.cycles)
             is >> c;
     }
+}
+
+/** Core counts past this are a garbled record, not a real machine. */
+constexpr std::uint64_t kMaxSerializedCores = 256;
+
+void
+readU64Vector(std::istream &is, std::vector<std::uint64_t> &v)
+{
+    std::uint64_t n = 0;
+    is >> n;
+    if (!is || n > kMaxSerializedCores) {
+        is.setstate(std::ios::failbit);
+        return;
+    }
+    v.assign(static_cast<std::size_t>(n), 0);
+    for (std::uint64_t &x : v)
+        is >> x;
+}
+
+void
+readResult(std::istream &is, SimResult &r)
+{
+    readResultBody(is, r);
+    std::string tag;
+    std::uint64_t cores = 0;
+    is >> tag;
+    if (tag != "mc") {
+        is.setstate(std::ios::failbit);
+        return;
+    }
+    is >> cores;
+    if (!is || cores > kMaxSerializedCores) {
+        is.setstate(std::ios::failbit);
+        return;
+    }
+    if (cores == 0)
+        return;
+    readCache(is, r.shared_mem.llc);
+    is >> r.shared_mem.dram.reads >> r.shared_mem.dram.writebacks >>
+        r.shared_mem.dram.row_hits >> r.shared_mem.dram.row_misses;
+    readU64Vector(is, r.shared_mem.llc_core_hits);
+    readU64Vector(is, r.shared_mem.llc_core_misses);
+    readU64Vector(is, r.shared_mem.port_grants);
+    readU64Vector(is, r.shared_mem.port_queued);
+    std::uint64_t depth_sum = 0;
+    is >> depth_sum;
+    std::vector<std::uint64_t> depth_counts(
+        r.shared_mem.dram_queue_depth.buckets(), 0);
+    for (std::uint64_t &c : depth_counts)
+        is >> c;
+    if (is)
+        r.shared_mem.dram_queue_depth.restore(depth_counts, depth_sum);
+    r.core_results.assign(static_cast<std::size_t>(cores), SimResult{});
+    for (SimResult &core : r.core_results)
+        readResultBody(is, core);
 }
 
 } // namespace

@@ -81,7 +81,7 @@ CampaignResult runStandardCampaign(const CampaignOptions &options,
 // round-trip directly and tools can inspect or pre-seed cache files.
 
 /** Bumped whenever the serialized layout changes; stale files reload. */
-inline constexpr int kCampaignCacheVersion = 5;
+inline constexpr int kCampaignCacheVersion = 6;
 
 /** File the campaign for `options` persists to / loads from. */
 std::string campaignCachePath(const CampaignOptions &options);

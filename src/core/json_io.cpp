@@ -430,12 +430,14 @@ writeCacheJson(std::ostream &os, const CacheStats &c)
        << ",\"writebacks_in\":" << c.writebacks_in << "}";
 }
 
-} // namespace
-
-std::string
-simResultToJson(const SimResult &r)
+/**
+ * Everything in a result object except the closing brace, so the
+ * multi-core serializer can append its sections. Single-core output is
+ * byte-identical to what this wrote before multi-core existed.
+ */
+void
+writeResultJsonBody(std::ostream &os, const SimResult &r)
 {
-    std::ostringstream os;
     os << "{\"workload\":\"" << jsonEscape(r.workload)
        << "\",\"config_label\":\"" << jsonEscape(r.config_label)
        << "\",\"instructions\":" << r.instructions
@@ -516,7 +518,47 @@ simResultToJson(const SimResult &r)
         }
         os << "}";
     }
-    os << "]}}";
+    os << "]}";
+}
+
+} // namespace
+
+std::string
+simResultToJson(const SimResult &r)
+{
+    std::ostringstream os;
+    writeResultJsonBody(os, r);
+    if (!r.core_results.empty()) {
+        const SharedMemStats &s = r.shared_mem;
+        os << ",\"cores\":" << r.core_results.size()
+           << ",\"shared_mem\":{\"llc\":";
+        writeCacheJson(os, s.llc);
+        os << ",\"dram\":{\"reads\":" << s.dram.reads
+           << ",\"writebacks\":" << s.dram.writebacks
+           << ",\"row_hits\":" << s.dram.row_hits
+           << ",\"row_misses\":" << s.dram.row_misses << "}"
+           << ",\"llc_core_hits\":" << jsonUIntArray(s.llc_core_hits)
+           << ",\"llc_core_misses\":" << jsonUIntArray(s.llc_core_misses)
+           << ",\"port_grants\":" << jsonUIntArray(s.port_grants)
+           << ",\"port_queued\":" << jsonUIntArray(s.port_queued)
+           << ",\"dram_queue_depth\":{\"sum\":" << s.dram_queue_depth.sum()
+           << ",\"counts\":[";
+        for (std::size_t i = 0; i < s.dram_queue_depth.buckets(); ++i) {
+            if (i != 0)
+                os << ',';
+            os << s.dram_queue_depth.count(i);
+        }
+        os << "]}}";
+        os << ",\"core_results\":[";
+        for (std::size_t i = 0; i < r.core_results.size(); ++i) {
+            if (i != 0)
+                os << ',';
+            writeResultJsonBody(os, r.core_results[i]);
+            os << "}";
+        }
+        os << "]";
+    }
+    os << "}";
     return os.str();
 }
 

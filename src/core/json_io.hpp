@@ -42,6 +42,7 @@ struct JsonValue
     std::vector<std::pair<std::string, JsonValue>> object;
 
     bool isObject() const { return kind == Kind::kObject; }
+    bool isArray() const { return kind == Kind::kArray; }
     bool isString() const { return kind == Kind::kString; }
     bool isBool() const { return kind == Kind::kBool; }
     bool isNumber() const { return kind == Kind::kNumber; }

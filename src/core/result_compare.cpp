@@ -80,110 +80,109 @@ class Differ
     std::string diff_;
 };
 
-} // namespace
-
-std::string
-diffSimResults(const SimResult &a, const SimResult &b)
+/** Field-exact comparison of one result's scalar body under prefix p. */
+void
+checkResult(Differ &d, const std::string &p, const SimResult &a,
+            const SimResult &b)
 {
-    Differ d;
-    d.check("workload", a.workload, b.workload);
-    d.check("config_label", a.config_label, b.config_label);
-    d.check("instructions", a.instructions, b.instructions);
-    d.check("cycles", a.cycles, b.cycles);
-    d.check("effective_instructions", a.effective_instructions,
+    d.check(p + "workload", a.workload, b.workload);
+    d.check(p + "config_label", a.config_label, b.config_label);
+    d.check(p + "instructions", a.instructions, b.instructions);
+    d.check(p + "cycles", a.cycles, b.cycles);
+    d.check(p + "effective_instructions", a.effective_instructions,
             b.effective_instructions);
 
     const FrontendStats &fa = a.frontend;
     const FrontendStats &fb = b.frontend;
-    d.check("frontend.scenario1_cycles", fa.scenario1_cycles,
+    d.check(p + "frontend.scenario1_cycles", fa.scenario1_cycles,
             fb.scenario1_cycles);
-    d.check("frontend.scenario2_cycles", fa.scenario2_cycles,
+    d.check(p + "frontend.scenario2_cycles", fa.scenario2_cycles,
             fb.scenario2_cycles);
-    d.check("frontend.scenario3_cycles", fa.scenario3_cycles,
+    d.check(p + "frontend.scenario3_cycles", fa.scenario3_cycles,
             fb.scenario3_cycles);
-    d.check("frontend.ftq_empty_cycles", fa.ftq_empty_cycles,
+    d.check(p + "frontend.ftq_empty_cycles", fa.ftq_empty_cycles,
             fb.ftq_empty_cycles);
-    d.check("frontend.head_stall_cycles", fa.head_stall_cycles,
+    d.check(p + "frontend.head_stall_cycles", fa.head_stall_cycles,
             fb.head_stall_cycles);
-    d.check("frontend.waiting_entry_events", fa.waiting_entry_events,
+    d.check(p + "frontend.waiting_entry_events", fa.waiting_entry_events,
             fb.waiting_entry_events);
-    d.check("frontend.partial_head_events", fa.partial_head_events,
+    d.check(p + "frontend.partial_head_events", fa.partial_head_events,
             fb.partial_head_events);
-    d.check("frontend.head_fetch_latency", fa.head_fetch_latency,
+    d.check(p + "frontend.head_fetch_latency", fa.head_fetch_latency,
             fb.head_fetch_latency);
-    d.check("frontend.nonhead_fetch_latency", fa.nonhead_fetch_latency,
+    d.check(p + "frontend.nonhead_fetch_latency", fa.nonhead_fetch_latency,
             fb.nonhead_fetch_latency);
-    d.check("frontend.head_latency_hist", fa.head_latency_hist,
+    d.check(p + "frontend.head_latency_hist", fa.head_latency_hist,
             fb.head_latency_hist);
-    d.check("frontend.nonhead_latency_hist", fa.nonhead_latency_hist,
+    d.check(p + "frontend.nonhead_latency_hist", fa.nonhead_latency_hist,
             fb.nonhead_latency_hist);
-    d.check("frontend.l1i_fetches_issued", fa.l1i_fetches_issued,
+    d.check(p + "frontend.l1i_fetches_issued", fa.l1i_fetches_issued,
             fb.l1i_fetches_issued);
-    d.check("frontend.l1i_fetches_merged", fa.l1i_fetches_merged,
+    d.check(p + "frontend.l1i_fetches_merged", fa.l1i_fetches_merged,
             fb.l1i_fetches_merged);
-    d.check("frontend.blocks_allocated", fa.blocks_allocated,
+    d.check(p + "frontend.blocks_allocated", fa.blocks_allocated,
             fb.blocks_allocated);
-    d.check("frontend.instructions_delivered", fa.instructions_delivered,
+    d.check(p + "frontend.instructions_delivered", fa.instructions_delivered,
             fb.instructions_delivered);
-    d.check("frontend.sw_prefetches_triggered",
+    d.check(p + "frontend.sw_prefetches_triggered",
             fa.sw_prefetches_triggered, fb.sw_prefetches_triggered);
-    d.check("frontend.mispredict_stalls", fa.mispredict_stalls,
+    d.check(p + "frontend.mispredict_stalls", fa.mispredict_stalls,
             fb.mispredict_stalls);
-    d.check("frontend.btb_miss_stalls", fa.btb_miss_stalls,
+    d.check(p + "frontend.btb_miss_stalls", fa.btb_miss_stalls,
             fb.btb_miss_stalls);
-    d.check("frontend.stall_cycles_mispredict",
+    d.check(p + "frontend.stall_cycles_mispredict",
             fa.stall_cycles_mispredict, fb.stall_cycles_mispredict);
-    d.check("frontend.stall_cycles_btb_miss", fa.stall_cycles_btb_miss,
+    d.check(p + "frontend.stall_cycles_btb_miss", fa.stall_cycles_btb_miss,
             fb.stall_cycles_btb_miss);
-    d.check("frontend.pfc_resumes", fa.pfc_resumes, fb.pfc_resumes);
-    d.check("frontend.wrong_path_prefetches", fa.wrong_path_prefetches,
+    d.check(p + "frontend.pfc_resumes", fa.pfc_resumes, fb.pfc_resumes);
+    d.check(p + "frontend.wrong_path_prefetches", fa.wrong_path_prefetches,
             fb.wrong_path_prefetches);
-    d.check("frontend.itlb_walks", fa.itlb_walks, fb.itlb_walks);
+    d.check(p + "frontend.itlb_walks", fa.itlb_walks, fb.itlb_walks);
 
-    d.check("backend.retired", a.backend.retired, b.backend.retired);
-    d.check("backend.retired_sw_prefetches",
+    d.check(p + "backend.retired", a.backend.retired, b.backend.retired);
+    d.check(p + "backend.retired_sw_prefetches",
             a.backend.retired_sw_prefetches,
             b.backend.retired_sw_prefetches);
-    d.check("backend.dispatched", a.backend.dispatched,
+    d.check(p + "backend.dispatched", a.backend.dispatched,
             b.backend.dispatched);
-    d.check("backend.loads_issued", a.backend.loads_issued,
+    d.check(p + "backend.loads_issued", a.backend.loads_issued,
             b.backend.loads_issued);
-    d.check("backend.stores_issued", a.backend.stores_issued,
+    d.check(p + "backend.stores_issued", a.backend.stores_issued,
             b.backend.stores_issued);
-    d.check("backend.rob_full_cycles", a.backend.rob_full_cycles,
+    d.check(p + "backend.rob_full_cycles", a.backend.rob_full_cycles,
             b.backend.rob_full_cycles);
-    d.check("backend.empty_rob_cycles", a.backend.empty_rob_cycles,
+    d.check(p + "backend.empty_rob_cycles", a.backend.empty_rob_cycles,
             b.backend.empty_rob_cycles);
 
-    d.check("branch.cond_predictions", a.branch.cond_predictions,
+    d.check(p + "branch.cond_predictions", a.branch.cond_predictions,
             b.branch.cond_predictions);
-    d.check("branch.cond_mispredictions", a.branch.cond_mispredictions,
+    d.check(p + "branch.cond_mispredictions", a.branch.cond_mispredictions,
             b.branch.cond_mispredictions);
-    d.check("branch.btb_miss_taken", a.branch.btb_miss_taken,
+    d.check(p + "branch.btb_miss_taken", a.branch.btb_miss_taken,
             b.branch.btb_miss_taken);
-    d.check("branch.target_mispredictions",
+    d.check(p + "branch.target_mispredictions",
             a.branch.target_mispredictions, b.branch.target_mispredictions);
 
-    d.check("btb.lookups", a.btb.lookups, b.btb.lookups);
-    d.check("btb.hits", a.btb.hits, b.btb.hits);
-    d.check("btb.updates", a.btb.updates, b.btb.updates);
-    d.check("btb.evictions", a.btb.evictions, b.btb.evictions);
+    d.check(p + "btb.lookups", a.btb.lookups, b.btb.lookups);
+    d.check(p + "btb.hits", a.btb.hits, b.btb.hits);
+    d.check(p + "btb.updates", a.btb.updates, b.btb.updates);
+    d.check(p + "btb.evictions", a.btb.evictions, b.btb.evictions);
 
-    d.check("l1i", a.l1i, b.l1i);
-    d.check("l1d", a.l1d, b.l1d);
-    d.check("l2", a.l2, b.l2);
-    d.check("llc", a.llc, b.llc);
+    d.check(p + "l1i", a.l1i, b.l1i);
+    d.check(p + "l1d", a.l1d, b.l1d);
+    d.check(p + "l2", a.l2, b.l2);
+    d.check(p + "llc", a.llc, b.llc);
 
     const ScenarioTimeline &ta = a.scenario_timeline;
     const ScenarioTimeline &tb = b.scenario_timeline;
-    d.check("scenario_timeline.window_size", ta.window_size,
+    d.check(p + "scenario_timeline.window_size", ta.window_size,
             tb.window_size);
-    d.check("scenario_timeline.windows", ta.windows.size(),
+    d.check(p + "scenario_timeline.windows", ta.windows.size(),
             tb.windows.size());
     for (std::size_t i = 0;
          i < std::min(ta.windows.size(), tb.windows.size()); ++i) {
         const std::string prefix =
-            "scenario_timeline.windows[" + std::to_string(i) + "]";
+            p + "scenario_timeline.windows[" + std::to_string(i) + "]";
         d.check(prefix + ".start_cycle", ta.windows[i].start_cycle,
                 tb.windows[i].start_cycle);
         for (std::size_t s = 0; s < kFtqScenarioCount; ++s) {
@@ -191,6 +190,65 @@ diffSimResults(const SimResult &a, const SimResult &b)
                         ftqScenarioName(static_cast<FtqScenario>(s)),
                     ta.windows[i].cycles[s], tb.windows[i].cycles[s]);
         }
+    }
+}
+
+void
+checkVector(Differ &d, const std::string &field,
+            const std::vector<std::uint64_t> &a,
+            const std::vector<std::uint64_t> &b)
+{
+    d.check(field + ".size", a.size(), b.size());
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        d.check(field + "[" + std::to_string(i) + "]", a[i], b[i]);
+}
+
+void
+checkLog2(Differ &d, const std::string &field, const Log2Histogram &a,
+          const Log2Histogram &b)
+{
+    d.check(field + ".total", a.total(), b.total());
+    d.check(field + ".sum", a.sum(), b.sum());
+    for (std::size_t i = 0; i < a.buckets(); ++i)
+        d.check(field + ".count[" + std::to_string(i) + "]", a.count(i),
+                b.count(i));
+}
+
+} // namespace
+
+std::string
+diffSimResults(const SimResult &a, const SimResult &b)
+{
+    Differ d;
+    checkResult(d, "", a, b);
+
+    const SharedMemStats &sa = a.shared_mem;
+    const SharedMemStats &sb = b.shared_mem;
+    d.check("shared_mem.llc", sa.llc, sb.llc);
+    d.check("shared_mem.dram.reads", sa.dram.reads, sb.dram.reads);
+    d.check("shared_mem.dram.writebacks", sa.dram.writebacks,
+            sb.dram.writebacks);
+    d.check("shared_mem.dram.row_hits", sa.dram.row_hits,
+            sb.dram.row_hits);
+    d.check("shared_mem.dram.row_misses", sa.dram.row_misses,
+            sb.dram.row_misses);
+    checkVector(d, "shared_mem.llc_core_hits", sa.llc_core_hits,
+                sb.llc_core_hits);
+    checkVector(d, "shared_mem.llc_core_misses", sa.llc_core_misses,
+                sb.llc_core_misses);
+    checkVector(d, "shared_mem.port_grants", sa.port_grants,
+                sb.port_grants);
+    checkVector(d, "shared_mem.port_queued", sa.port_queued,
+                sb.port_queued);
+    checkLog2(d, "shared_mem.dram_queue_depth", sa.dram_queue_depth,
+              sb.dram_queue_depth);
+
+    d.check("core_results.size", a.core_results.size(),
+            b.core_results.size());
+    for (std::size_t i = 0;
+         i < std::min(a.core_results.size(), b.core_results.size()); ++i) {
+        checkResult(d, "core[" + std::to_string(i) + "].",
+                    a.core_results[i], b.core_results[i]);
     }
     return d.result();
 }

@@ -8,15 +8,39 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "backend/backend.hpp"
 #include "branch/unit.hpp"
 #include "frontend/frontend_stats.hpp"
 #include "frontend/scenario_timeline.hpp"
 #include "memory/cache.hpp"
+#include "memory/dram.hpp"
+#include "util/statistics.hpp"
 
 namespace sipre
 {
+
+/**
+ * Shared-memory contention counters of a multi-core run: the view of
+ * the one LLC and DRAM that all cores contend for, with per-core
+ * attribution. Empty (zero counters, empty vectors) on single-core
+ * results.
+ */
+struct SharedMemStats
+{
+    CacheStats llc;          ///< the shared LLC (also per-core llc field)
+    DramStats dram;          ///< the shared DRAM
+    /** Demand hits/misses observed at the shared LLC, per core. */
+    std::vector<std::uint64_t> llc_core_hits;
+    std::vector<std::uint64_t> llc_core_misses;
+    /** Memory-controller arbitration: round-robin grants per core port. */
+    std::vector<std::uint64_t> port_grants;
+    /** Requests that had to wait in a port queue (vs pass through). */
+    std::vector<std::uint64_t> port_queued;
+    /** DRAM queue occupancy, sampled once per executed shared tick. */
+    Log2Histogram dram_queue_depth;
+};
 
 /** Everything measured during one Simulator::run(). */
 struct SimResult
@@ -51,6 +75,26 @@ struct SimResult
      * default, so cached results and differential runs are unaffected).
      */
     ScenarioTimeline scenario_timeline;
+
+    /**
+     * Multi-core co-run extension. Empty for single-core runs. When a
+     * MultiCoreSimulator produced this result, core_results holds one
+     * full per-core SimResult (its llc field duplicates the shared LLC
+     * stats) and the top level aggregates: instructions/effective are
+     * sums, cycles is the slowest core, the cache/front-end/back-end
+     * counters are element-wise sums, and llc is the shared LLC.
+     */
+    std::vector<SimResult> core_results;
+    SharedMemStats shared_mem;
+
+    /** Number of cores that produced this result. */
+    std::uint32_t
+    cores() const
+    {
+        return core_results.empty()
+                   ? 1u
+                   : static_cast<std::uint32_t>(core_results.size());
+    }
 
     /** IPC over the paper's instruction accounting. */
     double

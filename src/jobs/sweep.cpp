@@ -11,7 +11,8 @@ namespace sipre::jobs
 std::size_t
 SweepSpec::shardCount() const
 {
-    return workloads.size() * ftq.size() * modes.size() *
+    const std::size_t workload_dim = mix.empty() ? workloads.size() : 1;
+    return workload_dim * cores.size() * ftq.size() * modes.size() *
            predictors.size() * hw_prefetchers.size() * pfc.size() *
            ghr_filter.size() * wrong_path.size();
 }
@@ -72,6 +73,8 @@ parseSweepSpec(const std::string &body, SweepSpec &out, std::string &error)
 
     out = SweepSpec{};
     bool have_workloads = false;
+    bool have_mix = false;
+    bool have_cores = false;
     for (const auto &[key, value] : doc.object) {
         if (key == "workloads") {
             have_workloads = true;
@@ -90,6 +93,46 @@ parseSweepSpec(const std::string &body, SweepSpec &out, std::string &error)
                             return false;
                         }
                         name = v.string;
+                        return true;
+                    },
+                    error))
+                return false;
+        } else if (key == "mix") {
+            have_mix = true;
+            // Duplicates are legitimate here (a mix can co-run two
+            // copies of one workload next to a third), so this does
+            // not go through parseAxis.
+            if (!value.isArray() || value.array.empty() ||
+                value.array.size() > service::kMaxCores) {
+                error = "field 'mix' must be an array of 1 to " +
+                        std::to_string(service::kMaxCores) +
+                        " workload names";
+                return false;
+            }
+            out.mix.clear();
+            for (const auto &element : value.array) {
+                if (!element.isString()) {
+                    error = "field 'mix' must be an array of workload "
+                            "names";
+                    return false;
+                }
+                out.mix.push_back(element.string);
+            }
+        } else if (key == "cores") {
+            have_cores = true;
+            if (!parseAxis(
+                    key, value, out.cores,
+                    [&](const JsonValue &v, std::uint32_t &n_cores) {
+                        std::uint64_t n = 0;
+                        if (!jsonToUint(v, n) || n < 1 ||
+                            n > service::kMaxCores) {
+                            error = "field 'cores' values must be "
+                                    "integers in [1, " +
+                                    std::to_string(service::kMaxCores) +
+                                    "]";
+                            return false;
+                        }
+                        n_cores = static_cast<std::uint32_t>(n);
                         return true;
                     },
                     error))
@@ -199,12 +242,24 @@ parseSweepSpec(const std::string &body, SweepSpec &out, std::string &error)
             return false;
         }
     }
-    if (!have_workloads || out.workloads.empty()) {
+    if (have_mix) {
+        if (have_workloads) {
+            error = "fields 'workloads' and 'mix' are mutually exclusive";
+            return false;
+        }
+        if (have_cores) {
+            error = "field 'cores' is implied by the 'mix' length";
+            return false;
+        }
+        out.cores = {static_cast<std::uint32_t>(out.mix.size())};
+    } else if (!have_workloads || out.workloads.empty()) {
         error = "missing required field 'workloads'";
         return false;
     }
 
-    for (const auto &name : out.workloads) {
+    std::vector<std::string> all_names = out.workloads;
+    all_names.insert(all_names.end(), out.mix.begin(), out.mix.end());
+    for (const auto &name : all_names) {
         bool known = false;
         for (const auto &spec : synth::cvp1LikeSuite()) {
             if (spec.name == name) {
@@ -241,7 +296,15 @@ sweepSpecToJson(const SweepSpec &spec)
     for (const IPrefetcherKind kind : spec.hw_prefetchers)
         prefetchers.push_back(hwPrefetcherName(kind));
 
-    std::string out = "{\"workloads\":" + jsonStringArray(spec.workloads);
+    std::string out;
+    if (spec.mix.empty()) {
+        std::vector<std::uint64_t> cores(spec.cores.begin(),
+                                         spec.cores.end());
+        out = "{\"workloads\":" + jsonStringArray(spec.workloads);
+        out += ",\"cores\":" + jsonUIntArray(cores);
+    } else {
+        out = "{\"mix\":" + jsonStringArray(spec.mix);
+    }
     out += ",\"instructions\":" + std::to_string(spec.instructions);
     out += ",\"ftq\":" + jsonUIntArray(ftq);
     out += ",\"mode\":" + jsonStringArray(modes);
@@ -257,9 +320,35 @@ sweepSpecToJson(const SweepSpec &spec)
 std::vector<service::SimRequest>
 expandSweep(const SweepSpec &spec)
 {
+    // The workload/core dimension first: (workload, cores) pairs for
+    // homogeneous sweeps, or the single fixed mix. A homogeneous mix
+    // normalizes to the empty-mix spelling so both share canonical keys
+    // with the equivalent /simulate request.
+    std::vector<service::SimRequest> machines;
+    if (!spec.mix.empty()) {
+        service::SimRequest machine;
+        machine.workload = spec.mix.front();
+        machine.cores = static_cast<std::uint32_t>(spec.mix.size());
+        if (!std::all_of(spec.mix.begin(), spec.mix.end(),
+                         [&](const std::string &w) {
+                             return w == spec.mix.front();
+                         }))
+            machine.mix = spec.mix;
+        machines.push_back(std::move(machine));
+    } else {
+        for (const auto &workload : spec.workloads) {
+            for (const std::uint32_t cores : spec.cores) {
+                service::SimRequest machine;
+                machine.workload = workload;
+                machine.cores = cores;
+                machines.push_back(std::move(machine));
+            }
+        }
+    }
+
     std::vector<service::SimRequest> shards;
     shards.reserve(spec.shardCount());
-    for (const auto &workload : spec.workloads) {
+    for (const service::SimRequest &machine : machines) {
         for (const std::uint32_t ftq : spec.ftq) {
             for (const SimMode mode : spec.modes) {
                 for (const DirectionPredictorKind predictor :
@@ -269,8 +358,7 @@ expandSweep(const SweepSpec &spec)
                         for (const bool pfc : spec.pfc) {
                             for (const bool ghr : spec.ghr_filter) {
                                 for (const bool wp : spec.wrong_path) {
-                                    service::SimRequest request;
-                                    request.workload = workload;
+                                    service::SimRequest request = machine;
                                     request.instructions =
                                         spec.instructions;
                                     request.ftq_entries = ftq;

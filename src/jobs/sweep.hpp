@@ -28,7 +28,15 @@ namespace sipre::jobs
 struct SweepSpec
 {
     std::vector<std::string> workloads;
+    /**
+     * One fixed heterogeneous co-run mix (workload names, one per
+     * core). Mutually exclusive with `workloads` and `cores`: the mix
+     * IS the workload dimension and fixes the core count.
+     */
+    std::vector<std::string> mix;
     std::uint64_t instructions = 2'000'000;
+    /** Homogeneous co-run sizes crossed with `workloads`. */
+    std::vector<std::uint32_t> cores = {1};
     std::vector<std::uint32_t> ftq = {24};
     std::vector<SimMode> modes = {SimMode::kBase};
     std::vector<DirectionPredictorKind> predictors = {
@@ -38,7 +46,10 @@ struct SweepSpec
     std::vector<bool> ghr_filter = {true};
     std::vector<bool> wrong_path = {true};
 
-    /** |workloads| × the product of all axis lengths. */
+    /**
+     * |workloads| × the product of all axis lengths (the workload
+     * dimension is 1 when a fixed `mix` stands in for it).
+     */
     std::size_t shardCount() const;
 };
 
@@ -48,8 +59,9 @@ inline constexpr std::size_t kMaxShardsPerJob = 4096;
 /**
  * Parse and validate a JSON sweep spec. `workloads` is required and is
  * either an array of known workload names or the string "all" (the
- * full 48-workload suite); every other axis accepts a scalar or an
- * array of distinct values: instructions (scalar only), ftq, mode,
+ * full 48-workload suite) — or `mix` (a fixed per-core workload list)
+ * stands in for it; every other axis accepts a scalar or an array of
+ * distinct values: instructions (scalar only), cores, ftq, mode,
  * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path. Unknown
  * fields, bad types, duplicate axis values, out-of-range values, and
  * sweeps past kMaxShardsPerJob are rejected with a specific `error`.
@@ -61,8 +73,8 @@ bool parseSweepSpec(const std::string &body, SweepSpec &out,
 std::string sweepSpecToJson(const SweepSpec &spec);
 
 /**
- * Expand the sweep into its shards: workloads outermost, then ftq,
- * mode, predictor, hw_prefetcher, pfc, ghr_filter, wrong_path
+ * Expand the sweep into its shards: workloads outermost, then cores,
+ * ftq, mode, predictor, hw_prefetcher, pfc, ghr_filter, wrong_path
  * innermost. The order is part of the job-record contract — shard
  * indices persist across restarts — so it must never change for a
  * given spec.

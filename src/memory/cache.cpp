@@ -144,6 +144,8 @@ Cache::processRequest(MemRequest &req, Cycle now, std::uint32_t way)
 
     if (onAccess && !is_prefetch)
         onAccess(req.line_addr, req.type, way != kNoWay);
+    if (onDemandLookup && !is_prefetch)
+        onDemandLookup(req, way != kNoWay);
     if (is_prefetch)
         ++stats_.prefetch_requests;
     else

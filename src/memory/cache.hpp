@@ -126,6 +126,13 @@ class Cache : public MemoryDevice
     /** Fired on every demand lookup: (line, type, hit). */
     std::function<void(Addr line_addr, AccessType type, bool hit)> onAccess;
 
+    /**
+     * Fired on every demand lookup with the full request, so observers
+     * can attribute the access (e.g. per-core contention counters on a
+     * shared LLC). Fires at the same points as onAccess.
+     */
+    std::function<void(const MemRequest &req, bool hit)> onDemandLookup;
+
   private:
     /** Sentinel stored in invalid ways; no real line number reaches it. */
     static constexpr Addr kInvalidTag = ~Addr{0};

@@ -56,6 +56,13 @@ class Dram : public MemoryDevice
     void resetStats() { stats_ = DramStats{}; }
     const DramConfig &config() const { return config_; }
 
+    /** Requests waiting or in service (queue-occupancy sampling). */
+    std::size_t
+    pendingRequests() const
+    {
+        return queue_.size() + sched_.size();
+    }
+
   private:
     struct Scheduled
     {

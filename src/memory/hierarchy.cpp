@@ -11,7 +11,27 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
 {
     dram_ = std::make_unique<Dram>(config.dram);
     llc_ = std::make_unique<Cache>(config.llc, dram_.get());
+    llc_view_ = llc_.get();
+    dram_view_ = dram_.get();
     l2_ = std::make_unique<Cache>(config.l2, llc_.get());
+    wireUpperLevels(config);
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
+                                 MemoryDevice *shared_lower,
+                                 Cache *shared_llc, Dram *shared_dram,
+                                 std::uint8_t core_id)
+    : core_id_(core_id), owns_shared_(false)
+{
+    llc_view_ = shared_llc;
+    dram_view_ = shared_dram;
+    l2_ = std::make_unique<Cache>(config.l2, shared_lower);
+    wireUpperLevels(config);
+}
+
+void
+MemoryHierarchy::wireUpperLevels(const HierarchyConfig &config)
+{
     l1i_ = std::make_unique<Cache>(config.l1i, l2_.get());
     l1d_ = std::make_unique<Cache>(config.l1d, l2_.get());
     iprefetcher_ = makeInstrPrefetcher(config.l1i_prefetcher);
@@ -40,6 +60,7 @@ MemoryHierarchy::issueIFetch(Addr addr, Cycle now)
     req.id = next_id_++;
     req.line_addr = lineOf(addr);
     req.type = AccessType::kIFetch;
+    req.core = core_id_;
     req.issue_cycle = now;
     l1i_->enqueue(req);
     return req.id;
@@ -56,6 +77,7 @@ MemoryHierarchy::issueIPrefetch(Addr addr, Cycle now)
     req.id = next_id_++;
     req.line_addr = line;
     req.type = AccessType::kPrefetch;
+    req.core = core_id_;
     req.issue_cycle = now;
     l1i_->enqueue(req);
     return req.id;
@@ -69,6 +91,7 @@ MemoryHierarchy::issueLoad(Addr addr, Cycle now, Addr pc)
     req.id = next_id_++;
     req.line_addr = lineOf(addr);
     req.type = AccessType::kLoad;
+    req.core = core_id_;
     req.issue_cycle = now;
     if (dprefetcher_ != nullptr && pc != 0) {
         dprefetcher_->onLoad(pc, addr,
@@ -88,6 +111,7 @@ MemoryHierarchy::issueDPrefetch(Addr addr, Cycle now)
     req.id = next_id_++;
     req.line_addr = line;
     req.type = AccessType::kPrefetch;
+    req.core = core_id_;
     req.issue_cycle = now;
     l1d_->enqueue(req);
     return req.id;
@@ -101,6 +125,7 @@ MemoryHierarchy::issueStore(Addr addr, Cycle now)
     req.id = next_id_++;
     req.line_addr = lineOf(addr);
     req.type = AccessType::kStore;
+    req.core = core_id_;
     req.issue_cycle = now;
     l1d_->enqueue(req);
     return req.id;
@@ -110,13 +135,15 @@ void
 MemoryHierarchy::tick(Cycle now)
 {
     now_ = now;
-    {
-        ProfScope scope(profile_, ProfComponent::kDram);
-        dram_->tick(now);
-    }
-    {
-        ProfScope scope(profile_, ProfComponent::kLlc);
-        llc_->tick(now);
+    if (owns_shared_) {
+        {
+            ProfScope scope(profile_, ProfComponent::kDram);
+            dram_->tick(now);
+        }
+        {
+            ProfScope scope(profile_, ProfComponent::kLlc);
+            llc_->tick(now);
+        }
     }
     {
         ProfScope scope(profile_, ProfComponent::kL2);
@@ -159,8 +186,11 @@ MemoryHierarchy::nextEventCycle(Cycle now) const
     if (dprefetcher_ != nullptr && !dprefetcher_->candidates().empty())
         return now + 1;
 
-    Cycle next = dram_->nextEventCycle(now);
-    next = std::min(next, llc_->nextEventCycle(now));
+    Cycle next = kNoCycle;
+    if (owns_shared_) {
+        next = dram_->nextEventCycle(now);
+        next = std::min(next, llc_->nextEventCycle(now));
+    }
     next = std::min(next, l2_->nextEventCycle(now));
     next = std::min(next, l1d_->nextEventCycle(now));
     next = std::min(next, l1i_->nextEventCycle(now));
@@ -171,7 +201,7 @@ Cycle
 MemoryHierarchy::llcAccessLatency() const
 {
     return l1i_->config().latency + l2_->config().latency +
-           llc_->config().latency;
+           llc_view_->config().latency;
 }
 
 } // namespace sipre

@@ -70,6 +70,19 @@ class MemoryHierarchy
   public:
     explicit MemoryHierarchy(const HierarchyConfig &config);
 
+    /**
+     * Core-private slice of a multi-core hierarchy: this instance owns
+     * only the L1s and the L2; the L2's lower level is `shared_lower`
+     * (a memory-controller port) and `shared_llc`/`shared_dram` are the
+     * shared devices behind it, exposed read-only through llc()/dram()
+     * so result collection and llcAccessLatency() work unchanged. All
+     * requests issued through this slice are tagged with `core_id`.
+     * The shared devices are ticked by their owner, not by tick().
+     */
+    MemoryHierarchy(const HierarchyConfig &config,
+                    MemoryDevice *shared_lower, Cache *shared_llc,
+                    Dram *shared_dram, std::uint8_t core_id);
+
     // --- instruction port ------------------------------------------------
     bool ifetchCanAccept() const { return l1i_->canAccept(); }
 
@@ -108,8 +121,8 @@ class MemoryHierarchy
     Cache &l1i() { return *l1i_; }
     Cache &l1d() { return *l1d_; }
     Cache &l2() { return *l2_; }
-    Cache &llc() { return *llc_; }
-    Dram &dram() { return *dram_; }
+    Cache &llc() { return *llc_view_; }
+    Dram &dram() { return *dram_view_; }
     const Cache &l1i() const { return *l1i_; }
 
     /** Round-trip latency of an LLC hit as seen from the core. */
@@ -125,9 +138,17 @@ class MemoryHierarchy
 
   private:
     Addr lineOf(Addr addr) const { return addr & ~Addr{63}; }
+    /** Shared tail of both constructors: L1s, prefetchers, callbacks. */
+    void wireUpperLevels(const HierarchyConfig &config);
 
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> llc_;
+    /** The LLC/DRAM seen by accessors: owned or shared. */
+    Cache *llc_view_ = nullptr;
+    Dram *dram_view_ = nullptr;
+    std::uint8_t core_id_ = 0;
+    /** False for a core-private slice: dram_/llc_ live elsewhere. */
+    bool owns_shared_ = true;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Cache> l1i_;
     std::unique_ptr<Cache> l1d_;

@@ -46,6 +46,7 @@ struct MemRequest
     ReqId id = 0;
     Addr line_addr = 0;           ///< line-aligned address
     AccessType type = AccessType::kIFetch;
+    std::uint8_t core = 0;        ///< issuing core (0 in single-core runs)
     Cycle issue_cycle = 0;        ///< cycle enqueued at the first level
     Cycle complete_cycle = 0;     ///< filled in at completion
     ServedBy served_by = ServedBy::kUnknown;

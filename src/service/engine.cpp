@@ -8,6 +8,7 @@
 #include "asmdb/extensions.hpp"
 #include "asmdb/pipeline.hpp"
 #include "core/simulator.hpp"
+#include "multicore/multicore.hpp"
 #include "trace/synth/workload.hpp"
 #include "trace_obs/recorder.hpp"
 #include "util/fault.hpp"
@@ -16,9 +17,99 @@
 namespace sipre::service
 {
 
+namespace
+{
+
+/**
+ * The multi-core form of every request mode: generate one trace per
+ * mix entry, apply the mode's AsmDB artifacts per core (each workload
+ * profiled separately, as in the single-core recipes), and co-run them
+ * over the shared LLC/DRAM.
+ */
+SimResult
+runMultiCoreRequest(const SimRequest &request,
+                    std::uint32_t scenario_window)
+{
+    const auto suite = synth::cvp1LikeSuite();
+    const SimConfig config = request.toConfig();
+    const std::vector<std::string> mix = request.effectiveMix();
+
+    std::vector<Trace> traces;
+    traces.reserve(mix.size());
+    for (const std::string &name : mix) {
+        const synth::WorkloadSpec *spec = nullptr;
+        for (const auto &s : suite) {
+            if (s.name == name)
+                spec = &s;
+        }
+        if (spec == nullptr)
+            throw std::runtime_error("unknown workload " + name);
+        traces.push_back(
+            synth::generateTrace(*spec, request.instructions));
+        // Each core is a distinct process: rebase before any AsmDB
+        // profiling so artifacts live in the same address space.
+        traces.back().rebase((traces.size() - 1) * kCoreAddressStride);
+    }
+
+    // Artifact storage must outlive the simulator (it holds raw trace
+    // pointers); rewritten-trace modes swap each core's trace for its
+    // rewritten counterpart. Capacity is reserved up front because the
+    // swap stores &artifacts.back().rewrite.trace mid-loop — a grow
+    // would dangle every earlier core's pointer.
+    std::vector<asmdb::AsmdbArtifacts> artifacts;
+    std::vector<asmdb::FeedbackResult> feedback;
+    artifacts.reserve(traces.size());
+    feedback.reserve(traces.size());
+    std::vector<const Trace *> run_traces;
+    for (const Trace &t : traces)
+        run_traces.push_back(&t);
+
+    switch (request.mode) {
+    case SimMode::kBase:
+        break;
+    case SimMode::kAsmdb:
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            artifacts.push_back(asmdb::runPipeline(traces[i], config));
+            run_traces[i] = &artifacts.back().rewrite.trace;
+        }
+        break;
+    case SimMode::kNoOverhead:
+    case SimMode::kMetadata:
+        for (const Trace &t : traces)
+            artifacts.push_back(asmdb::runPipeline(t, config));
+        break;
+    case SimMode::kFeedback:
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            feedback.push_back(
+                asmdb::runFeedbackDirected(traces[i], config));
+            run_traces[i] = &feedback.back().rewrite.trace;
+        }
+        break;
+    }
+
+    MultiCoreSimulator sim(config, run_traces);
+    if (request.mode == SimMode::kNoOverhead) {
+        for (std::size_t i = 0; i < artifacts.size(); ++i)
+            sim.setSwPrefetchTriggers(i, &artifacts[i].triggers);
+    } else if (request.mode == SimMode::kMetadata) {
+        for (std::size_t i = 0; i < artifacts.size(); ++i)
+            sim.attachMetadataPreloader(
+                i, MetadataPreloadConfig{},
+                asmdb::buildMetadataMap(artifacts[i].plan));
+    }
+    if (scenario_window != 0)
+        sim.enableScenarioTimeline(scenario_window);
+    return sim.run();
+}
+
+} // namespace
+
 SimResult
 runSimRequest(const SimRequest &request, std::uint32_t scenario_window)
 {
+    if (request.cores > 1)
+        return runMultiCoreRequest(request, scenario_window);
+
     const auto suite = synth::cvp1LikeSuite();
     const synth::WorkloadSpec *spec = nullptr;
     for (const auto &s : suite) {
@@ -303,6 +394,20 @@ SimulationEngine::workerLoop()
             --workers_busy_;
             if (result != nullptr) {
                 ++sim_runs_;
+                if (!result->core_results.empty()) {
+                    ++multicore_runs_;
+                    const SharedMemStats &sm = result->shared_mem;
+                    if (mc_llc_hits_.size() < sm.llc_core_hits.size()) {
+                        mc_llc_hits_.resize(sm.llc_core_hits.size(), 0);
+                        mc_llc_misses_.resize(sm.llc_core_hits.size(), 0);
+                    }
+                    for (std::size_t i = 0; i < sm.llc_core_hits.size();
+                         ++i) {
+                        mc_llc_hits_[i] += sm.llc_core_hits[i];
+                        mc_llc_misses_[i] += sm.llc_core_misses[i];
+                    }
+                    mc_dram_depth_.merge(sm.dram_queue_depth);
+                }
                 cache_.put(job->key, result);
             } else {
                 ++failures_;
@@ -368,6 +473,16 @@ SimulationEngine::stats() const
     s.queue_capacity = options_.queue_capacity;
     s.cache_entries = cache_.size();
     s.cache_capacity = cache_.capacity();
+    s.multicore_runs = multicore_runs_;
+    s.mc_llc_core_hits = mc_llc_hits_;
+    s.mc_llc_core_misses = mc_llc_misses_;
+    s.mc_dram_depth_count = mc_dram_depth_.total();
+    s.mc_dram_depth_sum = mc_dram_depth_.sum();
+    if (mc_dram_depth_.total() > 0) {
+        s.mc_dram_depth_p50 = mc_dram_depth_.percentileUpperBound(0.50);
+        s.mc_dram_depth_p90 = mc_dram_depth_.percentileUpperBound(0.90);
+        s.mc_dram_depth_p99 = mc_dram_depth_.percentileUpperBound(0.99);
+    }
     s.latency_count = latency_stat_.count();
     s.latency_sum_us = latency_stat_.sum();
     s.latency_max_us = latency_stat_.max();
@@ -393,7 +508,7 @@ SimulationEngine::saveResultCache(const std::string &path) const
         if (!os)
             return -1;
         std::lock_guard<std::mutex> lock(mutex_);
-        os << "sipre-results 2 " << cache_.size() << '\n';
+        os << "sipre-results 3 " << cache_.size() << '\n';
         cache_.forEach(
             [&os](const std::string &key,
                   const std::shared_ptr<const SimResult> &result) {
@@ -423,7 +538,7 @@ SimulationEngine::loadResultCache(const std::string &path)
     is >> magic >> version >> count;
     // v1 predates the scenario-timeline section; stale caches reload
     // from scratch rather than misparse.
-    if (magic != "sipre-results" || version != 2)
+    if (magic != "sipre-results" || version != 3)
         return -1;
     long loaded = 0;
     for (std::size_t i = 0; i < count; ++i) {

@@ -97,6 +97,19 @@ struct EngineStats
     std::size_t cache_entries = 0;
     std::size_t cache_capacity = 0;
 
+    // Multi-core contention, accumulated over every fresh multi-core
+    // simulation this engine executed (cache-tier hits contribute
+    // nothing new). Vectors are indexed by core and sized to the
+    // widest machine seen so far.
+    std::uint64_t multicore_runs = 0;
+    std::vector<std::uint64_t> mc_llc_core_hits;
+    std::vector<std::uint64_t> mc_llc_core_misses;
+    std::uint64_t mc_dram_depth_count = 0;
+    std::uint64_t mc_dram_depth_sum = 0;
+    std::uint64_t mc_dram_depth_p50 = 0; ///< log2-bucket upper bounds
+    std::uint64_t mc_dram_depth_p90 = 0;
+    std::uint64_t mc_dram_depth_p99 = 0;
+
     // Latency of completed (kOk) requests, microseconds. The
     // percentiles are log2-bucket upper bounds (next power of two), so
     // they stay meaningful from microsecond cache hits up to
@@ -214,6 +227,13 @@ class SimulationEngine
     std::size_t workers_busy_ = 0;
     Log2Histogram latency_hist_; ///< log buckets: us hits to multi-s sims
     RunningStat latency_stat_;
+
+    // Multi-core contention accumulators (guarded by mutex_), fed by
+    // every fresh multi-core run's shared-memory section.
+    std::uint64_t multicore_runs_ = 0;
+    std::vector<std::uint64_t> mc_llc_hits_;
+    std::vector<std::uint64_t> mc_llc_misses_;
+    Log2Histogram mc_dram_depth_;
 
     std::vector<std::thread> workers_;
 

@@ -1,5 +1,6 @@
 #include "service/request.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -8,6 +9,14 @@
 
 namespace sipre::service
 {
+
+std::vector<std::string>
+SimRequest::effectiveMix() const
+{
+    if (!mix.empty())
+        return mix;
+    return std::vector<std::string>(cores, workload);
+}
 
 std::string
 SimRequest::canonicalKey() const
@@ -19,7 +28,14 @@ SimRequest::canonicalKey() const
         << "&hw_prefetcher=" << hwPrefetcherName(hw_prefetcher)
         << "&pfc=" << (pfc ? 1 : 0)
         << "&ghr_filter=" << (ghr_filter ? 1 : 0)
-        << "&wrong_path=" << (wrong_path ? 1 : 0);
+        << "&wrong_path=" << (wrong_path ? 1 : 0)
+        << "&cores=" << cores << "&mix=";
+    const std::vector<std::string> full = effectiveMix();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        if (i != 0)
+            oss << '+';
+        oss << full[i];
+    }
     return oss.str();
 }
 
@@ -54,6 +70,8 @@ parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
 
     out = SimRequest{};
     bool have_workload = false;
+    bool have_mix = false;
+    bool have_cores = false;
     for (const auto &[key, value] : doc.object) {
         if (key == "workload") {
             if (!value.isString()) {
@@ -125,6 +143,39 @@ parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
                 return false;
             }
             out.hw_prefetcher = *kind;
+        } else if (key == "cores") {
+            std::uint64_t n = 0;
+            if (!jsonToUint(value, n)) {
+                error = "field 'cores' must be a non-negative integer";
+                return false;
+            }
+            if (n < 1 || n > kMaxCores) {
+                error = "field 'cores' out of range [1, " +
+                        std::to_string(kMaxCores) + "]";
+                return false;
+            }
+            out.cores = static_cast<std::uint32_t>(n);
+            have_cores = true;
+        } else if (key == "mix") {
+            if (!value.isArray()) {
+                error = "field 'mix' must be an array of workload names";
+                return false;
+            }
+            if (value.array.empty() || value.array.size() > kMaxCores) {
+                error = "field 'mix' must name 1 to " +
+                        std::to_string(kMaxCores) + " workloads";
+                return false;
+            }
+            out.mix.clear();
+            for (const JsonValue &entry : value.array) {
+                if (!entry.isString()) {
+                    error = "field 'mix' must be an array of workload "
+                            "names";
+                    return false;
+                }
+                out.mix.push_back(entry.string);
+            }
+            have_mix = true;
         } else if (key == "pfc" || key == "ghr_filter" ||
                    key == "wrong_path") {
             if (!value.isBool()) {
@@ -142,22 +193,47 @@ parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
             return false;
         }
     }
-    if (!have_workload) {
+    if (have_mix) {
+        if (have_workload) {
+            error = "fields 'workload' and 'mix' are mutually exclusive";
+            return false;
+        }
+        if (have_cores &&
+            out.cores != static_cast<std::uint32_t>(out.mix.size())) {
+            error = "field 'cores' (" + std::to_string(out.cores) +
+                    ") contradicts the " + std::to_string(out.mix.size()) +
+                    "-entry 'mix'";
+            return false;
+        }
+        out.cores = static_cast<std::uint32_t>(out.mix.size());
+        out.workload = out.mix.front();
+    } else if (!have_workload) {
         error = "missing required field 'workload'";
         return false;
     }
+    // A single-entry mix is just a spelled-out homogeneous run; keep
+    // the canonical form (empty mix) so both spellings share a key.
+    if (out.mix.size() == 1 ||
+        (out.mix.size() > 1 &&
+         std::all_of(out.mix.begin(), out.mix.end(),
+                     [&](const std::string &w) {
+                         return w == out.mix.front();
+                     })))
+        out.mix.clear();
 
-    // Validate the workload against the synthesized suite.
-    bool known = false;
-    for (const auto &spec : synth::cvp1LikeSuite()) {
-        if (spec.name == out.workload) {
-            known = true;
-            break;
+    // Validate every named workload against the synthesized suite.
+    for (const std::string &name : out.effectiveMix()) {
+        bool known = false;
+        for (const auto &spec : synth::cvp1LikeSuite()) {
+            if (spec.name == name) {
+                known = true;
+                break;
+            }
         }
-    }
-    if (!known) {
-        error = "unknown workload '" + out.workload + "'";
-        return false;
+        if (!known) {
+            error = "unknown workload '" + name + "'";
+            return false;
+        }
     }
     return true;
 }
@@ -166,8 +242,14 @@ std::string
 requestToJson(const SimRequest &r)
 {
     std::ostringstream oss;
-    oss << "{\"workload\":\"" << jsonEscape(r.workload)
-        << "\",\"instructions\":" << r.instructions
+    // `workload` and `mix` are mutually exclusive on the way in, so the
+    // canonical echo spells whichever form the request reduces to.
+    oss << "{";
+    if (r.mix.empty())
+        oss << "\"workload\":\"" << jsonEscape(r.workload) << "\"";
+    else
+        oss << "\"mix\":" << jsonStringArray(r.mix);
+    oss << ",\"instructions\":" << r.instructions
         << ",\"ftq\":" << r.ftq_entries << ",\"mode\":\""
         << simModeName(r.mode) << "\",\"predictor\":\""
         << predictorName(r.predictor) << "\",\"hw_prefetcher\":\""
@@ -175,7 +257,7 @@ requestToJson(const SimRequest &r)
         << "\",\"pfc\":" << (r.pfc ? "true" : "false")
         << ",\"ghr_filter\":" << (r.ghr_filter ? "true" : "false")
         << ",\"wrong_path\":" << (r.wrong_path ? "true" : "false")
-        << "}";
+        << ",\"cores\":" << r.cores << "}";
     return oss.str();
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/options.hpp"
@@ -30,6 +31,17 @@ struct SimRequest
     bool pfc = true;
     bool ghr_filter = true;
     bool wrong_path = true;
+    /** Core count; >1 routes through the multi-core simulator. */
+    std::uint32_t cores = 1;
+    /**
+     * Per-core workload mix (heterogeneous co-runs). Empty means a
+     * homogeneous run: `cores` copies of `workload`. When non-empty it
+     * is authoritative — cores == mix.size() and workload == mix[0].
+     */
+    std::vector<std::string> mix;
+
+    /** The per-core workload list, defaults expanded. */
+    std::vector<std::string> effectiveMix() const;
 
     /**
      * Canonical identity of the request: fixed field order, defaults
@@ -53,13 +65,17 @@ inline constexpr std::uint64_t kMinInstructions = 1'000;
 inline constexpr std::uint64_t kMaxInstructions = 100'000'000;
 inline constexpr std::uint32_t kMinFtqEntries = 1;
 inline constexpr std::uint32_t kMaxFtqEntries = 512;
+inline constexpr std::uint32_t kMaxCores = 8;
 
 /**
  * Parse and validate a JSON request body. Accepted fields (all
  * optional except `workload`): workload, instructions, ftq, mode,
- * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path. Unknown
- * fields, wrong types, out-of-range values, and unknown workloads are
- * rejected with a specific message in `error`.
+ * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path, cores, mix.
+ * `mix` (an array of workload names, one per core) stands in for
+ * `workload` and fixes the core count; `cores` alone replicates
+ * `workload` across that many cores. Unknown fields, wrong types,
+ * out-of-range values, and unknown workloads are rejected with a
+ * specific message in `error`.
  */
 bool parseSimRequest(const std::string &body, SimRequest &out,
                      std::string &error);

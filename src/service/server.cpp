@@ -430,6 +430,35 @@ ServiceServer::handleMetrics() const
          << stats.latency_p90_us << "\n"
          << "sipre_request_latency_us{quantile=\"0.99\"} "
          << stats.latency_p99_us << "\n";
+    // Multi-core contention: per-core shared-LLC demand attribution and
+    // the DRAM queue occupancy distribution, accumulated over every
+    // fresh multi-core run. Emitted only once such a run has happened
+    // so single-core deployments keep a clean scrape.
+    if (stats.multicore_runs > 0) {
+        body << "# TYPE sipre_multicore_runs_total counter\n"
+             << "sipre_multicore_runs_total " << stats.multicore_runs
+             << "\n"
+             << "# TYPE sipre_multicore_llc_demand_total counter\n";
+        for (std::size_t i = 0; i < stats.mc_llc_core_hits.size(); ++i) {
+            body << "sipre_multicore_llc_demand_total{core=\"" << i
+                 << "\",outcome=\"hit\"} " << stats.mc_llc_core_hits[i]
+                 << "\n"
+                 << "sipre_multicore_llc_demand_total{core=\"" << i
+                 << "\",outcome=\"miss\"} "
+                 << stats.mc_llc_core_misses[i] << "\n";
+        }
+        body << "# TYPE sipre_multicore_dram_queue_depth summary\n"
+             << "sipre_multicore_dram_queue_depth_count "
+             << stats.mc_dram_depth_count << "\n"
+             << "sipre_multicore_dram_queue_depth_sum "
+             << stats.mc_dram_depth_sum << "\n"
+             << "sipre_multicore_dram_queue_depth{quantile=\"0.5\"} "
+             << stats.mc_dram_depth_p50 << "\n"
+             << "sipre_multicore_dram_queue_depth{quantile=\"0.9\"} "
+             << stats.mc_dram_depth_p90 << "\n"
+             << "sipre_multicore_dram_queue_depth{quantile=\"0.99\"} "
+             << stats.mc_dram_depth_p99 << "\n";
+    }
     for (const auto &provider : metrics_providers_)
         body << provider();
     // Accounts for every injected fault; empty when injection is off.

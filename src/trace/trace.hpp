@@ -53,6 +53,30 @@ class Trace
     void reserve(std::size_t n) { instructions_.reserve(n); }
     void clear() { instructions_.clear(); }
 
+    /**
+     * Relocate the whole process image by `offset` (ASLR-style): every
+     * pc, branch/prefetch target, and effective address shifts
+     * together, so the program's behaviour against private structures
+     * indexed by low address bits is unchanged for any offset aligned
+     * beyond their index width. Multi-core entry points rebase each
+     * core's trace to a distinct base so that co-running *distinct*
+     * processes do not alias in the shared LLC the way the synthesized
+     * workloads' overlapping virtual layouts otherwise would.
+     */
+    void
+    rebase(Addr offset)
+    {
+        if (offset == 0)
+            return;
+        for (TraceInstruction &inst : instructions_) {
+            inst.pc += offset;
+            if (inst.target != 0)
+                inst.target += offset;
+            if (inst.mem_addr != 0)
+                inst.mem_addr += offset;
+        }
+    }
+
     auto begin() const { return instructions_.begin(); }
     auto end() const { return instructions_.end(); }
 

@@ -59,6 +59,22 @@ class RunningStat
         max_ = max_v;
     }
 
+    /** Fold another accumulator in (multi-core aggregation). */
+    void
+    merge(const RunningStat &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -113,6 +129,19 @@ class Histogram
             total_ += c;
     }
 
+    /** Fold another histogram in (must have identical shape). */
+    void
+    merge(const Histogram &other)
+    {
+        SIPRE_ASSERT(width_ == other.width_ &&
+                         counts_.size() == other.counts_.size(),
+                     "Histogram merge shape mismatch");
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        sum_ += other.sum_;
+        total_ += other.total_;
+    }
+
     /** Smallest value v such that at least frac of samples are <= bucket end. */
     std::uint64_t
     percentileUpperBound(double frac) const
@@ -155,11 +184,46 @@ class Log2Histogram
         ++total_;
     }
 
+    /** `count` identical samples at once (bulk-accounted idle cycles). */
+    void
+    add(std::uint64_t value, std::uint64_t count)
+    {
+        counts_[std::bit_width(value)] += count;
+        sum_ += value * count;
+        total_ += count;
+    }
+
     std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
     std::size_t buckets() const { return counts_.size(); }
     std::uint64_t total() const { return total_; }
     std::uint64_t sum() const { return sum_; }
     double mean() const { return total_ == 0 ? 0.0 : double(sum_) / total_; }
+
+    /** Fold another histogram in (multi-core / metrics aggregation). */
+    void
+    merge(const Log2Histogram &other)
+    {
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        sum_ += other.sum_;
+        total_ += other.total_;
+    }
+
+    /** Rebuild from serialized aggregates (result-cache loading). */
+    void
+    restore(const std::vector<std::uint64_t> &counts, std::uint64_t sum)
+    {
+        SIPRE_ASSERT(counts.size() == counts_.size(),
+                     "Log2Histogram restore shape mismatch");
+        sum_ = sum;
+        total_ = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            counts_[i] = counts[i];
+            total_ += counts[i];
+        }
+    }
+
+    void reset() { *this = Log2Histogram{}; }
 
     /** Inclusive upper bound of bucket i: 0, then 2^i - 1. */
     static std::uint64_t

@@ -279,6 +279,28 @@ TEST(JobsHttp, RoutingErrorsAreSpecific)
     EXPECT_EQ(bad.status, 400);
     EXPECT_NE(bad.body.find("unknown workload"), std::string::npos);
 
+    // A cores axis that inflates past the shard cap is a structured
+    // 400 naming the limit, not a silently truncated job: 48 workloads
+    // x 8 core counts x 2 ftq x 5 modes x 2 pfc = 7680 > 4096.
+    const http::Response capped = call(
+        port,
+        postJobs(
+            R"({"workloads":"all","cores":[1,2,3,4,5,6,7,8],)"
+            R"("ftq":[2,24],)"
+            R"("mode":["base","asmdb","noovh","metadata","feedback"],)"
+            R"("pfc":[true,false]})"));
+    EXPECT_EQ(capped.status, 400);
+    EXPECT_NE(capped.body.find("\"error\""), std::string::npos);
+    EXPECT_NE(capped.body.find("limit"), std::string::npos);
+    EXPECT_NE(capped.body.find("4096"), std::string::npos);
+
+    // Mix conflicts surface through HTTP with the parser's message too.
+    const http::Response conflicted = call(
+        port, postJobs(R"({"mix":["secret_srv12","secret_srv12"],)"
+                       R"("cores":2})"));
+    EXPECT_EQ(conflicted.status, 400);
+    EXPECT_NE(conflicted.body.find("implied"), std::string::npos);
+
     // A pending job's result is 409 with progress attached.
     const http::Response accepted = call(
         port, postJobs(R"({"workloads":["secret_crypto52"],)"

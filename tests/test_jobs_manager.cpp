@@ -206,6 +206,133 @@ TEST(JobsSweep, CanonicalJsonRoundTrips)
         EXPECT_EQ(a[i].canonicalKey(), b[i].canonicalKey()) << i;
 }
 
+TEST(JobsSweep, CoresAxisExpandsBetweenWorkloadsAndFtq)
+{
+    const SweepSpec spec = parseOk(
+        R"({"workloads":["secret_crypto52","secret_srv12"],)"
+        R"("cores":[1,2],"ftq":[4,8],"instructions":30000})");
+    EXPECT_EQ(spec.shardCount(), 8u);
+    const auto shards = expandSweep(spec);
+    ASSERT_EQ(shards.size(), 8u);
+
+    // Workloads outermost, then cores, then ftq (the persisted
+    // contract: a new axis slots in without reordering the old ones).
+    EXPECT_EQ(shards[0].workload, "secret_crypto52");
+    EXPECT_EQ(shards[0].cores, 1u);
+    EXPECT_EQ(shards[0].ftq_entries, 4u);
+    EXPECT_EQ(shards[1].cores, 1u);
+    EXPECT_EQ(shards[1].ftq_entries, 8u);
+    EXPECT_EQ(shards[2].cores, 2u);
+    EXPECT_EQ(shards[2].ftq_entries, 4u);
+    EXPECT_EQ(shards[4].workload, "secret_srv12");
+    EXPECT_EQ(shards[4].cores, 1u);
+
+    // A multi-core homogeneous shard is still spelled with an empty
+    // mix, and every shard's canonical key is distinct.
+    std::set<std::string> keys;
+    for (const auto &shard : shards) {
+        EXPECT_TRUE(shard.mix.empty());
+        keys.insert(shard.canonicalKey());
+    }
+    EXPECT_EQ(keys.size(), shards.size());
+}
+
+TEST(JobsSweep, MixPinsTheMachineAndOtherAxesStillSweep)
+{
+    const SweepSpec spec = parseOk(
+        R"({"mix":["secret_srv12","secret_int_124"],)"
+        R"("mode":["base","asmdb"],"instructions":30000})");
+    EXPECT_EQ(spec.shardCount(), 2u);
+    ASSERT_EQ(spec.cores.size(), 1u);
+    EXPECT_EQ(spec.cores[0], 2u);
+    const auto shards = expandSweep(spec);
+    ASSERT_EQ(shards.size(), 2u);
+    for (const auto &shard : shards) {
+        EXPECT_EQ(shard.cores, 2u);
+        ASSERT_EQ(shard.mix.size(), 2u);
+        EXPECT_EQ(shard.mix[0], "secret_srv12");
+        EXPECT_EQ(shard.mix[1], "secret_int_124");
+        EXPECT_EQ(shard.workload, "secret_srv12");
+    }
+    EXPECT_EQ(shards[0].mode, SimMode::kBase);
+    EXPECT_EQ(shards[1].mode, SimMode::kAsmdb);
+
+    // A mix can legitimately co-run two copies of one workload.
+    const SweepSpec dup = parseOk(
+        R"({"mix":["secret_srv12","secret_srv12","secret_int_124"]})");
+    EXPECT_EQ(dup.shardCount(), 1u);
+    EXPECT_EQ(expandSweep(dup)[0].cores, 3u);
+}
+
+TEST(JobsSweep, HomogeneousMixSharesKeysWithTheCoresSpelling)
+{
+    // `mix: [w, w]` and `workloads: [w], cores: 2` are the same
+    // machine, so their shards must share canonical keys (one cache
+    // entry, not two).
+    const auto mixed = expandSweep(parseOk(
+        R"({"mix":["secret_crypto52","secret_crypto52"]})"));
+    const auto cored = expandSweep(parseOk(
+        R"({"workloads":["secret_crypto52"],"cores":2})"));
+    ASSERT_EQ(mixed.size(), 1u);
+    ASSERT_EQ(cored.size(), 1u);
+    EXPECT_TRUE(mixed[0].mix.empty());
+    EXPECT_EQ(mixed[0].canonicalKey(), cored[0].canonicalKey());
+}
+
+TEST(JobsSweep, CoresAndMixRejectionsAreSpecific)
+{
+    EXPECT_NE(parseError(R"({"workloads":["secret_srv12"],)"
+                         R"("mix":["secret_crypto52"]})")
+                  .find("mutually exclusive"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"mix":["secret_srv12","secret_srv12"],)"
+                         R"("cores":2})")
+                  .find("implied"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"workloads":["secret_srv12"],"cores":0})")
+                  .find("cores"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"workloads":["secret_srv12"],"cores":9})")
+                  .find("cores"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"mix":["secret_srv12","nope_wl"]})")
+                  .find("unknown workload"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"mix":[]})").find("mix"), std::string::npos);
+
+    // The cores axis multiplies into the shard cap: 48 workloads x 8
+    // core counts x 2 ftq x 5 modes x 2 pfc = 7680 > 4096.
+    EXPECT_NE(
+        parseError(
+            R"({"workloads":"all","cores":[1,2,3,4,5,6,7,8],)"
+            R"("ftq":[2,24],)"
+            R"("mode":["base","asmdb","noovh","metadata","feedback"],)"
+            R"("pfc":[true,false]})")
+            .find("limit"),
+        std::string::npos);
+}
+
+TEST(JobsSweep, CoresAndMixJsonRoundTrip)
+{
+    const SweepSpec with_cores = parseOk(
+        R"({"workloads":["secret_srv12","secret_crypto52"],)"
+        R"("cores":[1,4],"ftq":[2,24],"instructions":30000})");
+    const SweepSpec cores_reparsed = parseOk(sweepSpecToJson(with_cores));
+    EXPECT_EQ(sweepSpecToJson(cores_reparsed), sweepSpecToJson(with_cores));
+
+    const SweepSpec with_mix = parseOk(
+        R"({"mix":["secret_srv12","secret_int_124"],"mode":["base",)"
+        R"("asmdb"],"instructions":30000})");
+    const SweepSpec mix_reparsed = parseOk(sweepSpecToJson(with_mix));
+    EXPECT_EQ(sweepSpecToJson(mix_reparsed), sweepSpecToJson(with_mix));
+
+    const auto a = expandSweep(with_mix);
+    const auto b = expandSweep(mix_reparsed);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].canonicalKey(), b[i].canonicalKey()) << i;
+}
+
 // --------------------------------------------------------- job store
 
 namespace

@@ -336,6 +336,66 @@ TEST(ServiceHttp, LoopbackColdIsBitIdenticalAndRepeatIsCached)
     server.shutdown();
 }
 
+TEST(ServiceHttp, MulticoreRequestCarriesSharedStateAndMetrics)
+{
+    EngineOptions engine_options;
+    engine_options.workers = 2;
+    SimulationEngine engine(engine_options);
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Before any multi-core run the contention family is absent — a
+    // single-core deployment keeps a clean scrape.
+    const http::Response before =
+        call(server.port(), get("/metrics"));
+    ASSERT_EQ(before.status, 200);
+    EXPECT_EQ(before.body.find("sipre_multicore_runs_total"),
+              std::string::npos);
+
+    // A heterogeneous 2-core mix comes back with the shared-memory
+    // section and per-core results in the JSON.
+    const http::Response mixed = call(
+        server.port(),
+        postSimulate(R"({"mix":["secret_srv12","secret_int_124"],)"
+                     R"("instructions":30000})"));
+    ASSERT_EQ(mixed.status, 200);
+    EXPECT_NE(mixed.body.find("\"cores\":2"), std::string::npos);
+    EXPECT_NE(mixed.body.find("\"shared_mem\""), std::string::npos);
+    EXPECT_NE(mixed.body.find("\"core_results\""), std::string::npos);
+
+    // The run fed the contention metrics: one multi-core run, LLC
+    // demand attributed to both cores, and a sampled DRAM-occupancy
+    // distribution.
+    const http::Response metrics =
+        call(server.port(), get("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_EQ(metricValue(metrics.body, "sipre_multicore_runs_total"),
+              1u);
+    for (const char *core : {"0", "1"}) {
+        const std::string hit =
+            "sipre_multicore_llc_demand_total{core=\"" +
+            std::string(core) + "\",outcome=\"hit\"}";
+        EXPECT_NE(metrics.body.find(hit), std::string::npos) << hit;
+    }
+    EXPECT_GT(metricValue(metrics.body,
+                          "sipre_multicore_dram_queue_depth_count"),
+              0u);
+
+    // A cache hit on the same mix does not inflate the counters.
+    const http::Response warm = call(
+        server.port(),
+        postSimulate(R"({"mix":["secret_srv12","secret_int_124"],)"
+                     R"("instructions":30000})"));
+    ASSERT_EQ(warm.status, 200);
+    EXPECT_NE(warm.body.find("\"cached\":true"), std::string::npos);
+    const http::Response after =
+        call(server.port(), get("/metrics"));
+    EXPECT_EQ(metricValue(after.body, "sipre_multicore_runs_total"), 1u);
+
+    server.shutdown();
+}
+
 TEST(ServiceHttp, LoopbackConcurrentDuplicatesRunOneSimulation)
 {
     EngineOptions engine_options;

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/json_io.hpp"
+#include "service/engine.hpp"
 #include "service/request.hpp"
 #include "trace/synth/workload.hpp"
 
@@ -145,6 +146,102 @@ TEST(ServiceRequest, RejectionsAreSpecific)
     EXPECT_NE(mustFail(R"({"workload":"secret_srv12"} trailing)")
                   .find("invalid JSON"),
               std::string::npos);
+}
+
+TEST(ServiceRequest, CoresAndMixSpellingsShareOneCanonicalForm)
+{
+    // A plain workload defaults to one core.
+    const SimRequest single = mustParse(R"({"workload":"secret_srv12"})");
+    EXPECT_EQ(single.cores, 1u);
+    EXPECT_TRUE(single.mix.empty());
+
+    // `cores` with a workload is a homogeneous co-run; effectiveMix()
+    // spells out the per-core assignment.
+    const SimRequest homog =
+        mustParse(R"({"workload":"secret_srv12","cores":4})");
+    EXPECT_EQ(homog.cores, 4u);
+    EXPECT_TRUE(homog.mix.empty());
+    EXPECT_EQ(homog.effectiveMix(),
+              (std::vector<std::string>(4, "secret_srv12")));
+
+    // A homogeneous mix normalizes to the workload+cores spelling, so
+    // both share a canonical key (one cache entry).
+    const SimRequest spelled = mustParse(
+        R"({"mix":["secret_srv12","secret_srv12","secret_srv12",)"
+        R"("secret_srv12"]})");
+    EXPECT_TRUE(spelled.mix.empty());
+    EXPECT_EQ(spelled.canonicalKey(), homog.canonicalKey());
+
+    // A heterogeneous mix keeps its order — the key separates
+    // srv12+int_124 from int_124+srv12 (different core assignments).
+    const SimRequest ab =
+        mustParse(R"({"mix":["secret_srv12","secret_int_124"]})");
+    const SimRequest ba =
+        mustParse(R"({"mix":["secret_int_124","secret_srv12"]})");
+    EXPECT_EQ(ab.cores, 2u);
+    EXPECT_EQ(ab.workload, "secret_srv12");
+    EXPECT_NE(ab.canonicalKey(), ba.canonicalKey());
+
+    // And both spellings survive the JSON round trip key-intact.
+    EXPECT_EQ(mustParse(requestToJson(homog)).canonicalKey(),
+              homog.canonicalKey());
+    EXPECT_EQ(mustParse(requestToJson(ab)).canonicalKey(),
+              ab.canonicalKey());
+}
+
+TEST(ServiceRequest, CoresAndMixRejectionsAreSpecific)
+{
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12","cores":0})")
+                  .find("out of range"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12","cores":9})")
+                  .find("out of range"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"workload":"secret_srv12",)"
+                       R"("mix":["secret_int_124"]})")
+                  .find("mutually exclusive"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"mix":["secret_srv12","secret_int_124"],)"
+                       R"("cores":3})")
+                  .find("contradicts"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"mix":[]})").find("mix"), std::string::npos);
+    EXPECT_NE(mustFail(R"({"mix":["secret_srv12","nope_wl"]})")
+                  .find("unknown workload"),
+              std::string::npos);
+    EXPECT_NE(mustFail(R"({"mix":"secret_srv12"})").find("array"),
+              std::string::npos);
+    // `cores` matching the mix length is redundant but consistent, so
+    // it parses.
+    const SimRequest consistent =
+        mustParse(R"({"mix":["secret_srv12","secret_int_124"],)"
+                  R"("cores":2})");
+    EXPECT_EQ(consistent.cores, 2u);
+}
+
+// Regression: the multi-core artifact modes store a pointer to each
+// core's rewritten trace while still filling the artifact vector; a
+// vector grow mid-loop used to dangle every earlier core's pointer,
+// leaving core 0 with an empty trace (0 instructions, blank name).
+// Three cores force at least two growth opportunities.
+TEST(ServiceRequest, RewrittenTraceModesRunEveryCoreOfAMix)
+{
+    for (const char *mode : {"asmdb", "feedback"}) {
+        const SimRequest request = mustParse(
+            std::string(R"({"mix":["secret_srv12","secret_int_124",)"
+                        R"("secret_crypto52"],"instructions":20000,)"
+                        R"("mode":")") +
+            mode + "\"}");
+        const SimResult result = runSimRequest(request);
+        ASSERT_EQ(result.core_results.size(), 3u) << mode;
+        for (std::size_t i = 0; i < result.core_results.size(); ++i) {
+            const SimResult &core = result.core_results[i];
+            EXPECT_GT(core.instructions, 0u) << mode << " core " << i;
+            EXPECT_GT(core.effective_instructions, 0u)
+                << mode << " core " << i;
+            EXPECT_FALSE(core.workload.empty()) << mode << " core " << i;
+        }
+    }
 }
 
 TEST(ServiceRequest, FullOptionSpaceSweepHasNoCollisions)

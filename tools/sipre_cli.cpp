@@ -9,6 +9,7 @@
  *             [--mode base|asmdb|noovh|metadata|feedback]
  *             [--predictor perceptron|tage|gshare|bimodal|local]
  *             [--hw-prefetcher none|nextline|eip]
+ *             [--cores N] [--mix A,B,...]
  *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path] [--json]
  *             [--save-trace PATH] [--load-trace PATH] [--list]
  *             [--trace-out PATH] [--scenario-window N] [--profile]
@@ -20,6 +21,8 @@
 #include <iostream>
 #include <string>
 
+#include <vector>
+
 #include "asmdb/extensions.hpp"
 #include "asmdb/pipeline.hpp"
 #include "core/json_io.hpp"
@@ -27,6 +30,7 @@
 #include "core/report.hpp"
 #include "core/simulator.hpp"
 #include "core/trace_export.hpp"
+#include "multicore/multicore.hpp"
 #include "trace/champsim_import.hpp"
 #include "trace/synth/workload.hpp"
 #include "trace_obs/chrome_trace.hpp"
@@ -52,6 +56,10 @@ usage(const char *argv0)
         "  --mode MODE                %s\n"
         "  --predictor KIND           %s\n"
         "  --hw-prefetcher KIND       %s\n"
+        "  --cores N                  run N copies of the workload on N\n"
+        "                             cores over a shared LLC/DRAM\n"
+        "  --mix A,B,...              heterogeneous co-run: one core per\n"
+        "                             named workload (implies --cores)\n"
         "  --no-pfc                   disable post-fetch correction\n"
         "  --no-ghr-filter            disable the GHR BTB-miss filter\n"
         "  --no-wrong-path            disable wrong-path shadow fetch\n"
@@ -96,6 +104,8 @@ main(int argc, char **argv)
     std::string mode_name = "base";
     std::string save_path, load_path, champsim_path;
     std::string trace_out;
+    std::uint32_t cores = 1;
+    std::vector<std::string> mix;
     std::size_t instructions = 2'000'000;
     std::uint32_t scenario_window = 0;
     bool scenario_window_set = false;
@@ -147,6 +157,30 @@ main(int argc, char **argv)
                 return badValue("--hw-prefetcher", kind,
                                 kHwPrefetcherChoices);
             config.memory.l1i_prefetcher = *prefetcher;
+        } else if (arg == "--cores") {
+            const std::string value = next();
+            const auto n = parseUnsigned(value, ~std::uint32_t{0});
+            if (!n || *n < 1)
+                return badValue("--cores", value,
+                                "a positive integer");
+            cores = static_cast<std::uint32_t>(*n);
+        } else if (arg == "--mix") {
+            const std::string value = next();
+            mix.clear();
+            std::size_t start = 0;
+            while (start <= value.size()) {
+                const std::size_t comma = value.find(',', start);
+                const std::size_t end =
+                    comma == std::string::npos ? value.size() : comma;
+                if (end > start)
+                    mix.push_back(value.substr(start, end - start));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (mix.empty())
+                return badValue("--mix", value,
+                                "a comma-separated workload list");
         } else if (arg == "--no-pfc") {
             config.frontend.pfc = false;
         } else if (arg == "--no-ghr-filter") {
@@ -182,6 +216,30 @@ main(int argc, char **argv)
     if (!mode)
         return badValue("--mode", mode_name, kSimModeChoices);
 
+    // --mix is the heterogeneous spelling of --cores: a single-entry
+    // mix is just a workload, and an explicit --cores must agree with
+    // the mix length.
+    if (!mix.empty()) {
+        if (cores != 1 && cores != mix.size()) {
+            std::fprintf(stderr,
+                         "sipre_cli: error: --cores %u contradicts the "
+                         "%zu-entry --mix\n",
+                         cores, mix.size());
+            return 2;
+        }
+        cores = static_cast<std::uint32_t>(mix.size());
+        workload = mix.front();
+    }
+    const bool multicore = cores > 1;
+    if (multicore &&
+        (!save_path.empty() || !load_path.empty() ||
+         !champsim_path.empty())) {
+        std::fprintf(stderr,
+                     "sipre_cli: error: --cores/--mix only run the "
+                     "synthesized workloads (no trace files)\n");
+        return 2;
+    }
+
     // --trace-out without an explicit window still gets a scenario
     // timeline: a trace with no counter tracks is rarely what was meant.
     if (!trace_out.empty() && !scenario_window_set)
@@ -190,6 +248,91 @@ main(int argc, char **argv)
         trace_obs::Recorder::global().enable();
     if (profile)
         CycleProfiler::global().enable();
+
+    if (multicore) {
+        const auto suite = synth::cvp1LikeSuite();
+        std::vector<std::string> names =
+            mix.empty() ? std::vector<std::string>(cores, workload) : mix;
+        std::vector<Trace> traces;
+        traces.reserve(names.size());
+        for (const std::string &name : names) {
+            const synth::WorkloadSpec *spec = nullptr;
+            for (const auto &s : suite) {
+                if (s.name == name)
+                    spec = &s;
+            }
+            if (spec == nullptr) {
+                std::fprintf(stderr,
+                             "error: unknown workload %s (try --list)\n",
+                             name.c_str());
+                return 1;
+            }
+            traces.push_back(synth::generateTrace(*spec, instructions));
+            // Distinct process per core: rebase before AsmDB profiling.
+            traces.back().rebase((traces.size() - 1) *
+                                 kCoreAddressStride);
+        }
+
+        // Per-core AsmDB artifacts; rewritten-trace modes swap each
+        // core's trace for its rewritten counterpart (mirrors the
+        // service engine's multi-core path). Reserve up front: the
+        // swap stores &artifacts.back().rewrite.trace mid-loop, so a
+        // vector grow would dangle every earlier core's pointer.
+        std::vector<asmdb::AsmdbArtifacts> artifacts;
+        std::vector<asmdb::FeedbackResult> feedback;
+        artifacts.reserve(traces.size());
+        feedback.reserve(traces.size());
+        std::vector<const Trace *> run_traces;
+        for (const Trace &t : traces)
+            run_traces.push_back(&t);
+        switch (*mode) {
+        case SimMode::kBase:
+            break;
+        case SimMode::kAsmdb:
+            for (std::size_t i = 0; i < traces.size(); ++i) {
+                artifacts.push_back(
+                    asmdb::runPipeline(traces[i], config));
+                run_traces[i] = &artifacts.back().rewrite.trace;
+            }
+            break;
+        case SimMode::kNoOverhead:
+        case SimMode::kMetadata:
+            for (const Trace &t : traces)
+                artifacts.push_back(asmdb::runPipeline(t, config));
+            break;
+        case SimMode::kFeedback:
+            for (std::size_t i = 0; i < traces.size(); ++i) {
+                feedback.push_back(
+                    asmdb::runFeedbackDirected(traces[i], config));
+                run_traces[i] = &feedback.back().rewrite.trace;
+            }
+            break;
+        }
+
+        MultiCoreSimulator sim(config, run_traces);
+        if (*mode == SimMode::kNoOverhead) {
+            for (std::size_t i = 0; i < artifacts.size(); ++i)
+                sim.setSwPrefetchTriggers(i, &artifacts[i].triggers);
+        } else if (*mode == SimMode::kMetadata) {
+            for (std::size_t i = 0; i < artifacts.size(); ++i)
+                sim.attachMetadataPreloader(
+                    i, MetadataPreloadConfig{},
+                    asmdb::buildMetadataMap(artifacts[i].plan));
+        }
+        if (scenario_window != 0)
+            sim.enableScenarioTimeline(scenario_window);
+        const SimResult result = sim.run();
+        if (json)
+            std::printf("%s\n", simResultToJson(result).c_str());
+        else
+            printReport(result, std::cout);
+        if (profile)
+            std::fprintf(stderr,
+                         "[sipre_cli] --profile attributes a single "
+                         "core's busy cycles; not yet wired for "
+                         "--cores/--mix runs\n");
+        return 0;
+    }
 
     // Obtain the trace.
     Trace trace;
