@@ -169,6 +169,20 @@ writeResultBody(std::ostream &os, const SimResult &r)
         for (const std::uint64_t c : w.cycles)
             os << ' ' << c;
     }
+    // Hardware-prefetcher counters: written only when a component ran,
+    // so every record produced before this section existed — and every
+    // iprefetcher=none record after it — is byte-identical and the
+    // cache version needn't change.
+    if (!r.hwpf.empty()) {
+        os << " hwpf " << r.hwpf.size();
+        for (const HwPrefetchCounters &c : r.hwpf) {
+            os << ' ' << c.name << ' ' << c.issued << ' ' << c.filtered
+               << ' ' << c.dropped_overflow << ' ' << c.dropped_redirect
+               << ' ' << c.dropped_tlb << ' ' << c.deferred_tlb << ' '
+               << c.useful << ' ' << c.late << ' ' << c.polluting << ' '
+               << c.demoted_fills;
+        }
+    }
 }
 
 void
@@ -254,6 +268,29 @@ readResultBody(std::istream &is, SimResult &r)
         is >> w.start_cycle;
         for (std::uint64_t &c : w.cycles)
             is >> c;
+    }
+    // Optional hwpf section: absent on unprefetched records (and on
+    // every record written before the section existed), so look ahead
+    // and rewind when the next token is something else.
+    const std::istream::pos_type mark = is.tellg();
+    std::string hwpf_tag;
+    if (!(is >> hwpf_tag) || hwpf_tag != "hwpf") {
+        is.clear();
+        is.seekg(mark);
+        return;
+    }
+    std::uint64_t components = 0;
+    is >> components;
+    if (!is || components > 255) { // the pf_origin tag is a uint8_t
+        is.setstate(std::ios::failbit);
+        return;
+    }
+    r.hwpf.assign(static_cast<std::size_t>(components),
+                  HwPrefetchCounters{});
+    for (HwPrefetchCounters &c : r.hwpf) {
+        is >> c.name >> c.issued >> c.filtered >> c.dropped_overflow >>
+            c.dropped_redirect >> c.dropped_tlb >> c.deferred_tlb >>
+            c.useful >> c.late >> c.polluting >> c.demoted_fills;
     }
 }
 

@@ -503,6 +503,28 @@ writeResultJsonBody(std::ostream &os, const SimResult &r)
     writeCacheJson(os, r.l2);
     os << ",\"llc\":";
     writeCacheJson(os, r.llc);
+    // Present only when a hardware prefetcher ran, so unprefetched
+    // results serialize byte-identically to pre-hwpf output.
+    if (!r.hwpf.empty()) {
+        os << ",\"hwpf\":[";
+        for (std::size_t i = 0; i < r.hwpf.size(); ++i) {
+            const HwPrefetchCounters &c = r.hwpf[i];
+            if (i != 0)
+                os << ',';
+            os << "{\"name\":\"" << jsonEscape(c.name)
+               << "\",\"issued\":" << c.issued
+               << ",\"filtered\":" << c.filtered
+               << ",\"dropped_overflow\":" << c.dropped_overflow
+               << ",\"dropped_redirect\":" << c.dropped_redirect
+               << ",\"dropped_tlb\":" << c.dropped_tlb
+               << ",\"deferred_tlb\":" << c.deferred_tlb
+               << ",\"useful\":" << c.useful << ",\"late\":" << c.late
+               << ",\"polluting\":" << c.polluting
+               << ",\"demoted_fills\":" << c.demoted_fills
+               << ",\"accuracy\":" << jsonDouble(c.accuracy()) << "}";
+        }
+        os << "]";
+    }
     // Always present (window_size 0 + empty windows when the feature
     // was off) so served and direct serializations stay byte-identical.
     os << ",\"scenario_timeline\":{\"window_size\":"

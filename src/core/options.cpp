@@ -70,6 +70,9 @@ hwPrefetcherName(IPrefetcherKind kind)
     case IPrefetcherKind::kNone: return "none";
     case IPrefetcherKind::kNextLine: return "nextline";
     case IPrefetcherKind::kEipLite: return "eip";
+    case IPrefetcherKind::kFdip: return "fdip";
+    case IPrefetcherKind::kMana: return "mana";
+    case IPrefetcherKind::kFdipMana: return "fdip+mana";
     }
     return "none";
 }
@@ -83,6 +86,12 @@ parseHwPrefetcher(std::string_view name)
         return IPrefetcherKind::kNextLine;
     if (name == "eip")
         return IPrefetcherKind::kEipLite;
+    if (name == "fdip")
+        return IPrefetcherKind::kFdip;
+    if (name == "mana")
+        return IPrefetcherKind::kMana;
+    if (name == "fdip+mana")
+        return IPrefetcherKind::kFdipMana;
     return std::nullopt;
 }
 

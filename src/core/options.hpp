@@ -31,7 +31,8 @@ inline constexpr const char *kSimModeChoices =
     "base|asmdb|noovh|metadata|feedback";
 inline constexpr const char *kPredictorChoices =
     "perceptron|tage|gshare|bimodal|local";
-inline constexpr const char *kHwPrefetcherChoices = "none|nextline|eip";
+inline constexpr const char *kHwPrefetcherChoices =
+    "none|nextline|eip|fdip|mana|fdip+mana";
 
 /** Canonical name of a mode (inverse of parseSimMode). */
 const char *simModeName(SimMode mode);

@@ -83,6 +83,28 @@ printReport(const SimResult &r, std::ostream &os)
     os << "  L1D " << perKilo(r.l1d.misses, r) << "   L2 "
        << perKilo(r.l2.misses, r) << "   LLC "
        << perKilo(r.llc.misses, r) << "\n";
+
+    if (!r.hwpf.empty()) {
+        os << "\nhardware instruction prefetchers:\n";
+        for (const HwPrefetchCounters &c : r.hwpf) {
+            // coverage: prefetch-served fetches over all fetches that
+            // would have missed without the prefetcher.
+            const std::uint64_t would_miss = c.useful + r.l1i.misses;
+            const double coverage =
+                would_miss == 0 ? 0.0
+                                : static_cast<double>(c.useful) /
+                                      static_cast<double>(would_miss);
+            os << "  " << c.name << ": issued " << c.issued
+               << ", accuracy " << 100.0 * c.accuracy() << "%, coverage "
+               << 100.0 * coverage << "%\n";
+            os << "    useful/late/polluting  " << c.useful << "/"
+               << c.late << "/" << c.polluting << "\n";
+            os << "    filtered " << c.filtered << ", dropped ovf/redir/tlb "
+               << c.dropped_overflow << "/" << c.dropped_redirect << "/"
+               << c.dropped_tlb << ", deferred " << c.deferred_tlb
+               << ", demoted fills " << c.demoted_fills << "\n";
+        }
+    }
 }
 
 } // namespace sipre

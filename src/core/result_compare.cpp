@@ -173,6 +173,29 @@ checkResult(Differ &d, const std::string &p, const SimResult &a,
     d.check(p + "l2", a.l2, b.l2);
     d.check(p + "llc", a.llc, b.llc);
 
+    d.check(p + "hwpf.size", a.hwpf.size(), b.hwpf.size());
+    for (std::size_t i = 0; i < std::min(a.hwpf.size(), b.hwpf.size());
+         ++i) {
+        const std::string prefix = p + "hwpf[" + std::to_string(i) + "]";
+        const HwPrefetchCounters &ha = a.hwpf[i];
+        const HwPrefetchCounters &hb = b.hwpf[i];
+        d.check(prefix + ".name", ha.name, hb.name);
+        d.check(prefix + ".issued", ha.issued, hb.issued);
+        d.check(prefix + ".filtered", ha.filtered, hb.filtered);
+        d.check(prefix + ".dropped_overflow", ha.dropped_overflow,
+                hb.dropped_overflow);
+        d.check(prefix + ".dropped_redirect", ha.dropped_redirect,
+                hb.dropped_redirect);
+        d.check(prefix + ".dropped_tlb", ha.dropped_tlb, hb.dropped_tlb);
+        d.check(prefix + ".deferred_tlb", ha.deferred_tlb,
+                hb.deferred_tlb);
+        d.check(prefix + ".useful", ha.useful, hb.useful);
+        d.check(prefix + ".late", ha.late, hb.late);
+        d.check(prefix + ".polluting", ha.polluting, hb.polluting);
+        d.check(prefix + ".demoted_fills", ha.demoted_fills,
+                hb.demoted_fills);
+    }
+
     const ScenarioTimeline &ta = a.scenario_timeline;
     const ScenarioTimeline &tb = b.scenario_timeline;
     d.check(p + "scenario_timeline.window_size", ta.window_size,

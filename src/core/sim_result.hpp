@@ -16,6 +16,7 @@
 #include "frontend/scenario_timeline.hpp"
 #include "memory/cache.hpp"
 #include "memory/dram.hpp"
+#include "memory/iprefetcher.hpp"
 #include "util/statistics.hpp"
 
 namespace sipre
@@ -68,6 +69,15 @@ struct SimResult
     CacheStats l1d;
     CacheStats l2;
     CacheStats llc;
+
+    /**
+     * Per-component hardware instruction-prefetcher counters, in L1-I
+     * installation order. Empty when no hardware prefetcher ran
+     * (iprefetcher=none), which keeps pre-existing results and cache
+     * keys byte-identical. coverage = useful / (useful + l1i.misses)
+     * is computed at report time, where both counts are in hand.
+     */
+    std::vector<HwPrefetchCounters> hwpf;
 
     /**
      * Windowed FTQ-scenario attribution (empty with window_size 0

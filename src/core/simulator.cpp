@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "hwpf/builder.hpp"
 #include "trace_obs/recorder.hpp"
 #include "util/logging.hpp"
 
@@ -29,6 +30,23 @@ Simulator::Simulator(const SimConfig &config, const Trace &trace)
     backend_ = std::make_unique<Backend>(config_.backend, trace_, *memory_,
                                          *decode_queue_);
     memory_->setProfiler(&profile_);
+
+    // The hwpf-managed prefetcher kinds need the front-end (FTQ walk,
+    // iTLB), so the hierarchy factory left the slot empty for them and
+    // they are assembled and wired here.
+    auto built = hwpf::buildPrefetchers(config_.memory.l1i_prefetcher);
+    if (!built.components.empty()) {
+        if (built.ftq_observer != nullptr) {
+            frontend_->setFtqObserver(built.ftq_observer,
+                                      built.fdip_lookahead_blocks,
+                                      built.fdip_walk_blocks_per_cycle);
+        }
+        for (auto *wrapper : built.tlb_aware)
+            wrapper->setTlb(frontend_->itlb());
+        memory_->l1i().setDemotePrefetchFills(built.demote_fills);
+        for (auto &pf : built.components)
+            memory_->installIPrefetcher(std::move(pf));
+    }
 
     // The poke flag tells the fast-forward loop that the back-end
     // mutated front-end state mid-cycle (stall resume, PFC), so the
@@ -224,6 +242,8 @@ Simulator::run()
             memory_->l2().resetStats();
             memory_->llc().resetStats();
             memory_->dram().resetStats();
+            for (auto &pf : memory_->iprefetchers())
+                pf->resetStats();
         }
 
         if (!fast_forward || backend_->retired() >= total)
@@ -262,6 +282,8 @@ Simulator::run()
     result.l1d = memory_->l1d().stats();
     result.l2 = memory_->l2().stats();
     result.llc = memory_->llc().stats();
+    for (const auto &pf : memory_->iprefetchers())
+        result.hwpf.push_back(pf->counters());
     result.scenario_timeline = frontend_->scenarioTimeline();
     return result;
 }

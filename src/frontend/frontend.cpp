@@ -62,6 +62,7 @@ DecoupledFrontEnd::tick(Cycle now)
     drainCompletions(now);
     deliverToDecode(now);
     allocateBlocks(now);
+    runAheadWalk(now);
     issueLineFetches(now);
     issueWrongPathFetches(now);
     classifyCycle(now);
@@ -136,7 +137,100 @@ DecoupledFrontEnd::nextEventCycle(Cycle now) const
         wrong_path_next_ < wrong_path_lines_.size()) {
         return now + 1; // shadow-walk drain continues
     }
+
+    // The observer run-ahead walk advances state every tick it can
+    // progress. A blocked walk re-probes with frozen predictor state
+    // (shadowProbe is side-effect-free), so it provably cannot change
+    // anything until a state-mutating event — which forces a tick of
+    // its own — and contributes no event here.
+    if (walkCanProgress())
+        return now + 1;
     return next;
+}
+
+bool
+DecoupledFrontEnd::walkCanProgress() const
+{
+    if (observer_ == nullptr || stall_ != StallReason::kNone ||
+        walk_blocked_) {
+        return false;
+    }
+    const std::uint64_t start = std::max(observe_index_, fetch_index_);
+    if (start >= trace_.size())
+        return false;
+    const std::uint64_t limit =
+        fetch_index_ + std::uint64_t{observer_lookahead_blocks_} *
+                           config_.max_block_instrs;
+    return start < limit;
+}
+
+void
+DecoupledFrontEnd::runAheadWalk(Cycle now)
+{
+    // Walk the region a deeper FTQ would cover: up to lookahead blocks
+    // past the fetch point, validated at every branch against what the
+    // prediction structures would actually predict. The trace is the
+    // committed path, so a branch the predictor agrees on keeps the
+    // walk on-path; the first disagreement is where real fetch-ahead
+    // would diverge, and the walk blocks there until predictor state
+    // changes (allocation, resolve, or stall repair re-probes it).
+    if (observer_ == nullptr || stall_ != StallReason::kNone)
+        return;
+    if (observe_index_ < fetch_index_)
+        observe_index_ = fetch_index_;
+    if (observe_index_ >= trace_.size())
+        return;
+    // A blocked walk re-probes its branch: predictor state may have
+    // mutated earlier this tick (allocation, resolve, stall repair).
+    if (walk_blocked_)
+        walk_blocked_ = !probeAgreesAt(observe_index_);
+    if (walk_blocked_)
+        return;
+    const std::uint64_t limit =
+        fetch_index_ + std::uint64_t{observer_lookahead_blocks_} *
+                           config_.max_block_instrs;
+    auto report = [this, now](Addr line) {
+        if (line != observer_last_line_) {
+            observer_last_line_ = line;
+            observer_->onUpcomingLine(line, now);
+        }
+    };
+    for (std::uint32_t b = 0; b < observer_blocks_per_cycle_; ++b) {
+        if (observe_index_ >= trace_.size() || observe_index_ >= limit)
+            return;
+        for (std::uint32_t k = 0; k < config_.max_block_instrs; ++k) {
+            if (observe_index_ >= trace_.size() ||
+                observe_index_ >= limit) {
+                return;
+            }
+            const TraceInstruction &inst = trace_[observe_index_];
+            report(lineOf(inst.pc));
+            report(lineOf(inst.pc + inst.size - 1));
+            if (inst.isBranch()) {
+                if (!probeAgreesAt(observe_index_)) {
+                    walk_blocked_ = true;
+                    return;
+                }
+                ++observe_index_;
+                break; // a block ends at its branch
+            }
+            ++observe_index_;
+        }
+    }
+}
+
+bool
+DecoupledFrontEnd::probeAgreesAt(std::uint64_t index)
+{
+    const TraceInstruction &inst = trace_[index];
+    if (!inst.isBranch())
+        return true;
+    const auto pred = unit_.shadowProbe(inst.pc);
+    if (!pred.has_value())
+        return !inst.taken; // BTB miss: fetch-ahead falls through
+    if (pred->taken != inst.taken)
+        return false;
+    return !inst.taken || pred->target == inst.target;
 }
 
 void
@@ -328,6 +422,10 @@ DecoupledFrontEnd::resumeFromStall(Cycle now)
     stall_ = StallReason::kNone;
     wrong_path_lines_.clear();
     wrong_path_next_ = 0;
+    // Restart the observer run-ahead walk at the corrected fetch point.
+    observe_index_ = fetch_index_;
+    walk_blocked_ = false;
+    observer_last_line_ = kNoAddr;
 }
 
 void
@@ -430,6 +528,12 @@ DecoupledFrontEnd::allocateBlocks(Cycle now)
                     }
                     stall_branch_index_ = entry.branch_index;
                     stall_begin_ = now;
+                    // Fetch-ahead redirects: run-ahead lines reported
+                    // beyond this branch are no longer on the machine's
+                    // predicted path, so the observer drops what it has
+                    // not issued yet.
+                    if (observer_ != nullptr)
+                        observer_->onRedirect(now);
                     // The hardware keeps fetching down the predicted
                     // (wrong) path until the branch resolves; walk it
                     // with the predictors, bounded by the FTQ space

@@ -27,6 +27,7 @@
 #include "frontend/decode_queue.hpp"
 #include "frontend/frontend_stats.hpp"
 #include "frontend/ftq.hpp"
+#include "frontend/ftq_observer.hpp"
 #include "frontend/scenario_timeline.hpp"
 #include "memory/hierarchy.hpp"
 #include "memory/tlb.hpp"
@@ -161,6 +162,27 @@ class DecoupledFrontEnd
     BranchUnit &branchUnit() { return unit_; }
 
     /**
+     * Attach (or detach, with null) the FTQ run-ahead observer (see
+     * frontend/ftq_observer.hpp). The walk examines up to
+     * `blocks_per_cycle` basic blocks per cycle and never ranges more
+     * than `lookahead_blocks` blocks past the current fetch point.
+     * With no observer attached the walk never runs, so the front-end
+     * behaves bit-identically to a build without this hook.
+     */
+    void
+    setFtqObserver(FtqObserver *observer,
+                   std::uint32_t lookahead_blocks = 32,
+                   std::uint32_t blocks_per_cycle = 2)
+    {
+        observer_ = observer;
+        observer_lookahead_blocks_ = lookahead_blocks;
+        observer_blocks_per_cycle_ = blocks_per_cycle;
+        observe_index_ = fetch_index_;
+        walk_blocked_ = false;
+        observer_last_line_ = kNoAddr;
+    }
+
+    /**
      * Validate the incremental FTQ counters against a full rescan at
      * the end of every tick (and panic on divergence). Also enabled by
      * the SIPRE_FRONTEND_CROSSCHECK environment variable; used by the
@@ -205,6 +227,10 @@ class DecoupledFrontEnd
     void issueLineFetches(Cycle now);
     void issueWrongPathFetches(Cycle now);
     void shadowWalk(Addr start_pc, std::size_t max_blocks);
+    void runAheadWalk(Cycle now);
+    bool walkCanProgress() const;
+    /** Would shadowProbe follow the trace at this (branch) index? */
+    bool probeAgreesAt(std::uint64_t index);
     void classifyCycle(Cycle now);
     void firePredecode(const FtqEntry &entry, Cycle now);
     void resumeFromStall(Cycle now);
@@ -251,6 +277,23 @@ class DecoupledFrontEnd
     const SwPrefetchTriggers *triggers_ = nullptr;
     std::unique_ptr<Tlb> itlb_;
     std::unique_ptr<ScenarioTimelineRecorder> timeline_;
+
+    // --- FTQ run-ahead observer (FDIP hook) ---------------------------
+    FtqObserver *observer_ = nullptr;
+    std::uint32_t observer_lookahead_blocks_ = 32;
+    std::uint32_t observer_blocks_per_cycle_ = 2;
+    /** Next trace index the run-ahead walk examines (>= fetch_index_). */
+    std::uint64_t observe_index_ = 0;
+    /**
+     * The walk stopped at a branch the prediction structures would get
+     * wrong. shadowProbe is side-effect-free, so with frozen predictor
+     * state a re-probe cannot change the answer — a blocked walk is a
+     * no-event for nextEventCycle(). Cleared wherever predictor/BTB
+     * state mutates (allocation, resolve, stall repair).
+     */
+    bool walk_blocked_ = false;
+    /** Last line reported to the observer (suppresses duplicates). */
+    Addr observer_last_line_ = kNoAddr;
 };
 
 } // namespace sipre

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The narrow front-end hook an FTQ-directed prefetcher (hwpf's FDIP)
+ * attaches to. The front-end runs a bounded branch-predictor-validated
+ * walk *ahead* of FTQ allocation — the region a deeper FTQ would have
+ * covered — and reports each upcoming fetch line exactly once. The walk
+ * stops at the first branch the prediction structures would get wrong
+ * (that is where the real machine's fetch-ahead would diverge), so the
+ * observed stream is the front-end's own predicted path, never oracle
+ * knowledge.
+ *
+ * Contract:
+ *  - onUpcomingLine(line, now): `line` will be requested by an FTQ
+ *    entry within the configured lookahead unless a redirect
+ *    intervenes. Called at most a few times per cycle; never during a
+ *    fetch-ahead stall.
+ *  - onRedirect(now): fetch-ahead hit a mispredict/BTB-miss stall.
+ *    Previously reported lines beyond the branch are now wrong-path
+ *    from the machine's point of view: the observer must drop any
+ *    prefetches it has not issued yet (drop-on-redirect). After the
+ *    branch resolves, the walk restarts at the corrected fetch point
+ *    and re-reports from there.
+ *
+ * Interface-only header: src/hwpf/ implements it without pulling in
+ * the whole front-end.
+ */
+#ifndef SIPRE_FRONTEND_FTQ_OBSERVER_HPP
+#define SIPRE_FRONTEND_FTQ_OBSERVER_HPP
+
+#include "util/types.hpp"
+
+namespace sipre
+{
+
+/** See file comment. */
+class FtqObserver
+{
+  public:
+    virtual ~FtqObserver() = default;
+
+    /** `line` is on the predicted path ahead of the FTQ. */
+    virtual void onUpcomingLine(Addr line_addr, Cycle now) = 0;
+
+    /** Fetch-ahead redirected; drop unissued run-ahead prefetches. */
+    virtual void onRedirect(Cycle now) = 0;
+};
+
+} // namespace sipre
+
+#endif // SIPRE_FRONTEND_FTQ_OBSERVER_HPP

@@ -1,0 +1,58 @@
+#include "hwpf/builder.hpp"
+
+#include <utility>
+
+#include "hwpf/fdip.hpp"
+#include "hwpf/mana.hpp"
+
+namespace sipre::hwpf
+{
+
+namespace
+{
+
+/** Wrap `pf` per config and append it; returns the FtqObserver face of
+ *  the installed component (the wrapper's when wrapped) or null. */
+FtqObserver *
+append(BuiltPrefetch &built, std::unique_ptr<InstrPrefetcher> pf,
+       const HwPrefetchConfig &config)
+{
+    if (config.tlb_aware) {
+        auto wrapper =
+            std::make_unique<TlbAwarePrefetcher>(std::move(pf), config);
+        TlbAwarePrefetcher *raw = wrapper.get();
+        built.tlb_aware.push_back(raw);
+        built.components.push_back(std::move(wrapper));
+        return raw;
+    }
+    FtqObserver *observer = dynamic_cast<FtqObserver *>(pf.get());
+    built.components.push_back(std::move(pf));
+    return observer;
+}
+
+} // namespace
+
+BuiltPrefetch
+buildPrefetchers(IPrefetcherKind kind, const HwPrefetchConfig &config)
+{
+    BuiltPrefetch built;
+    if (!isHwpfManaged(kind))
+        return built;
+
+    built.demote_fills = config.demote_fills;
+    built.fdip_lookahead_blocks = config.fdip_lookahead_blocks;
+    built.fdip_walk_blocks_per_cycle = config.fdip_walk_blocks_per_cycle;
+
+    if (kind == IPrefetcherKind::kFdip ||
+        kind == IPrefetcherKind::kFdipMana) {
+        built.ftq_observer =
+            append(built, std::make_unique<FdipPrefetcher>(), config);
+    }
+    if (kind == IPrefetcherKind::kMana ||
+        kind == IPrefetcherKind::kFdipMana) {
+        append(built, std::make_unique<ManaLitePrefetcher>(config), config);
+    }
+    return built;
+}
+
+} // namespace sipre::hwpf

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Construction and wiring recipe for the hwpf-managed prefetcher kinds
+ * (IPrefetcherKind::kFdip/kMana/kFdipMana). The simulator cannot build
+ * these in the hierarchy factory because they need the front-end: FDIP
+ * observes the FTQ run-ahead walk, and the TLB-aware wrapper probes the
+ * front-end's iTLB. buildPrefetchers() returns the components plus the
+ * hook-up points the caller wires after construction:
+ *
+ *   auto built = hwpf::buildPrefetchers(kind);
+ *   for (auto &pf : built.components)
+ *       memory.installIPrefetcher(std::move(pf));
+ *   if (built.ftq_observer)
+ *       frontend.setFtqObserver(built.ftq_observer,
+ *                               built.fdip_lookahead_blocks,
+ *                               built.fdip_walk_blocks_per_cycle);
+ *   for (auto *wrapper : built.tlb_aware)
+ *       wrapper->setTlb(frontend.itlb());
+ *   memory.l1i().setDemotePrefetchFills(built.demote_fills);
+ */
+#ifndef SIPRE_HWPF_BUILDER_HPP
+#define SIPRE_HWPF_BUILDER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "frontend/ftq_observer.hpp"
+#include "hwpf/config.hpp"
+#include "hwpf/tlb_aware.hpp"
+#include "memory/iprefetcher.hpp"
+
+namespace sipre::hwpf
+{
+
+/** What buildPrefetchers() assembled; see the file comment for wiring. */
+struct BuiltPrefetch
+{
+    /** Components to install on the L1-I, in issue-priority order
+     *  (FDIP before MANA for kFdipMana: FTQ-directed candidates are
+     *  the more accurate stream). Empty for non-hwpf kinds. */
+    std::vector<std::unique_ptr<InstrPrefetcher>> components;
+
+    /** Non-owning: attach to DecoupledFrontEnd::setFtqObserver, or
+     *  null when no component is FTQ-directed. Points into
+     *  `components`, so wire it before moving them out. */
+    FtqObserver *ftq_observer = nullptr;
+
+    /** Non-owning: wrappers that still need setTlb(frontend.itlb()). */
+    std::vector<TlbAwarePrefetcher *> tlb_aware;
+
+    /** Forwarded from HwPrefetchConfig for Cache::setDemotePrefetchFills. */
+    bool demote_fills = false;
+
+    /** Forwarded walk parameters for setFtqObserver. */
+    std::uint32_t fdip_lookahead_blocks = 0;
+    std::uint32_t fdip_walk_blocks_per_cycle = 0;
+};
+
+/**
+ * Build the component set for `kind`. Non-hwpf kinds (none, nextline,
+ * eip) return an empty BuiltPrefetch — the hierarchy factory owns
+ * those. When config.tlb_aware is set, every component is wrapped in a
+ * TlbAwarePrefetcher (the observer pointer then goes through the
+ * wrapper so deferred candidates drop on redirects too).
+ */
+BuiltPrefetch buildPrefetchers(IPrefetcherKind kind,
+                               const HwPrefetchConfig &config = {});
+
+} // namespace sipre::hwpf
+
+#endif // SIPRE_HWPF_BUILDER_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tuning knobs for the first-class hardware instruction prefetchers.
+ * These are microarchitectural parameters, not request-level options:
+ * every entry point runs the same defaults so canonical request keys
+ * stay stable across the fleet. Tests and benches construct prefetchers
+ * with custom values directly.
+ */
+#ifndef SIPRE_HWPF_CONFIG_HPP
+#define SIPRE_HWPF_CONFIG_HPP
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace sipre::hwpf
+{
+
+/** See file comment. */
+struct HwPrefetchConfig
+{
+    // --- FDIP: the front-end's run-ahead walk --------------------------
+    /** How far past the fetch point the walk ranges, in basic blocks.
+     *  This is the "virtual FTQ depth" FDIP adds on top of the real
+     *  one; 32 blocks approximates the FTQ-revisited sweet spot. */
+    std::uint32_t fdip_lookahead_blocks = 32;
+    /** Basic blocks the walk examines per cycle (predictor bandwidth). */
+    std::uint32_t fdip_walk_blocks_per_cycle = 2;
+
+    // --- MANA-lite: record-based spatial-region streaming --------------
+    /** Bounded metadata table size (power of two). At 1024 records of
+     *  ~13 bytes this is ~13 KiB — the "small metadata" point MANA
+     *  makes against multi-megabyte temporal prefetchers. */
+    std::uint32_t mana_table_entries = 1024;
+    /** Spatial-region span tracked per trigger line (footprint bits). */
+    std::uint32_t mana_region_lines = 8;
+    /** Successor records followed ahead of the trigger (stream depth). */
+    std::uint32_t mana_stream_lookahead = 3;
+
+    // --- TLB/cache-management-aware wrapper (Jamet-style) ---------------
+    /** Wrap the prefetcher with the iTLB filter + demoted insertion. */
+    bool tlb_aware = true;
+    /** Defer prefetches whose page is unmapped (true) instead of
+     *  dropping them outright (false, the paper's headline policy). */
+    bool tlb_defer = false;
+    /** How long a deferred prefetch waits for the demand page walk to
+     *  install its translation before it is dropped. */
+    Cycle tlb_defer_window = 64;
+    /** Insert prefetched lines at demoted replacement priority. */
+    bool demote_fills = true;
+};
+
+} // namespace sipre::hwpf
+
+#endif // SIPRE_HWPF_CONFIG_HPP

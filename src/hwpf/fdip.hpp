@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FDIP: fetch-directed instruction prefetching, driven by the decoupled
+ * front-end's own fetch target queue (Asheim et al., "FDIP revisited").
+ *
+ * The front-end already issues every FTQ entry's lines at allocation,
+ * so the FTQ itself *is* a fetch-directed prefetcher up to its depth.
+ * What FDIP adds is the region beyond: the front-end's run-ahead walk
+ * (frontend/ftq_observer.hpp) follows the predicted path past the FTQ
+ * and reports each upcoming line; this class queues them as L1-I
+ * prefetch candidates and throws the queue away on a redirect, exactly
+ * as a real FDIP engine discards its prefetch queue when the FTQ is
+ * squashed.
+ */
+#ifndef SIPRE_HWPF_FDIP_HPP
+#define SIPRE_HWPF_FDIP_HPP
+
+#include "frontend/ftq_observer.hpp"
+#include "hwpf/config.hpp"
+#include "memory/iprefetcher.hpp"
+
+namespace sipre::hwpf
+{
+
+/** See file comment. */
+class FdipPrefetcher : public InstrPrefetcher, public FtqObserver
+{
+  public:
+    FdipPrefetcher() : InstrPrefetcher("fdip") {}
+
+    /** FDIP is FTQ-directed: the demand stream carries no extra signal
+     *  (every demanded line was an FTQ line the walk already saw). */
+    void onAccess(Addr, bool, Cycle) override {}
+
+    void
+    onUpcomingLine(Addr line_addr, Cycle) override
+    {
+        emit(line_addr);
+    }
+
+    void
+    onRedirect(Cycle) override
+    {
+        counters().dropped_redirect += queueSize();
+        clearQueue();
+    }
+};
+
+} // namespace sipre::hwpf
+
+#endif // SIPRE_HWPF_FDIP_HPP

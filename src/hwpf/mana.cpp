@@ -1,0 +1,104 @@
+#include "hwpf/mana.hpp"
+
+#include <bit>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace sipre::hwpf
+{
+
+namespace
+{
+/** L1-I line size; matches MemoryHierarchy::lineOf's 64-byte lines. */
+constexpr Addr kLineBytes = 64;
+} // namespace
+
+ManaLitePrefetcher::ManaLitePrefetcher(const HwPrefetchConfig &config)
+    : InstrPrefetcher("mana"), table_(config.mana_table_entries),
+      region_lines_(config.mana_region_lines),
+      lookahead_(config.mana_stream_lookahead)
+{
+    SIPRE_ASSERT(isPowerOfTwo(table_.size()),
+                 "MANA table size must be a power of two");
+    SIPRE_ASSERT(region_lines_ >= 1 && region_lines_ <= 32,
+                 "MANA region span must fit the 32-bit footprint");
+}
+
+ManaLitePrefetcher::Record &
+ManaLitePrefetcher::recordFor(Addr trigger)
+{
+    return table_[mix64(trigger) & (table_.size() - 1)];
+}
+
+std::size_t
+ManaLitePrefetcher::recordedRegions() const
+{
+    std::size_t n = 0;
+    for (const Record &r : table_)
+        n += r.trigger != kNoAddr ? 1 : 0;
+    return n;
+}
+
+void
+ManaLitePrefetcher::closeRegion(Addr next_trigger)
+{
+    if (region_trigger_ != kNoAddr) {
+        Record &rec = recordFor(region_trigger_);
+        rec.trigger = region_trigger_;
+        rec.footprint = region_footprint_;
+        rec.successor = next_trigger;
+    }
+    region_trigger_ = next_trigger;
+    region_footprint_ = 0;
+}
+
+void
+ManaLitePrefetcher::predictFrom(Addr trigger_line)
+{
+    Addr chase = trigger_line;
+    for (std::uint32_t depth = 0; depth <= lookahead_; ++depth) {
+        const Record &rec = recordFor(chase);
+        if (rec.trigger != chase)
+            return;
+        if (depth > 0)
+            emit(chase); // successor triggers are prefetches themselves
+        std::uint32_t fp = rec.footprint;
+        while (fp != 0) {
+            const unsigned idx = static_cast<unsigned>(std::countr_zero(fp));
+            emit(chase + (Addr{idx} + 1) * kLineBytes);
+            fp &= fp - 1;
+        }
+        if (rec.successor == kNoAddr || rec.successor == chase)
+            return;
+        chase = rec.successor;
+    }
+}
+
+void
+ManaLitePrefetcher::onAccess(Addr line_addr, bool hit, Cycle now)
+{
+    (void)now;
+    const Addr span = Addr{region_lines_} * kLineBytes;
+    const bool in_region = region_trigger_ != kNoAddr &&
+                           line_addr > region_trigger_ &&
+                           line_addr <= region_trigger_ + span;
+
+    // --- Train on the demand stream -----------------------------------
+    if (in_region) {
+        // Lines inside the open region belong to its footprint whether
+        // they hit or miss: a line the footprint prefetched last visit
+        // must stay recorded even though it now hits.
+        region_footprint_ |=
+            1u << ((line_addr - region_trigger_) / kLineBytes - 1);
+    } else if (!hit && line_addr != region_trigger_) {
+        // A miss outside the span closes the region (recording the new
+        // miss as its successor) and anchors the next one.
+        closeRegion(line_addr);
+    }
+
+    // --- Predict on any access to a known trigger ---------------------
+    predictFrom(line_addr);
+}
+
+} // namespace sipre::hwpf

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MANA-lite: a record-based instruction prefetcher with spatial-region
+ * footprints and stream lookahead, after Ansari et al.'s MANA.
+ *
+ * The demand-miss stream is segmented into spatial regions: a miss
+ * opens a region anchored at its line (the trigger); subsequent demand
+ * accesses within the next `region_lines` lines set bits in the
+ * region's footprint; the first miss outside the span closes the
+ * region, records (trigger → footprint, successor-trigger) in a
+ * bounded table, and opens the next region. On a demand access to a
+ * known trigger, the footprint is prefetched and the successor chain
+ * is followed `stream_lookahead` records deep — the stream address
+ * buffer of the full design collapsed to a per-access chase.
+ */
+#ifndef SIPRE_HWPF_MANA_HPP
+#define SIPRE_HWPF_MANA_HPP
+
+#include <vector>
+
+#include "hwpf/config.hpp"
+#include "memory/iprefetcher.hpp"
+
+namespace sipre::hwpf
+{
+
+/** See file comment. */
+class ManaLitePrefetcher : public InstrPrefetcher
+{
+  public:
+    explicit ManaLitePrefetcher(const HwPrefetchConfig &config = {});
+
+    void onAccess(Addr line_addr, bool hit, Cycle now) override;
+
+    /** Closed regions currently recorded (test introspection). */
+    std::size_t recordedRegions() const;
+
+  private:
+    struct Record
+    {
+        Addr trigger = kNoAddr;
+        std::uint32_t footprint = 0; ///< bit i => trigger + (i+1) lines
+        Addr successor = kNoAddr;    ///< next region's trigger
+    };
+
+    Record &recordFor(Addr trigger);
+    void closeRegion(Addr next_trigger);
+    void predictFrom(Addr trigger_line);
+
+    std::vector<Record> table_;
+    std::uint32_t region_lines_;
+    std::uint32_t lookahead_;
+
+    // Training state: the currently open region.
+    Addr region_trigger_ = kNoAddr;
+    std::uint32_t region_footprint_ = 0;
+};
+
+} // namespace sipre::hwpf
+
+#endif // SIPRE_HWPF_MANA_HPP

@@ -1,0 +1,123 @@
+#include "hwpf/tlb_aware.hpp"
+
+#include "memory/tlb.hpp"
+#include "util/logging.hpp"
+
+namespace sipre::hwpf
+{
+
+TlbAwarePrefetcher::TlbAwarePrefetcher(
+    std::unique_ptr<InstrPrefetcher> inner, const HwPrefetchConfig &config)
+    : InstrPrefetcher(inner->counters().name), inner_(std::move(inner)),
+      inner_observer_(dynamic_cast<FtqObserver *>(inner_.get())),
+      defer_(config.tlb_defer), defer_window_(config.tlb_defer_window)
+{
+    SIPRE_ASSERT(inner_ != nullptr, "TLB-aware wrapper needs an inner "
+                                    "prefetcher");
+}
+
+void
+TlbAwarePrefetcher::onAccess(Addr line_addr, bool hit, Cycle now)
+{
+    inner_->onAccess(line_addr, hit, now);
+}
+
+bool
+TlbAwarePrefetcher::hasCandidates() const
+{
+    return !deferred_.empty() || inner_->hasCandidates();
+}
+
+void
+TlbAwarePrefetcher::onUpcomingLine(Addr line_addr, Cycle now)
+{
+    if (inner_observer_ != nullptr)
+        inner_observer_->onUpcomingLine(line_addr, now);
+}
+
+void
+TlbAwarePrefetcher::onRedirect(Cycle now)
+{
+    if (inner_observer_ != nullptr)
+        inner_observer_->onRedirect(now);
+    // Deferred candidates were queued for the squashed path too.
+    counters().dropped_redirect += deferred_.size();
+    deferred_.clear();
+    absorbInnerDrops();
+}
+
+void
+TlbAwarePrefetcher::absorbInnerDrops()
+{
+    HwPrefetchCounters &in = inner_->counters();
+    counters().dropped_overflow += in.dropped_overflow;
+    counters().dropped_redirect += in.dropped_redirect;
+    in.dropped_overflow = 0;
+    in.dropped_redirect = 0;
+}
+
+bool
+TlbAwarePrefetcher::admit(Addr line, Cycle now)
+{
+    if (tlb_ == nullptr || tlb_->contains(line))
+        return true;
+    if (!defer_) {
+        ++counters().dropped_tlb;
+        return false;
+    }
+    if (deferred_.size() >= kMaxQueuedCandidates) {
+        ++counters().dropped_tlb;
+        return false;
+    }
+    ++counters().deferred_tlb;
+    deferred_.push_back(Deferred{line, now + defer_window_});
+    return false;
+}
+
+std::size_t
+TlbAwarePrefetcher::drainInto(std::vector<Addr> &out, std::size_t cap,
+                              Cycle now)
+{
+    std::size_t moved = 0;
+
+    // Deferred candidates first (they are oldest): release the ones
+    // whose translation the demand stream has installed since, expire
+    // the ones past their window.
+    while (moved < cap && !deferred_.empty()) {
+        const Deferred head = deferred_.front();
+        if (tlb_ != nullptr && tlb_->contains(head.line)) {
+            deferred_.pop_front();
+            out.push_back(head.line);
+            ++moved;
+        } else if (now > head.deadline) {
+            deferred_.pop_front();
+            ++counters().dropped_tlb;
+        } else {
+            break; // still waiting; keep order, re-check next drain
+        }
+    }
+
+    // Then the inner stream, filtered through the TLB policy.
+    std::vector<Addr> scratch;
+    while (moved < cap && inner_->hasCandidates()) {
+        scratch.clear();
+        if (inner_->drainInto(scratch, 1, now) == 0)
+            break;
+        if (admit(scratch.front(), now)) {
+            out.push_back(scratch.front());
+            ++moved;
+        }
+    }
+
+    absorbInnerDrops();
+    return moved;
+}
+
+void
+TlbAwarePrefetcher::resetStats()
+{
+    InstrPrefetcher::resetStats();
+    inner_->resetStats();
+}
+
+} // namespace sipre::hwpf

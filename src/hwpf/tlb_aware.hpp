@@ -1,0 +1,93 @@
+/**
+ * @file
+ * TLB/cache-management-aware prefetch wrapper, after Jamet et al.'s
+ * characterization of the "hidden" costs of instruction prefetching:
+ * prefetches that miss the iTLB trigger page walks that stall demand
+ * translation, and prefetched lines inserted at normal priority evict
+ * useful code.
+ *
+ * The wrapper interposes on an inner prefetcher's candidate stream at
+ * drain time. A candidate whose page is resident in the iTLB passes
+ * through; one that would page-walk is either dropped (the headline
+ * policy) or parked in a bounded deferred queue until the demand
+ * stream installs the translation or a deadline passes. Demoted-fill
+ * insertion (the cache-management half) is applied by the cache itself
+ * via Cache::setDemotePrefetchFills; the wrapper only carries the
+ * configuration bit up to the builder.
+ */
+#ifndef SIPRE_HWPF_TLB_AWARE_HPP
+#define SIPRE_HWPF_TLB_AWARE_HPP
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "frontend/ftq_observer.hpp"
+#include "hwpf/config.hpp"
+#include "memory/iprefetcher.hpp"
+
+namespace sipre
+{
+class Tlb;
+}
+
+namespace sipre::hwpf
+{
+
+/** See file comment. */
+class TlbAwarePrefetcher : public InstrPrefetcher, public FtqObserver
+{
+  public:
+    TlbAwarePrefetcher(std::unique_ptr<InstrPrefetcher> inner,
+                       const HwPrefetchConfig &config = {});
+
+    /**
+     * Attach the iTLB to filter against. With no TLB attached (the
+     * front-end runs without one) the wrapper is inert: every candidate
+     * passes through untouched.
+     */
+    void setTlb(const Tlb *tlb) { tlb_ = tlb; }
+
+    const InstrPrefetcher &inner() const { return *inner_; }
+    InstrPrefetcher &inner() { return *inner_; }
+
+    void onAccess(Addr line_addr, bool hit, Cycle now) override;
+    bool hasCandidates() const override;
+    std::size_t drainInto(std::vector<Addr> &out, std::size_t cap,
+                          Cycle now) override;
+    void resetStats() override;
+
+    // FtqObserver: forward the front-end walk to an FTQ-directed inner
+    // prefetcher, and drop deferred candidates alongside the inner
+    // queue when the path they were fetched for is squashed.
+    void onUpcomingLine(Addr line_addr, Cycle now) override;
+    void onRedirect(Cycle now) override;
+
+    /** Candidates currently parked behind a TLB walk (tests). */
+    std::size_t deferredCount() const { return deferred_.size(); }
+
+  private:
+    struct Deferred
+    {
+        Addr line = kNoAddr;
+        Cycle deadline = 0;
+    };
+
+    /** Apply the TLB policy to one candidate; true if `line` may issue
+     *  now (false: dropped or deferred, counters updated). */
+    bool admit(Addr line, Cycle now);
+    /** Pull inner-queue drop counters up into the wrapper's block so
+     *  the surfaced counter set covers the whole component. */
+    void absorbInnerDrops();
+
+    std::unique_ptr<InstrPrefetcher> inner_;
+    FtqObserver *inner_observer_; ///< inner as observer, or null
+    const Tlb *tlb_ = nullptr;
+    bool defer_;
+    Cycle defer_window_;
+    std::deque<Deferred> deferred_;
+};
+
+} // namespace sipre::hwpf
+
+#endif // SIPRE_HWPF_TLB_AWARE_HPP

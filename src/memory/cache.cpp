@@ -19,6 +19,7 @@ Cache::Cache(CacheConfig config, MemoryDevice *lower)
     line_shift_ = config_.line_bits;
     tags_.assign(std::size_t{sets_} * config_.ways, kInvalidTag);
     meta_.assign(std::size_t{sets_} * config_.ways, 0);
+    pf_origin_.assign(std::size_t{sets_} * config_.ways, 0);
     repl_ = makeReplacementPolicy(config_.policy, sets_, config_.ways,
                                   /*seed=*/mix64(sets_ ^ config_.ways));
     mshr_addrs_.assign(config_.mshrs, kInvalidTag);
@@ -160,6 +161,10 @@ Cache::processRequest(MemRequest &req, Cycle now, std::uint32_t way)
             if (meta_[slot] & kMetaPrefetched) {
                 meta_[slot] &= static_cast<std::uint8_t>(~kMetaPrefetched);
                 ++stats_.prefetch_useful;
+                if (onPrefetchOutcome && pf_origin_[slot] != 0)
+                    onPrefetchOutcome(pf_origin_[slot],
+                                      PrefetchOutcome::kUseful);
+                pf_origin_[slot] = 0;
             }
             if (req.type == AccessType::kStore)
                 meta_[slot] |= kMetaDirty;
@@ -179,6 +184,9 @@ Cache::processRequest(MemRequest &req, Cycle now, std::uint32_t way)
             mshr.prefetch_only = false;
             ++stats_.misses;
             ++stats_.prefetch_late;
+            if (onPrefetchOutcome && mshr.pf_origin != 0)
+                onPrefetchOutcome(mshr.pf_origin, PrefetchOutcome::kLate);
+            mshr.pf_origin = 0;
             if (onDemandMiss)
                 onDemandMiss(req.line_addr, req.type);
         } else if (!is_prefetch) {
@@ -192,6 +200,7 @@ Cache::processRequest(MemRequest &req, Cycle now, std::uint32_t way)
     SIPRE_ASSERT(m != kNoWay, "processRequest called without a free MSHR");
     Mshr &mshr = mshrs_[m];
     mshr.prefetch_only = is_prefetch;
+    mshr.pf_origin = is_prefetch ? req.pf_origin : 0;
     mshr.waiters.push_back(req);
     if (!is_prefetch) {
         ++stats_.misses;
@@ -275,7 +284,8 @@ Cache::nextEventCycle(Cycle now) const
 }
 
 void
-Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
+Cache::installLine(Addr line_addr, bool dirty, bool prefetched,
+                   std::uint8_t pf_origin)
 {
     const std::uint32_t set = setIndex(line_addr);
     const std::size_t base = std::size_t{set} * config_.ways;
@@ -289,6 +299,13 @@ Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
     if (way == kNoWay) {
         way = repl_->victim(set);
         ++stats_.evictions;
+        // A prefetched line evicted before any demand touched it was
+        // pure pollution: report it to its issuing component.
+        if ((meta_[base + way] & kMetaPrefetched) &&
+            pf_origin_[base + way] != 0 && onPrefetchOutcome) {
+            onPrefetchOutcome(pf_origin_[base + way],
+                              PrefetchOutcome::kPollutedEvict);
+        }
         if ((meta_[base + way] & kMetaDirty) && lower_ != nullptr) {
             MemRequest wb;
             // The stored tag is the full line number, so shifting it back
@@ -302,7 +319,14 @@ Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
     meta_[base + way] =
         static_cast<std::uint8_t>((dirty ? kMetaDirty : 0) |
                                   (prefetched ? kMetaPrefetched : 0));
-    repl_->onFill(set, way);
+    pf_origin_[base + way] = prefetched ? pf_origin : 0;
+    if (prefetched && demote_prefetch_fills_) {
+        repl_->onInsertDemoted(set, way);
+        if (pf_origin != 0 && onPrefetchOutcome)
+            onPrefetchOutcome(pf_origin, PrefetchOutcome::kDemotedFill);
+    } else {
+        repl_->onFill(set, way);
+    }
 }
 
 void
@@ -315,7 +339,8 @@ Cache::handleFill(const MemRequest &fill)
     bool dirty = false;
     for (const auto &w : mshr.waiters)
         dirty |= w.type == AccessType::kStore;
-    installLine(fill.line_addr, dirty, mshr.prefetch_only);
+    installLine(fill.line_addr, dirty, mshr.prefetch_only,
+                mshr.prefetch_only ? mshr.pf_origin : 0);
     if (mshr.prefetch_only)
         ++stats_.prefetch_fills;
 

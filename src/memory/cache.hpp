@@ -23,6 +23,7 @@
 #ifndef SIPRE_MEMORY_CACHE_HPP
 #define SIPRE_MEMORY_CACHE_HPP
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <queue>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "memory/device.hpp"
+#include "memory/iprefetcher.hpp"
 #include "memory/replacement.hpp"
 #include "memory/request.hpp"
 
@@ -109,8 +111,9 @@ class Cache : public MemoryDevice
 
     /**
      * Zero the event counters (end-of-warmup). Cache contents are
-     * kept, but per-line `prefetched` flags are cleared so that
-     * prefetch_useful only counts fills observed within the window.
+     * kept, but per-line `prefetched` flags (and their prefetcher
+     * attribution) are cleared so that prefetch_useful only counts
+     * fills observed within the window.
      */
     void
     resetStats()
@@ -118,7 +121,18 @@ class Cache : public MemoryDevice
         stats_ = CacheStats{};
         for (auto &meta : meta_)
             meta &= static_cast<std::uint8_t>(~kMetaPrefetched);
+        std::fill(pf_origin_.begin(), pf_origin_.end(),
+                  static_cast<std::uint8_t>(0));
     }
+
+    /**
+     * Insert prefetch fills at demoted replacement priority
+     * (ReplacementPolicy::onInsertDemoted) instead of as normal fills.
+     * Set by the hierarchy when a TLB/cache-management-aware prefetcher
+     * is installed; off by default, so nothing changes for existing
+     * configurations.
+     */
+    void setDemotePrefetchFills(bool on) { demote_prefetch_fills_ = on; }
 
     /** Fired once per *primary* demand miss (and per late prefetch). */
     std::function<void(Addr line_addr, AccessType type)> onDemandMiss;
@@ -133,6 +147,16 @@ class Cache : public MemoryDevice
      */
     std::function<void(const MemRequest &req, bool hit)> onDemandLookup;
 
+    /**
+     * Fired when a hardware prefetch with a nonzero origin resolves:
+     * its line was demand-hit (useful), its in-flight MSHR was caught
+     * by a demand (late), it was evicted without ever being demanded
+     * (polluting), or it filled at demoted priority. The hierarchy
+     * routes these back to the issuing component's counter block.
+     */
+    std::function<void(std::uint8_t origin, PrefetchOutcome outcome)>
+        onPrefetchOutcome;
+
   private:
     /** Sentinel stored in invalid ways; no real line number reaches it. */
     static constexpr Addr kInvalidTag = ~Addr{0};
@@ -143,6 +167,8 @@ class Cache : public MemoryDevice
     struct Mshr
     {
         bool prefetch_only = true; ///< no demand waiter yet
+        /** Issuing component of the allocating prefetch (0 = none/sw). */
+        std::uint8_t pf_origin = 0;
         std::vector<MemRequest> waiters; ///< capacity kept across reuse
     };
 
@@ -169,7 +195,8 @@ class Cache : public MemoryDevice
     std::uint32_t findMshr(Addr line_addr) const;
     std::uint32_t allocMshr(Addr line_addr);
     void processRequest(MemRequest &req, Cycle now, std::uint32_t way);
-    void installLine(Addr line_addr, bool dirty, bool prefetched);
+    void installLine(Addr line_addr, bool dirty, bool prefetched,
+                     std::uint8_t pf_origin);
     void deliver(MemRequest &req);
     void schedule(Cycle ready, bool is_forward, const MemRequest &req);
 
@@ -181,6 +208,9 @@ class Cache : public MemoryDevice
     std::vector<Addr> tags_;
     /** Per-way dirty/prefetched flag bytes, parallel to tags_. */
     std::vector<std::uint8_t> meta_;
+    /** Per-way prefetch-origin bytes, parallel to tags_ (0 = none). */
+    std::vector<std::uint8_t> pf_origin_;
+    bool demote_prefetch_fills_ = false;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::deque<MemRequest> input_;
     std::deque<MemRequest> writebacks_;

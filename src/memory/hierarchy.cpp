@@ -34,7 +34,6 @@ MemoryHierarchy::wireUpperLevels(const HierarchyConfig &config)
 {
     l1i_ = std::make_unique<Cache>(config.l1i, l2_.get());
     l1d_ = std::make_unique<Cache>(config.l1d, l2_.get());
-    iprefetcher_ = makeInstrPrefetcher(config.l1i_prefetcher);
     dprefetcher_ = makeDataPrefetcher(config.l1d_prefetcher);
 
     l1i_->onComplete = [this](const MemRequest &req) {
@@ -45,11 +44,46 @@ MemoryHierarchy::wireUpperLevels(const HierarchyConfig &config)
         if (req.type == AccessType::kLoad)
             data_done_.push_back(req);
     };
-    if (iprefetcher_ != nullptr) {
-        l1i_->onAccess = [this](Addr line, AccessType, bool hit) {
-            iprefetcher_->onAccess(line, hit, now_);
-        };
-    }
+    if (auto pf = makeInstrPrefetcher(config.l1i_prefetcher))
+        installIPrefetcher(std::move(pf));
+}
+
+void
+MemoryHierarchy::installIPrefetcher(std::unique_ptr<InstrPrefetcher> pf)
+{
+    SIPRE_ASSERT(pf != nullptr, "installIPrefetcher needs a component");
+    SIPRE_ASSERT(iprefetchers_.size() < 255,
+                 "pf_origin is a uint8_t: at most 255 components");
+    iprefetchers_.push_back(std::move(pf));
+    if (iprefetchers_.size() > 1)
+        return;
+    // First component: hook the L1-I. The callbacks stay unset on an
+    // unprefetched hierarchy so iprefetcher=none runs take the exact
+    // pre-hook path.
+    l1i_->onAccess = [this](Addr line, AccessType, bool hit) {
+        for (auto &component : iprefetchers_)
+            component->onAccess(line, hit, now_);
+    };
+    l1i_->onPrefetchOutcome = [this](std::uint8_t origin,
+                                     PrefetchOutcome outcome) {
+        if (origin == 0 || origin > iprefetchers_.size())
+            return;
+        HwPrefetchCounters &c = iprefetchers_[origin - 1]->counters();
+        switch (outcome) {
+          case PrefetchOutcome::kUseful:
+            ++c.useful;
+            break;
+          case PrefetchOutcome::kLate:
+            ++c.late;
+            break;
+          case PrefetchOutcome::kPollutedEvict:
+            ++c.polluting;
+            break;
+          case PrefetchOutcome::kDemotedFill:
+            ++c.demoted_fills;
+            break;
+        }
+    };
 }
 
 ReqId
@@ -67,7 +101,7 @@ MemoryHierarchy::issueIFetch(Addr addr, Cycle now)
 }
 
 ReqId
-MemoryHierarchy::issueIPrefetch(Addr addr, Cycle now)
+MemoryHierarchy::issueIPrefetch(Addr addr, Cycle now, std::uint8_t pf_origin)
 {
     const Addr line = lineOf(addr);
     // Drop prefetches for lines already present or in flight.
@@ -78,6 +112,7 @@ MemoryHierarchy::issueIPrefetch(Addr addr, Cycle now)
     req.line_addr = line;
     req.type = AccessType::kPrefetch;
     req.core = core_id_;
+    req.pf_origin = pf_origin;
     req.issue_cycle = now;
     l1i_->enqueue(req);
     return req.id;
@@ -158,11 +193,20 @@ MemoryHierarchy::tick(Cycle now)
         l1i_->tick(now);
     }
 
-    if (iprefetcher_ != nullptr) {
-        auto &cands = iprefetcher_->candidates();
-        for (Addr line : cands)
-            issueIPrefetch(line, now);
-        cands.clear();
+    std::uint8_t origin = 0;
+    for (auto &component : iprefetchers_) {
+        ++origin;
+        if (!component->hasCandidates())
+            continue;
+        pf_scratch_.clear();
+        component->drainInto(pf_scratch_, kIssuePerTick, now);
+        HwPrefetchCounters &c = component->counters();
+        for (Addr line : pf_scratch_) {
+            if (issueIPrefetch(line, now, origin) != 0)
+                ++c.issued;
+            else
+                ++c.filtered;
+        }
     }
     if (dprefetcher_ != nullptr) {
         auto &cands = dprefetcher_->candidates();
@@ -181,8 +225,10 @@ MemoryHierarchy::nextEventCycle(Cycle now) const
     // issues loads after the hierarchy already ticked.)
     if (!ifetch_done_.empty() || !data_done_.empty())
         return now + 1;
-    if (iprefetcher_ != nullptr && !iprefetcher_->candidates().empty())
-        return now + 1;
+    for (const auto &component : iprefetchers_) {
+        if (component->hasCandidates())
+            return now + 1;
+    }
     if (dprefetcher_ != nullptr && !dprefetcher_->candidates().empty())
         return now + 1;
 

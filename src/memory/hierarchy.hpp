@@ -89,8 +89,12 @@ class MemoryHierarchy
     /** Issue a demand instruction fetch for the line containing addr. */
     ReqId issueIFetch(Addr addr, Cycle now);
 
-    /** Issue a (software or hardware) prefetch into the L1-I. */
-    ReqId issueIPrefetch(Addr addr, Cycle now);
+    /**
+     * Issue a (software or hardware) prefetch into the L1-I. pf_origin
+     * 0 is the demand/software path; hardware components are tagged
+     * 1 + their index so fill/evict outcomes route back to them.
+     */
+    ReqId issueIPrefetch(Addr addr, Cycle now, std::uint8_t pf_origin = 0);
 
     /** Completed I-fetch requests; drain and clear() each cycle. */
     std::vector<MemRequest> &ifetchCompleted() { return ifetch_done_; }
@@ -116,6 +120,30 @@ class MemoryHierarchy
      * queues — is drained.
      */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Attach a hardware instruction prefetcher component to the L1-I.
+     * Components observe every demand L1-I access and are drained once
+     * per tick (bounded to kIssuePerTick candidates per component per
+     * cycle, in installation order). Installing the first component
+     * hooks the L1-I access and prefetch-outcome callbacks; origin tags
+     * are 1 + the component's index.
+     */
+    void installIPrefetcher(std::unique_ptr<InstrPrefetcher> pf);
+
+    /** Installed L1-I prefetcher components (may be empty). */
+    std::vector<std::unique_ptr<InstrPrefetcher>> &iprefetchers()
+    {
+        return iprefetchers_;
+    }
+    const std::vector<std::unique_ptr<InstrPrefetcher>> &
+    iprefetchers() const
+    {
+        return iprefetchers_;
+    }
+
+    /** Hardware prefetch issue bandwidth, per component per cycle. */
+    static constexpr std::size_t kIssuePerTick = 8;
 
     // --- introspection ------------------------------------------------------
     Cache &l1i() { return *l1i_; }
@@ -152,8 +180,9 @@ class MemoryHierarchy
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Cache> l1i_;
     std::unique_ptr<Cache> l1d_;
-    std::unique_ptr<InstrPrefetcher> iprefetcher_;
+    std::vector<std::unique_ptr<InstrPrefetcher>> iprefetchers_;
     std::unique_ptr<DataPrefetcher> dprefetcher_;
+    std::vector<Addr> pf_scratch_; ///< per-tick drain buffer (reused)
     std::vector<MemRequest> ifetch_done_;
     std::vector<MemRequest> data_done_;
     ProfileAccumulator *profile_ = nullptr;

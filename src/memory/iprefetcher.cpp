@@ -1,5 +1,7 @@
 #include "memory/iprefetcher.hpp"
 
+#include <string>
+
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 
@@ -16,8 +18,15 @@ makeInstrPrefetcher(IPrefetcherKind kind)
         return std::make_unique<NextLinePrefetcher>();
       case IPrefetcherKind::kEipLite:
         return std::make_unique<EipLitePrefetcher>();
+      case IPrefetcherKind::kFdip:
+      case IPrefetcherKind::kMana:
+      case IPrefetcherKind::kFdipMana:
+        // Built and wired by src/hwpf/ (they need front-end hooks);
+        // the hierarchy must leave the slot empty for them.
+        return nullptr;
     }
-    panic("unknown instruction prefetcher kind");
+    panic("unknown instruction prefetcher kind " +
+          std::to_string(static_cast<unsigned>(kind)));
 }
 
 void
@@ -32,8 +41,8 @@ NextLinePrefetcher::onAccess(Addr line_addr, bool hit, Cycle)
 EipLitePrefetcher::EipLitePrefetcher(std::uint32_t table_entries,
                                      std::uint32_t history_depth,
                                      Cycle target_distance)
-    : table_(table_entries), history_(history_depth),
-      target_distance_(target_distance)
+    : InstrPrefetcher("eip"), table_(table_entries),
+      history_(history_depth), target_distance_(target_distance)
 {
     SIPRE_ASSERT(isPowerOfTwo(table_entries),
                  "entangling table size must be a power of two");

@@ -2,16 +2,27 @@
  * @file
  * Hardware instruction prefetchers attached to the L1-I.
  *
- * These serve as the hardware-prefetching baselines discussed in the
- * paper's related work: a simple next-line prefetcher and an
- * EIP-flavored entangling prefetcher (Fig. 1's "EIP" comparator).
+ * Two families live behind the same interface: the simple baselines
+ * defined here (next-line and the EIP-flavored entangling prefetcher of
+ * Fig. 1's "EIP" comparator), and the first-class prefetchers built by
+ * `src/hwpf/` (FDIP, MANA-lite, and their TLB-aware wrappers), which
+ * need front-end hooks this layer cannot see. `isHwpfManaged()` tells
+ * the hierarchy which kinds it must not construct itself.
+ *
+ * Candidate flow contract: a prefetcher emit()s line addresses into a
+ * bounded internal queue (dedup'd, capped at kMaxQueuedCandidates) and
+ * the hierarchy drains it with drainInto() once per cycle. A component
+ * that misbehaves and emits without bound loses candidates at the cap
+ * (counted in dropped_overflow) instead of growing the queue.
  */
 #ifndef SIPRE_MEMORY_IPREFETCHER_HPP
 #define SIPRE_MEMORY_IPREFETCHER_HPP
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "util/circular_buffer.hpp"
@@ -21,37 +32,160 @@ namespace sipre
 {
 
 /** Which hardware instruction prefetcher is attached to the L1-I. */
-enum class IPrefetcherKind : std::uint8_t { kNone, kNextLine, kEipLite };
+enum class IPrefetcherKind : std::uint8_t {
+    kNone,
+    kNextLine,
+    kEipLite,
+    kFdip,    ///< FTQ-directed (src/hwpf/), needs the front-end observer
+    kMana,    ///< MANA-lite record-based (src/hwpf/)
+    kFdipMana ///< FDIP + MANA-lite running side by side (src/hwpf/)
+};
 
 /**
- * L1-I prefetcher interface: observes demand accesses and fills, emits
- * candidate line addresses that the hierarchy issues as kPrefetch.
+ * True for kinds the hwpf subsystem constructs and wires (they need the
+ * FTQ observer and/or the iTLB); makeInstrPrefetcher returns null for
+ * these and the simulator installs them after the front-end exists.
+ */
+constexpr bool
+isHwpfManaged(IPrefetcherKind kind)
+{
+    return kind == IPrefetcherKind::kFdip ||
+           kind == IPrefetcherKind::kMana ||
+           kind == IPrefetcherKind::kFdipMana;
+}
+
+/** How a tracked hardware prefetch ultimately fared (Cache hook). */
+enum class PrefetchOutcome : std::uint8_t {
+    kUseful,       ///< demand hit on the prefetched line
+    kLate,         ///< demand caught the prefetch still in flight
+    kPollutedEvict,///< evicted without ever being demanded
+    kDemotedFill   ///< filled at demoted replacement priority
+};
+
+/**
+ * The standard counter block every hardware instruction prefetcher
+ * reports (surfaced in SimResult, text/JSON serialization, /metrics).
+ * accuracy = useful / issued; coverage needs the L1-I demand-miss count
+ * and is computed where both are in hand (reports, benches).
+ */
+struct HwPrefetchCounters
+{
+    std::string name;                     ///< component name ("fdip", ...)
+    std::uint64_t issued = 0;             ///< accepted into the L1-I queue
+    std::uint64_t filtered = 0;           ///< dropped at issue (present/
+                                          ///  pending line or full port)
+    std::uint64_t dropped_overflow = 0;   ///< lost at the candidate cap
+    std::uint64_t dropped_redirect = 0;   ///< dropped on an FTQ redirect
+    std::uint64_t dropped_tlb = 0;        ///< dropped: would page-walk
+    std::uint64_t deferred_tlb = 0;       ///< deferred behind a TLB walk
+    std::uint64_t useful = 0;             ///< demand hits on prefetched lines
+    std::uint64_t late = 0;               ///< demand merged into the MSHR
+    std::uint64_t polluting = 0;          ///< evicted unused
+    std::uint64_t demoted_fills = 0;      ///< fills at demoted priority
+
+    double
+    accuracy() const
+    {
+        return issued == 0 ? 0.0
+                           : static_cast<double>(useful) /
+                                 static_cast<double>(issued);
+    }
+};
+
+/**
+ * L1-I prefetcher interface: observes demand accesses, emits candidate
+ * line addresses that the hierarchy issues as kPrefetch. See the file
+ * comment for the bounded-queue contract.
  */
 class InstrPrefetcher
 {
   public:
+    /** Internal candidate-queue bound; emits past it are dropped. */
+    static constexpr std::size_t kMaxQueuedCandidates = 64;
+
+    explicit InstrPrefetcher(std::string name)
+    {
+        counters_.name = std::move(name);
+    }
     virtual ~InstrPrefetcher() = default;
 
     /** A demand I-fetch looked up `line`; `hit` is the tag outcome. */
     virtual void onAccess(Addr line_addr, bool hit, Cycle now) = 0;
 
-    /** Candidate lines to prefetch; the caller drains and clears this. */
-    std::vector<Addr> &candidates() { return candidates_; }
+    /** Any candidates waiting (drives the hierarchy's event claim)? */
+    virtual bool hasCandidates() const { return !queue_.empty(); }
+
+    /**
+     * Move up to `cap` queued candidates into `out` (appended, oldest
+     * first). Returns the number moved. `now` lets wrappers apply
+     * timing-dependent policies (TLB deferral); the base ignores it.
+     */
+    virtual std::size_t
+    drainInto(std::vector<Addr> &out, std::size_t cap, Cycle now)
+    {
+        (void)now;
+        std::size_t moved = 0;
+        while (moved < cap && !queue_.empty()) {
+            out.push_back(queue_.front());
+            queue_.pop_front();
+            ++moved;
+        }
+        return moved;
+    }
+
+    HwPrefetchCounters &counters() { return counters_; }
+    const HwPrefetchCounters &counters() const { return counters_; }
+
+    /** Zero the counters (end of warmup); queued work stays. */
+    virtual void
+    resetStats()
+    {
+        std::string name = std::move(counters_.name);
+        counters_ = HwPrefetchCounters{};
+        counters_.name = std::move(name);
+    }
 
   protected:
-    void emit(Addr line_addr) { candidates_.push_back(line_addr); }
+    /** Queue a candidate: dedup'd against queued lines, capped. */
+    void
+    emit(Addr line_addr)
+    {
+        for (Addr queued : queue_) {
+            if (queued == line_addr)
+                return;
+        }
+        if (queue_.size() >= kMaxQueuedCandidates) {
+            ++counters_.dropped_overflow;
+            return;
+        }
+        queue_.push_back(line_addr);
+    }
+
+    std::size_t queueSize() const { return queue_.size(); }
+    void clearQueue() { queue_.clear(); }
 
   private:
-    std::vector<Addr> candidates_;
+    std::deque<Addr> queue_;
+    HwPrefetchCounters counters_;
 };
 
+/**
+ * Construct a hierarchy-owned prefetcher. Null for kNone and for the
+ * hwpf-managed kinds (see isHwpfManaged); panics loudly — with the
+ * numeric value — on an enum value outside the known set, so a kind
+ * added without a construction path fails at the factory instead of
+ * silently running unprefetched.
+ */
 std::unique_ptr<InstrPrefetcher> makeInstrPrefetcher(IPrefetcherKind kind);
 
 /** Prefetch the next `degree` sequential lines on every demand miss. */
 class NextLinePrefetcher : public InstrPrefetcher
 {
   public:
-    explicit NextLinePrefetcher(unsigned degree = 2) : degree_(degree) {}
+    explicit NextLinePrefetcher(unsigned degree = 2)
+        : InstrPrefetcher("nextline"), degree_(degree)
+    {
+    }
     void onAccess(Addr line_addr, bool hit, Cycle now) override;
 
   private:

@@ -45,6 +45,14 @@ LruPolicy::onHit(std::uint32_t set, std::uint32_t way)
     touch(set, way);
 }
 
+void
+LruPolicy::onInsertDemoted(std::uint32_t set, std::uint32_t way)
+{
+    // Stamp 0 predates every touch, so the line is next to evict until
+    // a demand hit promotes it.
+    stamps_[std::size_t{set} * ways_ + way] = 0;
+}
+
 std::uint32_t
 LruPolicy::victim(std::uint32_t set)
 {
@@ -121,6 +129,14 @@ DrripPolicy::onHit(std::uint32_t set, std::uint32_t way)
     rrpv_[std::size_t{set} * ways_ + way] = 0;
 }
 
+void
+DrripPolicy::onInsertDemoted(std::uint32_t set, std::uint32_t way)
+{
+    // Distant re-reference prediction, bypassing the set-dueling PSEL
+    // update: a demoted prefetch fill should not vote on policy.
+    rrpv_[std::size_t{set} * ways_ + way] = kMaxRrpv;
+}
+
 std::uint32_t
 DrripPolicy::victim(std::uint32_t set)
 {
@@ -149,6 +165,12 @@ void
 SrripPolicy::onHit(std::uint32_t set, std::uint32_t way)
 {
     rrpv_[std::size_t{set} * ways_ + way] = 0;
+}
+
+void
+SrripPolicy::onInsertDemoted(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[std::size_t{set} * ways_ + way] = kMaxRrpv;
 }
 
 std::uint32_t

@@ -33,6 +33,18 @@ class ReplacementPolicy
     /** A line at (set, way) was hit by a demand access. */
     virtual void onHit(std::uint32_t set, std::uint32_t way) = 0;
 
+    /**
+     * A line was installed at demoted priority (TLB/cache-management-
+     * aware prefetching inserts prefetches as next-to-evict so a wrong
+     * guess costs little). Defaults to a normal fill for policies with
+     * no notion of insertion age.
+     */
+    virtual void
+    onInsertDemoted(std::uint32_t set, std::uint32_t way)
+    {
+        onFill(set, way);
+    }
+
     /** Choose the victim way in a full set. */
     virtual std::uint32_t victim(std::uint32_t set) = 0;
 };
@@ -49,6 +61,7 @@ class LruPolicy : public ReplacementPolicy
     LruPolicy(std::uint32_t sets, std::uint32_t ways);
     void onFill(std::uint32_t set, std::uint32_t way) override;
     void onHit(std::uint32_t set, std::uint32_t way) override;
+    void onInsertDemoted(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
 
   private:
@@ -84,6 +97,7 @@ class DrripPolicy : public ReplacementPolicy
                 std::uint64_t seed);
     void onFill(std::uint32_t set, std::uint32_t way) override;
     void onHit(std::uint32_t set, std::uint32_t way) override;
+    void onInsertDemoted(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
 
   private:
@@ -108,6 +122,7 @@ class SrripPolicy : public ReplacementPolicy
     SrripPolicy(std::uint32_t sets, std::uint32_t ways);
     void onFill(std::uint32_t set, std::uint32_t way) override;
     void onHit(std::uint32_t set, std::uint32_t way) override;
+    void onInsertDemoted(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
 
   private:

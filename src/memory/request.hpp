@@ -47,6 +47,14 @@ struct MemRequest
     Addr line_addr = 0;           ///< line-aligned address
     AccessType type = AccessType::kIFetch;
     std::uint8_t core = 0;        ///< issuing core (0 in single-core runs)
+    /**
+     * Which hardware-prefetcher component issued this kPrefetch: 0 for
+     * demand accesses and software prefetches, 1-based component index
+     * otherwise (see MemoryHierarchy::installIPrefetcher). Carried into
+     * the MSHR and the filled line so usefulness/lateness/pollution can
+     * be attributed back to the component.
+     */
+    std::uint8_t pf_origin = 0;
     Cycle issue_cycle = 0;        ///< cycle enqueued at the first level
     Cycle complete_cycle = 0;     ///< filled in at completion
     ServedBy served_by = ServedBy::kUnknown;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "hwpf/builder.hpp"
 #include "multicore/event_heap.hpp"
 #include "util/logging.hpp"
 
@@ -91,6 +92,21 @@ mergeInto(BtbStats &into, const BtbStats &from)
     into.evictions += from.evictions;
 }
 
+void
+mergeInto(HwPrefetchCounters &into, const HwPrefetchCounters &from)
+{
+    into.issued += from.issued;
+    into.filtered += from.filtered;
+    into.dropped_overflow += from.dropped_overflow;
+    into.dropped_redirect += from.dropped_redirect;
+    into.dropped_tlb += from.dropped_tlb;
+    into.deferred_tlb += from.deferred_tlb;
+    into.useful += from.useful;
+    into.late += from.late;
+    into.polluting += from.polluting;
+    into.demoted_fills += from.demoted_fills;
+}
+
 } // namespace
 
 MultiCoreSimulator::MultiCoreSimulator(
@@ -117,6 +133,22 @@ MultiCoreSimulator::MultiCoreSimulator(
             *core->decode_queue);
         core->backend = std::make_unique<Backend>(
             config_.backend, *traces[i], *core->memory, *core->decode_queue);
+        // Same hwpf wiring as the single-core Simulator: the managed
+        // kinds need this core's front-end, so they are built here
+        // rather than in the hierarchy factory.
+        auto built = hwpf::buildPrefetchers(config_.memory.l1i_prefetcher);
+        if (!built.components.empty()) {
+            if (built.ftq_observer != nullptr) {
+                core->frontend->setFtqObserver(
+                    built.ftq_observer, built.fdip_lookahead_blocks,
+                    built.fdip_walk_blocks_per_cycle);
+            }
+            for (auto *wrapper : built.tlb_aware)
+                wrapper->setTlb(core->frontend->itlb());
+            core->memory->l1i().setDemotePrefetchFills(built.demote_fills);
+            for (auto &pf : built.components)
+                core->memory->installIPrefetcher(std::move(pf));
+        }
         core->total = traces[i]->size();
         core->warmup = static_cast<std::uint64_t>(
             static_cast<double>(core->total) * config_.warmup_fraction);
@@ -309,6 +341,8 @@ MultiCoreSimulator::run()
                 core.memory->l1i().resetStats();
                 core.memory->l1d().resetStats();
                 core.memory->l2().resetStats();
+                for (auto &pf : core.memory->iprefetchers())
+                    pf->resetStats();
                 bool all_warm = true;
                 for (const auto &other : cores_)
                     all_warm = all_warm && other->warm;
@@ -376,6 +410,14 @@ MultiCoreSimulator::run()
         mergeInto(agg.l1i, r.l1i);
         mergeInto(agg.l1d, r.l1d);
         mergeInto(agg.l2, r.l2);
+        // Every core runs the same prefetcher configuration, so the
+        // component lists line up index-for-index.
+        if (agg.hwpf.empty()) {
+            agg.hwpf = r.hwpf;
+        } else {
+            for (std::size_t c = 0; c < agg.hwpf.size(); ++c)
+                mergeInto(agg.hwpf[c], r.hwpf[c]);
+        }
     }
     // The per-core llc fields all duplicate the shared LLC; summing
     // them would count it n times, so the aggregate takes it verbatim.
@@ -413,6 +455,8 @@ MultiCoreSimulator::collectCore(const Core &core) const
     result.l1d = core.memory->l1d().stats();
     result.l2 = core.memory->l2().stats();
     result.llc = controller_->llc().stats();
+    for (const auto &pf : core.memory->iprefetchers())
+        result.hwpf.push_back(pf->counters());
     result.scenario_timeline = core.frontend->scenarioTimeline();
     return result;
 }

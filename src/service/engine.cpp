@@ -408,6 +408,31 @@ SimulationEngine::workerLoop()
                     }
                     mc_dram_depth_.merge(sm.dram_queue_depth);
                 }
+                if (!result->hwpf.empty()) {
+                    ++hwpf_runs_;
+                    for (const HwPrefetchCounters &c : result->hwpf) {
+                        HwPrefetchCounters *slot = nullptr;
+                        for (HwPrefetchCounters &acc : hwpf_) {
+                            if (acc.name == c.name)
+                                slot = &acc;
+                        }
+                        if (slot == nullptr) {
+                            hwpf_.emplace_back();
+                            hwpf_.back().name = c.name;
+                            slot = &hwpf_.back();
+                        }
+                        slot->issued += c.issued;
+                        slot->filtered += c.filtered;
+                        slot->dropped_overflow += c.dropped_overflow;
+                        slot->dropped_redirect += c.dropped_redirect;
+                        slot->dropped_tlb += c.dropped_tlb;
+                        slot->deferred_tlb += c.deferred_tlb;
+                        slot->useful += c.useful;
+                        slot->late += c.late;
+                        slot->polluting += c.polluting;
+                        slot->demoted_fills += c.demoted_fills;
+                    }
+                }
                 cache_.put(job->key, result);
             } else {
                 ++failures_;
@@ -474,6 +499,8 @@ SimulationEngine::stats() const
     s.cache_entries = cache_.size();
     s.cache_capacity = cache_.capacity();
     s.multicore_runs = multicore_runs_;
+    s.hwpf_runs = hwpf_runs_;
+    s.hwpf = hwpf_;
     s.mc_llc_core_hits = mc_llc_hits_;
     s.mc_llc_core_misses = mc_llc_misses_;
     s.mc_dram_depth_count = mc_dram_depth_.total();

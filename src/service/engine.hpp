@@ -110,6 +110,14 @@ struct EngineStats
     std::uint64_t mc_dram_depth_p90 = 0;
     std::uint64_t mc_dram_depth_p99 = 0;
 
+    // Hardware instruction-prefetcher counters, accumulated by
+    // component name over every fresh run that had one installed
+    // (cache-tier hits contribute nothing new). Empty until the first
+    // such run, so /metrics emits no hwpf series on an engine that
+    // never prefetched.
+    std::uint64_t hwpf_runs = 0;
+    std::vector<HwPrefetchCounters> hwpf;
+
     // Latency of completed (kOk) requests, microseconds. The
     // percentiles are log2-bucket upper bounds (next power of two), so
     // they stay meaningful from microsecond cache hits up to
@@ -234,6 +242,11 @@ class SimulationEngine
     std::vector<std::uint64_t> mc_llc_hits_;
     std::vector<std::uint64_t> mc_llc_misses_;
     Log2Histogram mc_dram_depth_;
+
+    // Hardware-prefetcher accumulators (guarded by mutex_), keyed by
+    // component name, fed by every fresh run's hwpf section.
+    std::uint64_t hwpf_runs_ = 0;
+    std::vector<HwPrefetchCounters> hwpf_;
 
     std::vector<std::thread> workers_;
 

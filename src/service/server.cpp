@@ -459,6 +459,46 @@ ServiceServer::handleMetrics() const
              << "sipre_multicore_dram_queue_depth{quantile=\"0.99\"} "
              << stats.mc_dram_depth_p99 << "\n";
     }
+    // Hardware instruction prefetching: per-component candidate-flow
+    // and outcome counters, accumulated over every fresh run with a
+    // prefetcher installed. Emitted only once such a run has happened
+    // so unprefetched deployments keep a clean scrape.
+    if (stats.hwpf_runs > 0) {
+        body << "# TYPE sipre_hwpf_runs_total counter\n"
+             << "sipre_hwpf_runs_total " << stats.hwpf_runs << "\n"
+             << "# TYPE sipre_hwpf_prefetches_total counter\n";
+        for (const HwPrefetchCounters &c : stats.hwpf) {
+            body << "sipre_hwpf_prefetches_total{component=\"" << c.name
+                 << "\",outcome=\"issued\"} " << c.issued << "\n"
+                 << "sipre_hwpf_prefetches_total{component=\"" << c.name
+                 << "\",outcome=\"filtered\"} " << c.filtered << "\n"
+                 << "sipre_hwpf_prefetches_total{component=\"" << c.name
+                 << "\",outcome=\"useful\"} " << c.useful << "\n"
+                 << "sipre_hwpf_prefetches_total{component=\"" << c.name
+                 << "\",outcome=\"late\"} " << c.late << "\n"
+                 << "sipre_hwpf_prefetches_total{component=\"" << c.name
+                 << "\",outcome=\"polluting\"} " << c.polluting << "\n";
+        }
+        body << "# TYPE sipre_hwpf_drops_total counter\n";
+        for (const HwPrefetchCounters &c : stats.hwpf) {
+            body << "sipre_hwpf_drops_total{component=\"" << c.name
+                 << "\",reason=\"overflow\"} " << c.dropped_overflow
+                 << "\n"
+                 << "sipre_hwpf_drops_total{component=\"" << c.name
+                 << "\",reason=\"redirect\"} " << c.dropped_redirect
+                 << "\n"
+                 << "sipre_hwpf_drops_total{component=\"" << c.name
+                 << "\",reason=\"tlb\"} " << c.dropped_tlb << "\n";
+        }
+        body << "# TYPE sipre_hwpf_deferred_total counter\n"
+             << "# TYPE sipre_hwpf_demoted_fills_total counter\n";
+        for (const HwPrefetchCounters &c : stats.hwpf) {
+            body << "sipre_hwpf_deferred_total{component=\"" << c.name
+                 << "\"} " << c.deferred_tlb << "\n"
+                 << "sipre_hwpf_demoted_fills_total{component=\"" << c.name
+                 << "\"} " << c.demoted_fills << "\n";
+        }
+    }
     for (const auto &provider : metrics_providers_)
         body << provider();
     // Accounts for every injected fault; empty when injection is off.

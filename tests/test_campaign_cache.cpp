@@ -64,6 +64,57 @@ TEST(CampaignCache, RoundTripIsFieldExact)
         expectRecordsIdentical(computed.workloads[i], loaded.workloads[i]);
 }
 
+// The hwpf counter section is written only when a run had hardware
+// prefetchers installed (byte-identity for `none` runs), and must
+// round-trip field-exactly when present — including through an old
+// reader's perspective: a result without the section parses the same
+// as before the section existed.
+TEST(CampaignCache, HwpfSectionRoundTripsAndStaysOptional)
+{
+    SimResult result;
+    result.workload = "secret_srv12";
+    result.config_label = "industry-ftq24";
+    result.instructions = 1000;
+    result.effective_instructions = 1000;
+    result.cycles = 2000;
+
+    // No prefetchers ran: the serialized text must not mention hwpf.
+    std::stringstream none;
+    writeSimResultText(none, result);
+    EXPECT_EQ(none.str().find("hwpf"), std::string::npos);
+    SimResult none_back;
+    ASSERT_TRUE(readSimResultText(none, none_back));
+    EXPECT_EQ(diffSimResults(result, none_back), "");
+
+    // Two components with every counter populated.
+    HwPrefetchCounters fdip;
+    fdip.name = "fdip";
+    fdip.issued = 100;
+    fdip.filtered = 7;
+    fdip.dropped_overflow = 3;
+    fdip.dropped_redirect = 21;
+    fdip.dropped_tlb = 4;
+    fdip.deferred_tlb = 2;
+    fdip.useful = 60;
+    fdip.late = 11;
+    fdip.polluting = 9;
+    fdip.demoted_fills = 90;
+    HwPrefetchCounters mana;
+    mana.name = "mana";
+    mana.issued = 55;
+    mana.useful = 20;
+    result.hwpf = {fdip, mana};
+
+    std::stringstream ss;
+    writeSimResultText(ss, result);
+    SimResult back;
+    ASSERT_TRUE(readSimResultText(ss, back));
+    EXPECT_EQ(diffSimResults(result, back), "");
+    ASSERT_EQ(back.hwpf.size(), 2u);
+    EXPECT_EQ(back.hwpf[0].dropped_redirect, 21u);
+    EXPECT_EQ(back.hwpf[1].name, "mana");
+}
+
 TEST(CampaignCache, MissingFileFailsToLoad)
 {
     CampaignOptions options = tinyOptions(::testing::TempDir());

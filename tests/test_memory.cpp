@@ -520,16 +520,29 @@ TEST(Hierarchy, LlcAccessLatencyMatchesConfig)
 
 // ------------------------------------------------------- HW I-prefetchers
 
+namespace
+{
+/** Pull every queued candidate out of a prefetcher. */
+std::vector<Addr>
+drainAll(InstrPrefetcher &pf, Cycle now = 0)
+{
+    std::vector<Addr> out;
+    while (pf.hasCandidates())
+        pf.drainInto(out, InstrPrefetcher::kMaxQueuedCandidates, now);
+    return out;
+}
+} // namespace
+
 TEST(NextLine, EmitsSequentialCandidatesOnMiss)
 {
     NextLinePrefetcher pf(2);
     pf.onAccess(0x1000, /*hit=*/false, 0);
-    ASSERT_EQ(pf.candidates().size(), 2u);
-    EXPECT_EQ(pf.candidates()[0], 0x1040u);
-    EXPECT_EQ(pf.candidates()[1], 0x1080u);
-    pf.candidates().clear();
+    const std::vector<Addr> cands = drainAll(pf);
+    ASSERT_EQ(cands.size(), 2u);
+    EXPECT_EQ(cands[0], 0x1040u);
+    EXPECT_EQ(cands[1], 0x1080u);
     pf.onAccess(0x2000, /*hit=*/true, 1);
-    EXPECT_TRUE(pf.candidates().empty());
+    EXPECT_FALSE(pf.hasCandidates());
 }
 
 TEST(EipLite, LearnsRecurringMissPattern)
@@ -539,14 +552,14 @@ TEST(EipLite, LearnsRecurringMissPattern)
     for (int round = 0; round < 5; ++round) {
         const Cycle base = static_cast<Cycle>(round) * 100;
         pf.onAccess(0xA000, true, base);
-        pf.candidates().clear();
+        drainAll(pf);
         pf.onAccess(0xB000, false, base + 20);
-        pf.candidates().clear();
+        drainAll(pf);
     }
     // Next access to the trigger should prefetch B.
     pf.onAccess(0xA000, true, 1000);
     bool found = false;
-    for (Addr line : pf.candidates())
+    for (Addr line : drainAll(pf))
         found |= line == 0xB000;
     EXPECT_TRUE(found);
 }
@@ -556,6 +569,121 @@ TEST(IPrefetcherFactory, Kinds)
     EXPECT_EQ(makeInstrPrefetcher(IPrefetcherKind::kNone), nullptr);
     EXPECT_NE(makeInstrPrefetcher(IPrefetcherKind::kNextLine), nullptr);
     EXPECT_NE(makeInstrPrefetcher(IPrefetcherKind::kEipLite), nullptr);
+    // The hwpf-managed kinds are built by src/hwpf/, not the factory.
+    EXPECT_EQ(makeInstrPrefetcher(IPrefetcherKind::kFdip), nullptr);
+    EXPECT_EQ(makeInstrPrefetcher(IPrefetcherKind::kMana), nullptr);
+    EXPECT_EQ(makeInstrPrefetcher(IPrefetcherKind::kFdipMana), nullptr);
+}
+
+TEST(IPrefetcherFactory, PanicsOnUnknownKind)
+{
+    EXPECT_DEATH(
+        {
+            makeInstrPrefetcher(static_cast<IPrefetcherKind>(0xEE));
+        },
+        "unknown instruction prefetcher kind 238");
+}
+
+TEST(InstrPrefetcher, QueueIsBoundedAndDeduped)
+{
+    // A misbehaving prefetcher that emits without bound on every access.
+    class Firehose : public InstrPrefetcher
+    {
+      public:
+        Firehose() : InstrPrefetcher("firehose") {}
+        void
+        onAccess(Addr line, bool, Cycle) override
+        {
+            for (Addr i = 0; i < 1000; ++i)
+                emit(line + i * 64);
+        }
+    };
+    Firehose pf;
+    pf.onAccess(0x10000, false, 0);
+    pf.onAccess(0x10000, false, 1); // duplicates: must not grow anything
+    const std::vector<Addr> drained = drainAll(pf);
+    EXPECT_EQ(drained.size(), InstrPrefetcher::kMaxQueuedCandidates);
+    // 2000 emits, 64 queued, 64 were duplicates of queued lines.
+    EXPECT_EQ(pf.counters().dropped_overflow,
+              2000u - 2 * InstrPrefetcher::kMaxQueuedCandidates);
+    EXPECT_FALSE(pf.hasCandidates());
+}
+
+TEST(InstrPrefetcher, DrainIntoRespectsCap)
+{
+    NextLinePrefetcher pf(8);
+    pf.onAccess(0x1000, false, 0);
+    std::vector<Addr> out;
+    EXPECT_EQ(pf.drainInto(out, 3, 0), 3u);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 0x1040u);
+    EXPECT_TRUE(pf.hasCandidates()) << "remaining candidates stay queued";
+    EXPECT_EQ(pf.drainInto(out, 100, 0), 5u);
+    EXPECT_FALSE(pf.hasCandidates());
+}
+
+TEST(Hierarchy, PrefetchUsefulnessAccounting)
+{
+    // Next-line prefetcher on the L1-I: a miss on line A prefetches
+    // A+1/A+2; a later demand fetch of A+1 must count the prefetch as
+    // useful and route the outcome to the component's counter block.
+    HierarchyConfig config;
+    config.l1i_prefetcher = IPrefetcherKind::kNextLine;
+    MemoryHierarchy mem{config};
+    ASSERT_EQ(mem.iprefetchers().size(), 1u);
+
+    mem.issueIFetch(0x40000, 0);
+    bool fetch_done = false;
+    Cycle c = 0;
+    for (; c < 2000 && !fetch_done; ++c) {
+        mem.tick(c);
+        fetch_done = !mem.ifetchCompleted().empty();
+        mem.ifetchCompleted().clear();
+    }
+    // Let the prefetches issue and fill.
+    for (Cycle stop = c + 1000; c < stop; ++c)
+        mem.tick(c);
+
+    const HwPrefetchCounters &counters = mem.iprefetchers()[0]->counters();
+    EXPECT_EQ(counters.name, "nextline");
+    EXPECT_EQ(counters.issued, 2u);
+    EXPECT_EQ(counters.useful, 0u);
+
+    // Demand-fetch a prefetched line: useful.
+    mem.issueIFetch(0x40040, c);
+    for (Cycle stop = c + 100; c < stop; ++c) {
+        mem.tick(c);
+        mem.ifetchCompleted().clear();
+    }
+    EXPECT_EQ(counters.useful, 1u);
+    EXPECT_EQ(counters.late, 0u);
+    EXPECT_EQ(counters.accuracy(), 0.5);
+}
+
+TEST(Hierarchy, LatePrefetchAccounting)
+{
+    // A demand fetch that catches its prefetch still in flight counts
+    // as late, not useful.
+    HierarchyConfig config;
+    config.l1i_prefetcher = IPrefetcherKind::kNextLine;
+    MemoryHierarchy mem{config};
+    ASSERT_EQ(mem.iprefetchers().size(), 1u);
+
+    mem.issueIFetch(0x80000, 0);
+    // Tick just far enough for the miss to register and the prefetches
+    // to issue, then immediately demand the prefetched line.
+    for (Cycle c = 0; c < 3; ++c) {
+        mem.tick(c);
+        mem.ifetchCompleted().clear();
+    }
+    mem.issueIFetch(0x80040, 3);
+    for (Cycle c = 3; c < 2000; ++c) {
+        mem.tick(c);
+        mem.ifetchCompleted().clear();
+    }
+    const HwPrefetchCounters &counters = mem.iprefetchers()[0]->counters();
+    EXPECT_EQ(counters.late, 1u);
+    EXPECT_EQ(counters.useful, 0u);
 }
 
 } // namespace

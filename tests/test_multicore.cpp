@@ -179,6 +179,23 @@ TEST_F(MultiCoreDifferential, Cores1FeatureCombinations)
     }
 }
 
+// The hwpf-managed prefetchers wire through per-core attachment points
+// (FTQ observer, iTLB, L1-I install); every kind must be bit-identical
+// between the single-core Simulator and the cores=1 multi-core path.
+TEST_F(MultiCoreDifferential, Cores1HwpfPrefetchersMatchSingleCore)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    for (const auto kind :
+         {IPrefetcherKind::kFdip, IPrefetcherKind::kMana,
+          IPrefetcherKind::kFdipMana}) {
+        SimConfig config = SimConfig::industry();
+        config.frontend.itlb = true; // arm the TLB-aware wrapper
+        config.memory.l1i_prefetcher = kind;
+        expectSameAsSingleCore(config, trace);
+    }
+}
+
 std::vector<Trace>
 makeMixTraces(std::size_t cores)
 {
@@ -244,6 +261,31 @@ TEST_F(MultiCoreDifferential, TwoCoreSkipMatchesReferenceLoop)
     ::unsetenv("SIPRE_NO_SKIP");
 
     EXPECT_EQ(diffSimResults(ref, ffw), "");
+}
+
+// Same heap-vs-loop check with the combined FDIP+MANA configuration:
+// the run-ahead walk's event claims and the prefetch drains must not
+// perturb the multi-core scheduler at cores>1 either.
+TEST_F(MultiCoreDifferential, TwoCoreSkipMatchesReferenceWithFdipMana)
+{
+    const auto traces = makeMixTraces(2);
+    SimConfig config = SimConfig::industry();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kFdipMana;
+    config.frontend.itlb = true;
+
+    config.fast_forward = true;
+    const SimResult ffw = runMix(config, traces);
+
+    ::setenv("SIPRE_NO_SKIP", "1", 1);
+    const SimResult ref = runMix(config, traces);
+    ::unsetenv("SIPRE_NO_SKIP");
+
+    EXPECT_EQ(diffSimResults(ref, ffw), "");
+    // Both cores ran the same two-component configuration, so the
+    // aggregate carries the merged fdip+mana counter blocks.
+    ASSERT_EQ(ffw.hwpf.size(), 2u);
+    EXPECT_EQ(ffw.hwpf[0].name, "fdip");
+    EXPECT_EQ(ffw.hwpf[1].name, "mana");
 }
 
 // Structural invariants of the arbitrated controller: at cores=1 the

@@ -58,7 +58,8 @@ TEST(ServiceRequest, OptionNamesRoundTripThroughParse)
         EXPECT_EQ(parsePredictor(predictorName(kind)), kind);
     for (const auto kind :
          {IPrefetcherKind::kNone, IPrefetcherKind::kNextLine,
-          IPrefetcherKind::kEipLite})
+          IPrefetcherKind::kEipLite, IPrefetcherKind::kFdip,
+          IPrefetcherKind::kMana, IPrefetcherKind::kFdipMana})
         EXPECT_EQ(parseHwPrefetcher(hwPrefetcherName(kind)), kind);
 }
 

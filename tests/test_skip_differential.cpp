@@ -187,6 +187,48 @@ TEST_F(SkipDifferential, EipLitePrefetcherWithStridePrefetcher)
     expectIdentical(config, trace);
 }
 
+// The hwpf-managed prefetchers (src/hwpf/) ride the front-end's
+// run-ahead walk and the iTLB, both of which interact with the skip
+// loop's event claims — each kind must stay bit-identical, with and
+// without the iTLB the TLB-aware wrapper probes.
+TEST_F(SkipDifferential, FdipPrefetcher)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kFdip;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, FdipPrefetcherWithItlb)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kFdip;
+    config.frontend.itlb = true; // arms the TLB-aware wrapper's filter
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, ManaPrefetcher)
+{
+    const Trace trace =
+        makeTrace("secret_int_124", synth::Archetype::kInteger, 120'000);
+    SimConfig config = SimConfig::industry();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kMana;
+    expectIdentical(config, trace);
+}
+
+TEST_F(SkipDifferential, FdipManaCombinedConservativeFtq)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    SimConfig config = SimConfig::conservative();
+    config.memory.l1i_prefetcher = IPrefetcherKind::kFdipMana;
+    config.frontend.itlb = true;
+    expectIdentical(config, trace);
+}
+
 TEST_F(SkipDifferential, SingleEntryFtq)
 {
     const Trace trace =
