@@ -225,8 +225,15 @@ JobHttpHandler::metricsText() const
          << "\n"
          << "# TYPE sipre_job_shards_cached_total counter\n"
          << "sipre_job_shards_cached_total " << stats.shards_cached
-         << "\n"
-         << "# TYPE sipre_jobs_active gauge\n"
+         << "\n";
+    // Only a cluster-mode daemon can proxy shards; keep the
+    // single-node /metrics surface byte-identical by omitting the
+    // counter until it first ticks.
+    if (stats.shards_proxied > 0)
+        body << "# TYPE sipre_job_shards_proxied_total counter\n"
+             << "sipre_job_shards_proxied_total "
+             << stats.shards_proxied << "\n";
+    body << "# TYPE sipre_jobs_active gauge\n"
          << "sipre_jobs_active " << stats.jobs_active << "\n"
          << "# TYPE sipre_jobs_known gauge\n"
          << "sipre_jobs_known " << stats.jobs_total << "\n"

@@ -265,6 +265,8 @@ JobManager::executorLoop()
             ++shards_done_;
             if (shard.cached)
                 ++shards_cached_;
+            if (outcome.proxied)
+                ++shards_proxied_;
             shard_latency_stat_.add(outcome.latency_us);
             shard_latency_hist_.add(
                 static_cast<std::uint64_t>(outcome.latency_us));
@@ -435,6 +437,7 @@ JobManager::stats() const
     s.shards_done = shards_done_;
     s.shards_failed = shards_failed_;
     s.shards_cached = shards_cached_;
+    s.shards_proxied = shards_proxied_;
     s.jobs_total = jobs_.size();
     for (const auto &[id, entry] : jobs_) {
         if (!jobStateIsTerminal(entry->record.state))

@@ -112,6 +112,7 @@ struct JobManagerStats
     std::uint64_t shards_done = 0;    ///< successful shard completions
     std::uint64_t shards_failed = 0;
     std::uint64_t shards_cached = 0;  ///< of shards_done, cache-served
+    std::uint64_t shards_proxied = 0; ///< of shards_done, peer-executed
     std::size_t jobs_active = 0;      ///< non-terminal jobs (gauge)
     std::size_t jobs_total = 0;       ///< jobs known (gauge)
 
@@ -225,6 +226,7 @@ class JobManager
     std::uint64_t shards_done_ = 0;
     std::uint64_t shards_failed_ = 0;
     std::uint64_t shards_cached_ = 0;
+    std::uint64_t shards_proxied_ = 0;
     Log2Histogram shard_latency_hist_;
     RunningStat shard_latency_stat_;
 

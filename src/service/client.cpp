@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
+#include <time.h>
 #include <unistd.h>
 
 #include "util/rng.hpp"
@@ -12,27 +14,54 @@
 namespace sipre::service
 {
 
+std::uint64_t
+parseRetryAfterMs(const std::string &value, std::time_t now)
+{
+    if (value.empty())
+        return 0;
+    // Delta-seconds form: all digits.
+    bool digits = true;
+    for (const char c : value)
+        digits = digits && std::isdigit(static_cast<unsigned char>(c));
+    if (digits) {
+        std::uint64_t seconds = 0;
+        for (const char c : value) {
+            seconds = seconds * 10 + static_cast<std::uint64_t>(c - '0');
+            if (seconds > 3600) {
+                seconds = 3600; // cap absurd server hints at an hour
+                break;
+            }
+        }
+        return seconds * 1000;
+    }
+    // HTTP-date form (IMF-fixdate, RFC 9110 §5.6.7). strptime leaves
+    // unset fields alone, so start from a zeroed tm; timegm interprets
+    // the result as UTC, which is what the mandatory "GMT" means.
+    struct tm parsed {};
+    const char *rest =
+        ::strptime(value.c_str(), "%a, %d %b %Y %H:%M:%S GMT", &parsed);
+    if (rest == nullptr || *rest != '\0')
+        return 0;
+    const std::time_t when = ::timegm(&parsed);
+    if (when == static_cast<std::time_t>(-1) || when <= now)
+        return 0;
+    const auto delta = static_cast<std::uint64_t>(when - now);
+    return std::min<std::uint64_t>(delta, 3600) * 1000;
+}
+
 namespace
 {
 
-/** Retry-After in milliseconds, 0 when absent/non-numeric. */
+/** Retry-After in milliseconds, 0 when absent/unparseable. */
 std::uint64_t
 retryAfterMs(const http::Response *response)
 {
     if (response == nullptr)
         return 0;
     const std::string *value = response->header("Retry-After");
-    if (value == nullptr || value->empty())
+    if (value == nullptr)
         return 0;
-    std::uint64_t seconds = 0;
-    for (const char c : *value) {
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            return 0; // HTTP-date form: ignore, fall back to backoff
-        seconds = seconds * 10 + static_cast<std::uint64_t>(c - '0');
-        if (seconds > 3600)
-            break;
-    }
-    return seconds * 1000;
+    return parseRetryAfterMs(*value, std::time(nullptr));
 }
 
 } // namespace
@@ -59,9 +88,31 @@ requestWithRetry(const std::string &host, std::uint16_t port,
                  const http::Request &request,
                  const RetryPolicy &policy)
 {
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed_ms = [&start] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+    };
+
     ClientOutcome outcome;
     const unsigned attempts = std::max(1u, policy.max_attempts);
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        // Clamp the per-attempt timeout to the remaining deadline
+        // budget, so the last attempt cannot blow past it.
+        int timeout_ms = policy.request_timeout_ms;
+        if (policy.total_deadline_ms > 0) {
+            const std::uint64_t elapsed = elapsed_ms();
+            if (attempt > 1 && elapsed >= policy.total_deadline_ms)
+                return outcome; // budget spent: last outcome stands
+            const std::uint64_t left = policy.total_deadline_ms - elapsed;
+            if (timeout_ms < 0 ||
+                static_cast<std::uint64_t>(timeout_ms) > left)
+                timeout_ms = static_cast<int>(std::max<std::uint64_t>(
+                    left, 1));
+        }
+
         outcome.attempts = attempt;
         outcome.response = http::Response{};
         std::string error;
@@ -70,7 +121,7 @@ requestWithRetry(const std::string &host, std::uint16_t port,
         if (fd >= 0) {
             got_response =
                 http::roundTrip(fd, request, outcome.response, &error,
-                                policy.request_timeout_ms);
+                                timeout_ms);
             ::close(fd);
         }
         outcome.ok = got_response;
@@ -82,6 +133,9 @@ requestWithRetry(const std::string &host, std::uint16_t port,
             return outcome; // last word: the 429/503/error as-is
         const std::uint64_t delay = policy.backoffMs(
             attempt, got_response ? &outcome.response : nullptr);
+        if (policy.total_deadline_ms > 0 &&
+            elapsed_ms() + delay >= policy.total_deadline_ms)
+            return outcome; // a sleep would overrun the budget
         if (delay > 0)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay));

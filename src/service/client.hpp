@@ -11,6 +11,7 @@
 #define SIPRE_SERVICE_CLIENT_HPP
 
 #include <cstdint>
+#include <ctime>
 #include <string>
 
 #include "service/http.hpp"
@@ -32,10 +33,21 @@ struct RetryPolicy
     int request_timeout_ms = 30'000;  ///< per-attempt deadline; -1 none
 
     /**
+     * Wall-clock budget (ms) for the whole requestWithRetry() call —
+     * attempts plus backoff sleeps. 0 means unbounded (attempt count
+     * is then the only limit). With a budget, no retry sleep starts
+     * that would overrun it, and each attempt's request timeout is
+     * clamped to the time remaining, so callers with their own
+     * deadline (the cluster tier's failover walk) get the connection
+     * back in time to try the next candidate.
+     */
+    std::uint64_t total_deadline_ms = 0;
+
+    /**
      * Delay before the retry that follows `attempt` (1-based): the
      * jittered, capped exponential — raised to the server's
-     * Retry-After (seconds, from `response`) when that is larger,
-     * still capped at max_delay_ms.
+     * Retry-After (delta-seconds or HTTP-date, from `response`) when
+     * that is larger, still capped at max_delay_ms.
      */
     std::uint64_t backoffMs(unsigned attempt,
                             const http::Response *response) const;
@@ -64,11 +76,21 @@ struct ClientOutcome
 };
 
 /**
+ * A Retry-After header value in milliseconds, relative to `now`.
+ * Understands both RFC 9110 forms: delta-seconds ("120") and the
+ * IMF-fixdate HTTP-date ("Fri, 08 Aug 2026 17:30:00 GMT" — a date at
+ * or before `now` yields 0). Returns 0 for absent or unparseable
+ * values. `now` is a parameter so tests can pin the clock.
+ */
+std::uint64_t parseRetryAfterMs(const std::string &value, std::time_t now);
+
+/**
  * Dial host:port and exchange one request/response, retrying (fresh
  * connection each time) on transport failure, timeout, 429, and 503
  * according to `policy`. Never throws; a definite outcome is always
  * returned — the request is either answered or reported failed, not
- * silently lost.
+ * silently lost. A nonzero policy.total_deadline_ms additionally bounds
+ * the whole call in wall-clock time.
  */
 ClientOutcome requestWithRetry(const std::string &host,
                                std::uint16_t port,

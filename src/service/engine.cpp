@@ -257,13 +257,14 @@ SimulationEngine::waitForJob(const std::shared_ptr<Job> &job, bool coalesced,
     }
     outcome.status = SubmitStatus::kOk;
     outcome.result = job->result;
+    outcome.proxied = job->proxied;
     std::lock_guard<std::mutex> lock(mutex_);
     recordLatencyLocked(us);
     return outcome;
 }
 
 SubmitOutcome
-SimulationEngine::submit(const SimRequest &request)
+SimulationEngine::submit(const SimRequest &request, bool allow_proxy)
 {
     const auto start = std::chrono::steady_clock::now();
     const std::string key = request.canonicalKey();
@@ -273,6 +274,7 @@ SimulationEngine::submit(const SimRequest &request)
 
     std::shared_ptr<Job> job;
     bool coalesced = false;
+    bool proxy_here = false;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         ++requests_;
@@ -319,6 +321,20 @@ SimulationEngine::submit(const SimRequest &request)
                     .count();
             recordLatencyLocked(outcome.latency_us);
             return outcome;
+        } else if (backend_ != nullptr && allow_proxy &&
+                   !backend_->localExecution(key)) {
+            // Peer-owned key: register the job in inflight_ so
+            // identical concurrent submits coalesce onto this one
+            // proxy call, but keep it off the worker queue — the
+            // remote resolution happens on this thread, outside the
+            // engine lock.
+            job = std::make_shared<Job>();
+            job->key = key;
+            job->request = request;
+            job->trace_job = trace_obs::currentJob();
+            span.arg("tier", "proxied");
+            inflight_.emplace(key, job);
+            proxy_here = true;
         } else {
             if (queue_.size() >= options_.queue_capacity) {
                 ++rejected_;
@@ -341,7 +357,55 @@ SimulationEngine::submit(const SimRequest &request)
             queue_cv_.notify_one();
         }
     }
+    if (proxy_here)
+        resolveViaBackend(job);
     return waitForJob(job, coalesced, start);
+}
+
+void
+SimulationEngine::resolveViaBackend(const std::shared_ptr<Job> &job)
+{
+    std::string error;
+    std::shared_ptr<const SimResult> result;
+    try {
+        result = backend_->resolve(job->request, job->key, &error);
+    } catch (const std::exception &e) {
+        error = e.what();
+        result = nullptr;
+    }
+
+    bool abort = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (result != nullptr) {
+            ++proxied_;
+            cache_.put(job->key, result);
+            inflight_.erase(job->key);
+        } else if (stopping_) {
+            // The workers may already be gone — never park the job on
+            // a queue nobody drains.
+            inflight_.erase(job->key);
+            abort = true;
+        } else {
+            // Failover: every remote candidate failed, so this node
+            // runs the simulation itself. The request was already
+            // admitted past the cache tiers, so it joins the worker
+            // queue directly instead of bouncing with a 429 — a dead
+            // owner costs latency, never a lost request.
+            queue_.push_back(job);
+            queue_cv_.notify_one();
+            return;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> job_lock(job->mutex);
+        job->done = true;
+        job->aborted = abort;
+        job->proxied = result != nullptr;
+        job->result = std::move(result);
+        job->error = std::move(error);
+    }
+    job->cv.notify_all();
 }
 
 void
@@ -488,6 +552,7 @@ SimulationEngine::stats() const
     s.cache_hits = cache_hits_;
     s.disk_hits = disk_hits_;
     s.coalesced = coalesced_;
+    s.proxied = proxied_;
     s.rejected = rejected_;
     s.failures = failures_;
     s.cache_evictions = cache_.evictions();

@@ -23,6 +23,7 @@
 
 #include "core/experiment.hpp"
 #include "core/sim_result.hpp"
+#include "service/backend.hpp"
 #include "service/request.hpp"
 #include "service/result_cache.hpp"
 #include "util/statistics.hpp"
@@ -74,6 +75,7 @@ struct SubmitOutcome
     bool cache_hit = false;  ///< served from the in-memory LRU
     bool disk_hit = false;   ///< served from the campaign disk cache
     bool coalesced = false;  ///< shared an in-flight simulation
+    bool proxied = false;    ///< resolved by the result backend (peer)
     double latency_us = 0.0; ///< wall time inside submit()
 };
 
@@ -85,6 +87,7 @@ struct EngineStats
     std::uint64_t cache_hits = 0; ///< LRU hits
     std::uint64_t disk_hits = 0;  ///< campaign-cache hits
     std::uint64_t coalesced = 0;  ///< requests that joined an in-flight run
+    std::uint64_t proxied = 0;    ///< requests resolved by the backend
     std::uint64_t rejected = 0;   ///< backpressure rejections
     std::uint64_t failures = 0;   ///< simulations that threw
     std::uint64_t cache_evictions = 0;
@@ -162,11 +165,23 @@ class SimulationEngine
 
     /**
      * Resolve one request: LRU hit, campaign-cache hit, coalesce onto
-     * an identical in-flight run, or enqueue for a worker (blocking
-     * until done). Returns kRejected immediately when the queue is at
-     * capacity.
+     * an identical in-flight run, resolve through the result backend
+     * (when one is installed and owns the key), or enqueue for a worker
+     * (blocking until done). Returns kRejected immediately when the
+     * queue is at capacity. `allow_proxy = false` skips the backend —
+     * the cluster tier's /cluster/simulate handler uses it so a proxied
+     * request can never bounce between peers.
      */
-    SubmitOutcome submit(const SimRequest &request);
+    SubmitOutcome submit(const SimRequest &request,
+                         bool allow_proxy = true);
+
+    /**
+     * Install (or clear, with nullptr) the result backend consulted
+     * after every cache tier misses. Not synchronized: set it before
+     * the engine starts taking submit() traffic. The backend is not
+     * owned and must outlive the last submit() call.
+     */
+    void setResultBackend(ResultBackend *backend) { backend_ = backend; }
 
     /**
      * Stop the engine. With `drain` (the default), queued requests are
@@ -203,17 +218,21 @@ class SimulationEngine
         std::condition_variable cv;
         bool done = false;
         bool aborted = false;
+        bool proxied = false; ///< result came from the backend
+
         std::shared_ptr<const SimResult> result;
         std::string error;
     };
 
     void workerLoop();
+    void resolveViaBackend(const std::shared_ptr<Job> &job);
     SubmitOutcome waitForJob(const std::shared_ptr<Job> &job,
                              bool coalesced,
                              std::chrono::steady_clock::time_point start);
     void recordLatencyLocked(double us);
 
     EngineOptions options_;
+    ResultBackend *backend_ = nullptr;
 
     mutable std::mutex mutex_;
     std::condition_variable queue_cv_;
@@ -230,6 +249,7 @@ class SimulationEngine
     std::uint64_t cache_hits_ = 0;
     std::uint64_t disk_hits_ = 0;
     std::uint64_t coalesced_ = 0;
+    std::uint64_t proxied_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t failures_ = 0;
     std::size_t workers_busy_ = 0;

@@ -290,6 +290,18 @@ serializeResponse(const Response &response)
 int
 dialTcp(const std::string &host, std::uint16_t port, std::string *error)
 {
+    // Fault site: outbound connects. Lets the chaos suite model an
+    // unreachable or slow-to-accept peer without needing a real dead
+    // host (a `fail` here is what a SIGKILLed node looks like to its
+    // cluster peers).
+    if (const fault::Decision d = fault::at(fault::Site::kConnect)) {
+        fault::applyDelay(d);
+        if (d.fail) {
+            if (error)
+                *error = "connect: injected connect fault";
+            return -1;
+        }
+    }
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         if (error)

@@ -289,6 +289,12 @@ ServiceServer::route(const http::Request &request)
             return methodNotAllowed("GET");
         return handleHealthz();
     }
+    if (request.target == "/readyz" ||
+        request.target == "/healthz?ready=1") {
+        if (request.method != "GET")
+            return methodNotAllowed("GET");
+        return handleReadyz();
+    }
     if (request.target == "/metrics") {
         if (request.method != "GET")
             return methodNotAllowed("GET");
@@ -344,8 +350,13 @@ ServiceServer::handleSimulate(const http::Request &request)
          << jsonEscape(sim_request.canonicalKey()) << "\",\"cached\":"
          << (outcome.cache_hit ? "true" : "false") << ",\"disk_cache\":"
          << (outcome.disk_hit ? "true" : "false") << ",\"coalesced\":"
-         << (outcome.coalesced ? "true" : "false")
-         << ",\"latency_us\":" << jsonDouble(outcome.latency_us)
+         << (outcome.coalesced ? "true" : "false");
+    // Additive-only field: emitted solely when a cluster backend
+    // resolved the request, so single-node response bodies stay
+    // byte-identical.
+    if (outcome.proxied)
+        body << ",\"proxied\":true";
+    body << ",\"latency_us\":" << jsonDouble(outcome.latency_us)
          << ",\"request\":" << requestToJson(sim_request)
          << ",\"result\":" << simResultToJson(*outcome.result) << "}";
     return jsonResponse(200, body.str());
@@ -354,11 +365,12 @@ ServiceServer::handleSimulate(const http::Request &request)
 http::Response
 ServiceServer::handleHealthz() const
 {
-    // Once a drain has begun this daemon is on its way out: tell load
-    // balancers and bench clients to route elsewhere *before* the
-    // listener disappears mid-request.
+    // Liveness only: a draining daemon is still alive and still
+    // serving, so it answers 200 (with an honest status) — readiness
+    // is /readyz's job. The cluster failure detector relies on this
+    // split to tell "dying" from "degraded".
     if (draining_.load() || stopping_.load())
-        return jsonResponse(503, "{\"status\":\"draining\"}");
+        return jsonResponse(200, "{\"status\":\"draining\"}");
 
     const EngineStats stats = engine_.stats();
     std::ostringstream body;
@@ -371,6 +383,27 @@ ServiceServer::handleHealthz() const
          << ",\"cache_capacity\":" << stats.cache_capacity
          << ",\"requests_total\":" << stats.requests << "}";
     return jsonResponse(200, body.str());
+}
+
+http::Response
+ServiceServer::handleReadyz() const
+{
+    // Readiness: should a load balancer (or a cluster peer) route new
+    // work here? Draining says no — this daemon is on its way out, so
+    // route elsewhere *before* the listener disappears mid-request.
+    if (draining_.load() || stopping_.load())
+        return jsonResponse(
+            503, "{\"status\":\"not_ready\",\"reason\":\"draining\"}");
+    // The registered probe (the cluster tier) can report a degraded —
+    // but still live and routable — state, e.g. "peer-degraded" when
+    // the failure detector has peers marked down.
+    if (readiness_probe_) {
+        if (const auto reason = readiness_probe_())
+            return jsonResponse(
+                503, "{\"status\":\"not_ready\",\"reason\":\"" +
+                         jsonEscape(*reason) + "\"}");
+    }
+    return jsonResponse(200, "{\"status\":\"ready\"}");
 }
 
 http::Response

@@ -2,8 +2,14 @@
  * @file
  * The HTTP face of the simulation service: a loopback-friendly POSIX
  * socket server exposing POST /simulate (JSON in, JSON out with
- * structured errors and 429 backpressure), GET /healthz, and GET
- * /metrics (Prometheus-style text). Connections are handled by a small
+ * structured errors and 429 backpressure), GET /healthz (liveness),
+ * GET /readyz (readiness; also /healthz?ready=1), and GET /metrics
+ * (Prometheus-style text). Liveness answers 200 for as long as the
+ * process serves at all — even mid-drain — while readiness flips to
+ * 503 with a JSON reason ("draining", or whatever the registered
+ * readiness probe reports, e.g. the cluster tier's "peer-degraded") so
+ * load drivers and the cluster failure detector can tell a dying node
+ * from a degraded-but-routable one. Connections are handled by a small
  * thread pool; shutdown stops accepting, finishes in-flight
  * connections, and drains the engine.
  */
@@ -87,15 +93,27 @@ class ServiceServer
      */
     void addMetricsProvider(std::function<std::string()> provider);
 
+    /**
+     * Register a readiness probe, consulted by /readyz after the
+     * built-in draining check: nullopt means ready, a string is the
+     * not-ready reason (e.g. "peer-degraded"). Call before start().
+     */
+    void setReadinessProbe(
+        std::function<std::optional<std::string>()> probe)
+    {
+        readiness_probe_ = std::move(probe);
+    }
+
     /** Bind, listen, and start the accept/connection threads. */
     bool start(std::string *error);
 
     /**
-     * Mark the server draining: /healthz flips to 503
-     * {"status":"draining"} so load balancers and bench clients stop
-     * routing here, while in-flight and follow-up requests still
-     * complete. Called at the top of a graceful shutdown, before the
-     * listener goes away.
+     * Mark the server draining: /readyz flips to 503
+     * {"status":"not_ready","reason":"draining"} so load balancers and
+     * bench clients stop routing here, while /healthz stays 200 (the
+     * process is still live) and in-flight and follow-up requests
+     * still complete. Called at the top of a graceful shutdown, before
+     * the listener goes away.
      */
     void beginDrain() { draining_.store(true); }
 
@@ -145,12 +163,14 @@ class ServiceServer
 
     http::Response handleSimulate(const http::Request &request);
     http::Response handleHealthz() const;
+    http::Response handleReadyz() const;
     http::Response handleMetrics() const;
 
     SimulationEngine &engine_;
     ServerOptions options_;
     std::vector<RouteHandler> handlers_;
     std::vector<std::function<std::string()>> metrics_providers_;
+    std::function<std::optional<std::string>()> readiness_probe_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};

@@ -20,6 +20,8 @@ siteName(Site site)
     case Site::kRename: return "rename";
     case Site::kEngine: return "engine";
     case Site::kShard: return "shard";
+    case Site::kConnect: return "connect";
+    case Site::kPeer: return "peer";
     }
     return "unknown";
 }
@@ -39,6 +41,10 @@ parseSite(std::string_view token, Site &site)
         site = Site::kEngine;
     } else if (token == "shard") {
         site = Site::kShard;
+    } else if (token == "connect") {
+        site = Site::kConnect;
+    } else if (token == "peer") {
+        site = Site::kPeer;
     } else {
         return false;
     }

@@ -23,7 +23,8 @@
  *   <site>:delay=Dms    every operation is delayed by D milliseconds
  *   seed=N              seeds the probability draws (deterministic)
  *
- * Sites: recv, send (alias: write), fsync, rename, engine, shard.
+ * Sites: recv, send (alias: write), fsync, rename, engine, shard,
+ * connect, peer.
  *
  * With no spec configured the framework is a single relaxed atomic
  * load per hook — near-zero overhead, no locks, no allocation (see
@@ -52,8 +53,10 @@ enum class Site : std::uint8_t {
     kRename, ///< the atomic-publish rename in the durable-commit path
     kEngine, ///< simulation execution inside the engine workers
     kShard,  ///< shard execution in the job manager's executors
+    kConnect,///< outbound TCP connects (http::dialTcp)
+    kPeer,   ///< per-candidate peer proxying in the cluster tier
 };
-inline constexpr std::size_t kSiteCount = 6;
+inline constexpr std::size_t kSiteCount = 8;
 
 const char *siteName(Site site);
 bool parseSite(std::string_view token, Site &site);

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Rendezvous (highest-random-weight) hashing for the cluster tier:
+ * every node independently scores (key, node) pairs and the owner of a
+ * key is the highest-scoring live node. Unlike a ring, HRW needs no
+ * shared state beyond the member list, distributes keys evenly, and is
+ * minimally disruptive — removing a node remaps only the keys that
+ * node owned, never keys between two surviving nodes.
+ */
+#ifndef SIPRE_UTIL_RENDEZVOUS_HPP
+#define SIPRE_UTIL_RENDEZVOUS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sipre
+{
+
+/**
+ * Deterministic 64-bit score of (key, node). FNV-1a over both strings
+ * (with a separator so "ab"+"c" and "a"+"bc" differ) finished with a
+ * splitmix64 avalanche, so near-identical node names still produce
+ * decorrelated score streams.
+ */
+inline std::uint64_t
+rendezvousScore(std::string_view key, std::string_view node)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::string_view s) {
+        for (const char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(key);
+    h ^= 0x1f;
+    h *= 0x100000001b3ULL;
+    mix(node);
+    // splitmix64 finalizer
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+}
+
+/**
+ * The member list ranked for `key`, best owner first. Ties (only
+ * possible with duplicate names) break lexicographically so every node
+ * computes the identical order.
+ */
+inline std::vector<std::string>
+rendezvousRank(std::string_view key, const std::vector<std::string> &nodes)
+{
+    std::vector<std::string> ranked = nodes;
+    std::sort(ranked.begin(), ranked.end(),
+              [key](const std::string &a, const std::string &b) {
+                  const std::uint64_t sa = rendezvousScore(key, a);
+                  const std::uint64_t sb = rendezvousScore(key, b);
+                  return sa != sb ? sa > sb : a < b;
+              });
+    return ranked;
+}
+
+/** The best-ranked node for `key`; empty when `nodes` is empty. */
+inline std::string
+rendezvousOwner(std::string_view key, const std::vector<std::string> &nodes)
+{
+    std::string owner;
+    std::uint64_t best = 0;
+    for (const std::string &node : nodes) {
+        const std::uint64_t score = rendezvousScore(key, node);
+        if (owner.empty() || score > best ||
+            (score == best && node < owner)) {
+            owner = node;
+            best = score;
+        }
+    }
+    return owner;
+}
+
+} // namespace sipre
+
+#endif // SIPRE_UTIL_RENDEZVOUS_HPP

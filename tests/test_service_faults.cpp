@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.hpp"
 #include "jobs/job_store.hpp"
 #include "jobs/manager.hpp"
 #include "jobs/sweep.hpp"
@@ -37,6 +38,7 @@
 #include "service/server.hpp"
 #include "util/fault.hpp"
 #include "util/fsio.hpp"
+#include "util/rendezvous.hpp"
 
 using namespace sipre;
 using namespace sipre::service;
@@ -196,6 +198,28 @@ TEST(FaultSpec, FullGrammarParses)
         rules[static_cast<std::size_t>(fault::Site::kRename)].active());
 }
 
+TEST(FaultSpec, ConnectAndPeerSitesParse)
+{
+    std::array<fault::SiteRule, fault::kSiteCount> rules{};
+    std::uint64_t seed = 0;
+    std::string error;
+    ASSERT_TRUE(fault::parseSpec(
+        "connect:fail=after:2,peer:err=0.5,peer:delay=9ms", rules,
+        seed, error))
+        << error;
+    const auto &connect =
+        rules[static_cast<std::size_t>(fault::Site::kConnect)];
+    EXPECT_TRUE(connect.fail_after_set);
+    EXPECT_EQ(connect.fail_after, 2u);
+    const auto &peer =
+        rules[static_cast<std::size_t>(fault::Site::kPeer)];
+    EXPECT_DOUBLE_EQ(peer.err_p, 0.5);
+    EXPECT_EQ(peer.delay_ms, 9u);
+    EXPECT_EQ(fault::siteName(fault::Site::kConnect),
+              std::string("connect"));
+    EXPECT_EQ(fault::siteName(fault::Site::kPeer), std::string("peer"));
+}
+
 TEST(FaultSpec, MalformedSpecsAreRejectedWithDiagnostics)
 {
     std::array<fault::SiteRule, fault::kSiteCount> rules{};
@@ -336,16 +360,94 @@ TEST(RetryPolicy, RetryAfterIsHonoredAsAFloorAndCapped)
     response.headers.emplace_back("Retry-After", "3600");
     EXPECT_EQ(policy.backoffMs(1, &response), policy.max_delay_ms);
 
-    // HTTP-date (non-numeric) form falls back to plain backoff.
+    // A future HTTP-date is honored like a huge delta: capped at
+    // max_delay_ms. (Year 9999 keeps this green for a while.)
     response.headers.clear();
     response.headers.emplace_back("Retry-After",
-                                  "Fri, 01 Jan 2027 00:00:00 GMT");
+                                  "Fri, 01 Jan 9999 00:00:00 GMT");
+    EXPECT_EQ(policy.backoffMs(1, &response), policy.max_delay_ms);
+
+    // A past HTTP-date (or garbage) falls back to plain backoff.
+    response.headers.clear();
+    response.headers.emplace_back("Retry-After",
+                                  "Thu, 01 Jan 1970 00:00:01 GMT");
+    EXPECT_LE(policy.backoffMs(1, &response), 10u);
+    response.headers.clear();
+    response.headers.emplace_back("Retry-After", "next tuesday");
     EXPECT_LE(policy.backoffMs(1, &response), 10u);
 
     EXPECT_TRUE(RetryPolicy::retryableStatus(429));
     EXPECT_TRUE(RetryPolicy::retryableStatus(503));
     EXPECT_FALSE(RetryPolicy::retryableStatus(200));
     EXPECT_FALSE(RetryPolicy::retryableStatus(400));
+}
+
+TEST(RetryPolicy, ParseRetryAfterHandlesBothRfc9110Forms)
+{
+    // Delta-seconds, with the hour cap.
+    EXPECT_EQ(parseRetryAfterMs("0", 0), 0u);
+    EXPECT_EQ(parseRetryAfterMs("7", 0), 7'000u);
+    EXPECT_EQ(parseRetryAfterMs("3600", 0), 3'600'000u);
+    EXPECT_EQ(parseRetryAfterMs("999999", 0), 3'600'000u);
+
+    // IMF-fixdate against a pinned clock (the epoch), so the test
+    // never depends on the machine's real time.
+    EXPECT_EQ(
+        parseRetryAfterMs("Thu, 01 Jan 1970 00:01:40 GMT", 0),
+        100'000u);
+    // At or before `now` means "retry immediately".
+    EXPECT_EQ(parseRetryAfterMs("Thu, 01 Jan 1970 00:00:00 GMT", 0),
+              0u);
+    EXPECT_EQ(parseRetryAfterMs("Thu, 01 Jan 1970 00:01:40 GMT",
+                                1'000'000),
+              0u);
+    // Far future: capped at an hour.
+    EXPECT_EQ(parseRetryAfterMs("Fri, 02 Jan 1970 00:00:00 GMT", 0),
+              3'600'000u);
+
+    // Unparseable values yield 0 (plain backoff).
+    EXPECT_EQ(parseRetryAfterMs("", 0), 0u);
+    EXPECT_EQ(parseRetryAfterMs("next tuesday", 0), 0u);
+    EXPECT_EQ(parseRetryAfterMs("12 seconds", 0), 0u);
+    EXPECT_EQ(
+        parseRetryAfterMs("Thu, 01 Jan 1970 00:01:40 GMT extra", 0),
+        0u);
+}
+
+TEST(RetryPolicy, TotalDeadlineBoundsWallClockUnderEndless429)
+{
+    // workers=0 + queue=0: every submit is backpressure, so the server
+    // answers 429 forever and only the deadline can end the retry loop.
+    EngineOptions engine_options;
+    engine_options.workers = 0;
+    engine_options.queue_capacity = 0;
+    SimulationEngine engine(engine_options);
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    RetryPolicy policy;
+    policy.max_attempts = 1000; // the attempt cap must not be the bound
+    policy.base_delay_ms = 40;
+    policy.max_delay_ms = 40;
+    policy.total_deadline_ms = 300;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const ClientOutcome outcome = requestWithRetry(
+        "127.0.0.1", server.port(),
+        postSimulate(simulateBody("secret_crypto52", 4)), policy);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+    // A definite outcome (the last 429), well under the attempt cap,
+    // within the budget plus one attempt's slack.
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_EQ(outcome.response.status, 429);
+    EXPECT_LT(outcome.attempts, 20u);
+    EXPECT_GE(outcome.attempts, 2u);
+    EXPECT_LT(ms, 5'000);
+    server.shutdown();
 }
 
 // -------------------------------------------------- socket I/O edges
@@ -583,6 +685,43 @@ TEST(FaultChaos, RetryingClientLosesNoRequestUnderSocketFaults)
     server.shutdown();
 }
 
+TEST(FaultChaos, ConnectFaultFailsDialsWithADefiniteOutcome)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    {
+        FaultScope scope("connect:fail=after:0");
+        std::string dial_error;
+        EXPECT_LT(http::dialTcp("127.0.0.1", server.port(),
+                                &dial_error),
+                  0);
+        EXPECT_NE(dial_error.find("injected connect fault"),
+                  std::string::npos)
+            << dial_error;
+
+        // The retry client exhausts its attempts and reports the
+        // failure — no silent loss, no hang.
+        RetryPolicy policy;
+        policy.max_attempts = 3;
+        policy.base_delay_ms = 1;
+        policy.max_delay_ms = 2;
+        const ClientOutcome outcome = requestWithRetry(
+            "127.0.0.1", server.port(), get("/healthz"), policy);
+        EXPECT_FALSE(outcome.ok);
+        EXPECT_EQ(outcome.attempts, 3u);
+        EXPECT_FALSE(outcome.error.empty());
+    }
+
+    // Faults off: the same dial works again.
+    const ClientOutcome ok =
+        requestWithRetry("127.0.0.1", server.port(), get("/healthz"));
+    EXPECT_TRUE(ok.ok) << ok.error;
+    server.shutdown();
+}
+
 TEST(FaultChaos, EngineFaultFailsRequestsWithStructuredError)
 {
     SimulationEngine engine(EngineOptions{});
@@ -792,6 +931,105 @@ TEST(FaultQuarantine, CorruptRecordsAreQuarantinedRestLoads)
     jobs::JobManager manager2(engine, options);
     EXPECT_EQ(manager2.quarantinedRecords(), 0u);
     EXPECT_EQ(manager2.list().size(), 1u);
+}
+
+TEST(FaultQuarantine, CorruptRecordDoesNotPoisonClusterFailover)
+{
+    // The interplay the cluster tier must get right: a node with a
+    // corrupt job record quarantines it locally and still serves as a
+    // full cluster member — fresh campaigns shard across the peers and
+    // every shard executes exactly once.
+    TempDir dir_a;
+    {
+        std::ofstream os(jobs::jobRecordPath(dir_a.path, 3));
+        os << "garbage record";
+    }
+
+    SimulationEngine engine_a(EngineOptions{});
+    SimulationEngine engine_b(EngineOptions{});
+    ServiceServer server_b(engine_b, ServerOptions{});
+    // B's tier can only be built once its ephemeral port is known, but
+    // handlers must be registered before start() — forward through the
+    // not-yet-filled pointer.
+    std::unique_ptr<cluster::ClusterTier> tier_b;
+    server_b.addHandler(
+        [&tier_b](const http::Request &request)
+            -> std::optional<http::Response> {
+            if (tier_b == nullptr)
+                return std::nullopt;
+            return tier_b->handle(request);
+        });
+    std::string error;
+    ASSERT_TRUE(server_b.start(&error)) << error;
+    const std::string node_b =
+        "127.0.0.1:" + std::to_string(server_b.port());
+
+    const jobs::SweepSpec spec = parseSpecOk(
+        R"({"workloads":["secret_crypto52"],"instructions":30000,)"
+        R"("ftq":[4,6,8,10,12,14]})");
+    auto requests = jobs::expandSweep(spec);
+    ASSERT_EQ(requests.size(), 6u);
+
+    // B's port is ephemeral, so pick A's (never-dialed) identity such
+    // that the rendezvous hash splits the shards across both nodes —
+    // deterministic for this run, never flaky.
+    std::string self_a;
+    for (int candidate = 1; candidate <= 64 && self_a.empty();
+         ++candidate) {
+        const std::string name =
+            "127.0.0.1:" + std::to_string(candidate);
+        std::size_t owned_by_b = 0;
+        for (const auto &request : requests)
+            owned_by_b += rendezvousOwner(request.canonicalKey(),
+                                          {name, node_b}) == node_b;
+        if (owned_by_b > 0 && owned_by_b < requests.size())
+            self_a = name;
+    }
+    ASSERT_FALSE(self_a.empty());
+
+    cluster::ClusterOptions cluster_options;
+    cluster_options.self = self_a;
+    cluster_options.peers = {self_a, node_b};
+    cluster_options.proxy_policy.max_attempts = 2;
+    cluster_options.proxy_policy.base_delay_ms = 1;
+    cluster_options.proxy_policy.total_deadline_ms = 30'000;
+    cluster::ClusterTier tier_a(engine_a, cluster_options);
+    engine_a.setResultBackend(&tier_a);
+    // No tier start: B is optimistically up and stays up, which is
+    // exactly the steady state under test.
+
+    cluster::ClusterOptions cluster_options_b = cluster_options;
+    cluster_options_b.self = node_b;
+    tier_b = std::make_unique<cluster::ClusterTier>(engine_b,
+                                                    cluster_options_b);
+    engine_b.setResultBackend(tier_b.get());
+
+    jobs::JobManagerOptions options;
+    options.store_dir = dir_a.path;
+    options.shard_workers = 2;
+    jobs::JobManager manager(engine_a, options);
+    EXPECT_EQ(manager.quarantinedRecords(), 1u);
+
+    const jobs::JobSubmitOutcome submitted = manager.submit(spec);
+    ASSERT_EQ(submitted.status, jobs::JobSubmitStatus::kOk);
+    const jobs::JobProgress progress =
+        awaitTerminal(manager, submitted.id);
+    EXPECT_EQ(progress.state, jobs::JobState::kCompleted);
+    EXPECT_EQ(progress.shards_done, 6u);
+    EXPECT_EQ(progress.shards_failed, 0u);
+
+    // B executed its share remotely; nothing ran twice.
+    const cluster::ClusterStats cluster_stats = tier_a.stats();
+    EXPECT_GT(cluster_stats.proxied, 0u);
+    EXPECT_EQ(cluster_stats.proxy_failures, 0u);
+    EXPECT_EQ(manager.stats().shards_proxied, cluster_stats.proxied);
+    EXPECT_GT(engine_b.stats().sim_runs, 0u);
+    EXPECT_EQ(engine_a.stats().sim_runs + engine_b.stats().sim_runs,
+              6u)
+        << "every shard must execute exactly once across the cluster";
+
+    manager.shutdown();
+    server_b.shutdown();
 }
 
 TEST(FaultQuarantine, QuarantineNeverClobbersEarlierQuarantinedFiles)

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <latch>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -249,7 +250,7 @@ TEST(ServiceHttp, WrongMethodCarriesAllowHeaderAndCountsRejected)
         metricValue(metrics.body, "sipre_requests_rejected_total"), 3u);
 }
 
-TEST(ServiceHttp, DrainingHealthzReturns503)
+TEST(ServiceHttp, DrainSplitsLivenessFromReadiness)
 {
     SimulationEngine engine(EngineOptions{});
     ServiceServer server(engine, ServerOptions{});
@@ -259,17 +260,64 @@ TEST(ServiceHttp, DrainingHealthzReturns503)
     const http::Response healthy = call(server.port(), get("/healthz"));
     EXPECT_EQ(healthy.status, 200);
     EXPECT_NE(healthy.body.find("\"status\":\"ok\""), std::string::npos);
-
-    // Once draining, health flips to 503 while the server still serves
-    // (a load balancer stops routing here; in-flight clients finish).
-    server.beginDrain();
-    const http::Response draining = call(server.port(), get("/healthz"));
-    EXPECT_EQ(draining.status, 503);
-    EXPECT_NE(draining.body.find("\"status\":\"draining\""),
+    const http::Response ready = call(server.port(), get("/readyz"));
+    EXPECT_EQ(ready.status, 200);
+    EXPECT_NE(ready.body.find("\"status\":\"ready\""),
               std::string::npos);
+    // /healthz?ready=1 is the same readiness check for probers that
+    // can only hit one path.
+    EXPECT_EQ(call(server.port(), get("/healthz?ready=1")).status, 200);
+
+    // Once draining, readiness flips to 503 with a machine-readable
+    // reason (a load balancer stops routing here) while liveness stays
+    // 200 — the process is healthy, just on its way out, and must not
+    // be restarted by a liveness supervisor.
+    server.beginDrain();
+    const http::Response live = call(server.port(), get("/healthz"));
+    EXPECT_EQ(live.status, 200);
+    EXPECT_NE(live.body.find("\"status\":\"draining\""),
+              std::string::npos);
+    const http::Response not_ready =
+        call(server.port(), get("/readyz"));
+    EXPECT_EQ(not_ready.status, 503);
+    EXPECT_NE(not_ready.body.find("\"status\":\"not_ready\""),
+              std::string::npos);
+    EXPECT_NE(not_ready.body.find("\"reason\":\"draining\""),
+              std::string::npos);
+    EXPECT_EQ(call(server.port(), get("/healthz?ready=1")).status, 503);
 
     // Other routes still answer normally while draining.
     EXPECT_EQ(call(server.port(), get("/metrics")).status, 200);
+
+    server.shutdown();
+}
+
+TEST(ServiceHttp, ReadinessProbeHookReportsReasonWhileLive)
+{
+    SimulationEngine engine(EngineOptions{});
+    ServiceServer server(engine, ServerOptions{});
+    std::atomic<bool> degraded{false};
+    server.setReadinessProbe([&]() -> std::optional<std::string> {
+        if (degraded.load())
+            return "peer-degraded";
+        return std::nullopt;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    EXPECT_EQ(call(server.port(), get("/readyz")).status, 200);
+
+    degraded.store(true);
+    const http::Response not_ready =
+        call(server.port(), get("/readyz"));
+    EXPECT_EQ(not_ready.status, 503);
+    EXPECT_NE(not_ready.body.find("\"reason\":\"peer-degraded\""),
+              std::string::npos);
+    // Degraded is not dead: liveness and real work keep answering.
+    EXPECT_EQ(call(server.port(), get("/healthz")).status, 200);
+
+    degraded.store(false);
+    EXPECT_EQ(call(server.port(), get("/readyz")).status, 200);
 
     server.shutdown();
 }

@@ -3,15 +3,19 @@
  * Unit and property tests for the util module: RNG, saturating
  * counters, circular buffer, bit helpers, statistics, tables.
  */
+#include <algorithm>
 #include <deque>
 #include <sstream>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/bits.hpp"
 #include "util/circular_buffer.hpp"
 #include "util/flat_map.hpp"
+#include "util/rendezvous.hpp"
 #include "util/rng.hpp"
 #include "util/sat_counter.hpp"
 #include "util/statistics.hpp"
@@ -482,6 +486,97 @@ TEST(FlatMap, ClearEmptiesWithoutShrinking)
         EXPECT_EQ(map.find(k), nullptr);
     map.insert(5, 3); // still usable after clear
     EXPECT_EQ(*map.find(5), 3);
+}
+
+// ----------------------------------------------------------- Rendezvous
+
+TEST(Rendezvous, DeterministicAndOrderIndependent)
+{
+    const std::vector<std::string> nodes = {"a:1", "b:2", "c:3"};
+    const std::vector<std::string> shuffled = {"c:3", "a:1", "b:2"};
+    for (int k = 0; k < 100; ++k) {
+        const std::string key = "key-" + std::to_string(k);
+        EXPECT_EQ(rendezvousOwner(key, nodes),
+                  rendezvousOwner(key, shuffled));
+    }
+}
+
+TEST(Rendezvous, RankContainsEveryNodeOnce)
+{
+    const std::vector<std::string> nodes = {"a:1", "b:2", "c:3",
+                                            "d:4"};
+    const auto rank = rendezvousRank("some-key", nodes);
+    ASSERT_EQ(rank.size(), nodes.size());
+    for (const auto &node : nodes)
+        EXPECT_EQ(std::count(rank.begin(), rank.end(), node), 1)
+            << node;
+}
+
+TEST(Rendezvous, BalancesKeysAcrossNodes)
+{
+    // ~30k synthetic canonical keys over 3 nodes: each node should own
+    // within ±10% of the fair share. The keys mimic the service's
+    // canonical request strings so the hash is exercised on realistic
+    // input, not just short tokens.
+    const std::vector<std::string> nodes = {
+        "127.0.0.1:8101", "127.0.0.1:8102", "127.0.0.1:8103"};
+    std::unordered_map<std::string, int> owned;
+    const int kKeys = 30'000;
+    for (int k = 0; k < kKeys; ++k) {
+        const std::string key =
+            "workload=secret_crypto52|instructions=" +
+            std::to_string(1000 + k) + "|ftq=" + std::to_string(k % 13);
+        ++owned[rendezvousOwner(key, nodes)];
+    }
+    const double fair = static_cast<double>(kKeys) /
+                        static_cast<double>(nodes.size());
+    for (const auto &node : nodes) {
+        const double share = owned[node];
+        EXPECT_GT(share, fair * 0.90) << node;
+        EXPECT_LT(share, fair * 1.10) << node;
+    }
+}
+
+TEST(Rendezvous, RemovingANodeOnlyRemapsItsOwnKeys)
+{
+    // The property that makes HRW the right hash for failover: when a
+    // node dies, keys owned by survivors must not move. Keys of the
+    // dead node remap to their second-ranked choice — which is exactly
+    // where rendezvousRank-walking callers retry.
+    const std::vector<std::string> all = {
+        "127.0.0.1:8101", "127.0.0.1:8102", "127.0.0.1:8103"};
+    const std::string dead = "127.0.0.1:8102";
+    std::vector<std::string> survivors;
+    for (const auto &node : all)
+        if (node != dead)
+            survivors.push_back(node);
+
+    int remapped = 0;
+    for (int k = 0; k < 10'000; ++k) {
+        const std::string key = "key-" + std::to_string(k);
+        const std::string before = rendezvousOwner(key, all);
+        const std::string after = rendezvousOwner(key, survivors);
+        if (before != dead) {
+            EXPECT_EQ(after, before) << key;
+        } else {
+            ++remapped;
+            // The new owner is the key's second choice in the full
+            // ring — the same node a failover walk lands on.
+            const auto rank = rendezvousRank(key, all);
+            ASSERT_GE(rank.size(), 2u);
+            EXPECT_EQ(after, rank[1]) << key;
+        }
+    }
+    // Sanity: the dead node owned roughly a third of the keys.
+    EXPECT_GT(remapped, 2'000);
+    EXPECT_LT(remapped, 5'000);
+}
+
+TEST(Rendezvous, SingleNodeOwnsEverything)
+{
+    const std::vector<std::string> solo = {"only:1"};
+    EXPECT_EQ(rendezvousOwner("anything", solo), "only:1");
+    EXPECT_TRUE(rendezvousOwner("x", {}).empty());
 }
 
 } // namespace

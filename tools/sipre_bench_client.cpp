@@ -10,10 +10,16 @@
  * --distinct FTQ depths), polls the job to completion, and reports a
  * one-line JSON summary of the run.
  *
+ * With --cluster the request-mode load spreads round-robin over a
+ * comma-separated host:port list — the natural way to drive a peer
+ * tier of sipre_served daemons (any member accepts any key and
+ * proxies to the owner).
+ *
  * Usage:
  *   sipre_bench_client --port P [--host 127.0.0.1] [--threads N]
  *                      [--requests N] [--workload NAME]
  *                      [--instructions N] [--distinct K] [--jobs]
+ *                      [--cluster HOST:PORT,HOST:PORT,...]
  */
 #include <algorithm>
 #include <chrono>
@@ -26,6 +32,7 @@
 
 #include <unistd.h>
 
+#include "cluster/cluster.hpp"
 #include "core/json_io.hpp"
 #include "core/options.hpp"
 #include "service/client.hpp"
@@ -55,6 +62,9 @@ usage(const char *argv0, int exit_code)
         "  --jobs             submit one async sweep job (workload x K\n"
         "                     FTQ depths), poll it to completion, and\n"
         "                     report a job-mode summary instead\n"
+        "  --cluster LIST     round-robin requests over a comma-\n"
+        "                     separated host:port member list instead\n"
+        "                     of --host/--port (request mode only)\n"
         "  --help             this text\n",
         argv0);
     std::exit(exit_code);
@@ -206,6 +216,7 @@ main(int argc, char **argv)
     std::uint64_t instructions = 30'000;
     unsigned distinct = 1;
     bool jobs_mode = false;
+    std::vector<std::string> cluster_nodes;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -245,13 +256,52 @@ main(int argc, char **argv)
                 1u, static_cast<unsigned>(num(1u << 20)));
         else if (arg == "--jobs")
             jobs_mode = true;
-        else if (arg == "--help")
+        else if (arg == "--cluster") {
+            const std::string csv = next();
+            std::string peers_error;
+            if (!cluster::parsePeerList(csv, cluster_nodes,
+                                        &peers_error)) {
+                std::fprintf(stderr,
+                             "sipre_bench_client: error: bad "
+                             "--cluster '%s': %s\n",
+                             csv.c_str(), peers_error.c_str());
+                return 2;
+            }
+        } else if (arg == "--help")
             usage(argv[0], 0);
         else
             usage(argv[0], 2);
     }
-    if (port < 0 || port > 65535)
+    if (cluster_nodes.empty() && (port < 0 || port > 65535))
         usage(argv[0], 2);
+    if (!cluster_nodes.empty() && jobs_mode) {
+        std::fprintf(stderr, "sipre_bench_client: error: --cluster "
+                             "is request mode only (drop --jobs)\n");
+        return 2;
+    }
+
+    // Normalize: request mode always walks `endpoints` round-robin;
+    // the single-server case is just a one-element list.
+    std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+    if (cluster_nodes.empty()) {
+        endpoints.emplace_back(host,
+                               static_cast<std::uint16_t>(port));
+    } else {
+        for (const std::string &node : cluster_nodes) {
+            std::string node_host;
+            std::uint16_t node_port = 0;
+            if (!cluster::splitHostPort(node, node_host, node_port)) {
+                std::fprintf(stderr,
+                             "sipre_bench_client: error: bad cluster "
+                             "node '%s'\n",
+                             node.c_str());
+                return 2;
+            }
+            endpoints.emplace_back(node_host, node_port);
+        }
+        host = endpoints.front().first;
+        port = endpoints.front().second;
+    }
 
     if (jobs_mode)
         return runJobsMode(host, static_cast<std::uint16_t>(port),
@@ -268,14 +318,20 @@ main(int argc, char **argv)
             RetryPolicy policy;
             policy.jitter_seed ^= t; // decorrelate thread backoffs
             std::string error;
-            int fd = http::dialTcp(host,
-                                   static_cast<std::uint16_t>(port),
-                                   &error);
-            if (fd < 0) {
-                tally.errors = requests;
-                return;
-            }
+            // One keep-alive connection per endpoint, dialed lazily.
+            std::vector<int> fds(endpoints.size(), -1);
             for (std::uint64_t n = 0; n < requests; ++n) {
+                const std::size_t e =
+                    (t + n) % endpoints.size();
+                const std::string &ep_host = endpoints[e].first;
+                const std::uint16_t ep_port = endpoints[e].second;
+                int &fd = fds[e];
+                if (fd < 0)
+                    fd = http::dialTcp(ep_host, ep_port, &error);
+                if (fd < 0) {
+                    ++tally.errors;
+                    continue;
+                }
                 // Rotate FTQ depth so only 1/distinct requests share a
                 // canonical key (controls the cache-hit mix).
                 const unsigned ftq = 4 + 2 * ((t + n) % distinct);
@@ -304,9 +360,7 @@ main(int argc, char **argv)
                         // The connection may have died (e.g. server
                         // restart); re-dial and retry once.
                         ::close(fd);
-                        fd = http::dialTcp(
-                            host, static_cast<std::uint16_t>(port),
-                            &error);
+                        fd = http::dialTcp(ep_host, ep_port, &error);
                         if (fd >= 0) {
                             ++tally.retries;
                             got = http::roundTrip(
@@ -345,8 +399,9 @@ main(int argc, char **argv)
                     ++tally.errors;
                 }
             }
-            if (fd >= 0)
-                ::close(fd);
+            for (const int open_fd : fds)
+                if (open_fd >= 0)
+                    ::close(open_fd);
         });
     }
     for (auto &thread : pool)

@@ -20,16 +20,24 @@
  *                [--write-timeout-ms N] [--idle-timeout-ms N]
  *                [--faults SPEC] [--trace] [--trace-buffer N]
  *                [--scenario-window N]
+ *                [--cluster-peers LIST --cluster-self HOST:PORT ...]
+ *
+ * With --cluster-peers the daemon joins a static-membership peer tier:
+ * canonical request keys are rendezvous-hashed to an owner node and
+ * non-owners proxy over POST /cluster/simulate, so N daemons act as one
+ * horizontally scaled service that survives node loss (DESIGN.md §14).
  */
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <unistd.h>
 
+#include "cluster/cluster.hpp"
 #include "core/options.hpp"
 #include "jobs/http.hpp"
 #include "jobs/manager.hpp"
@@ -100,6 +108,21 @@ usage(const char *argv0, int exit_code)
         "  --scenario-window N  record an FTQ scenario timeline with\n"
         "                       N-cycle windows on freshly simulated\n"
         "                       results (default 0 = off)\n"
+        "  --cluster-peers LIST comma-separated host:port member list\n"
+        "                       (every node passes the same list);\n"
+        "                       enables the peer tier\n"
+        "  --cluster-self H:P   this node's identity, spelled exactly\n"
+        "                       as it appears in --cluster-peers\n"
+        "  --cluster-probe-interval-ms N\n"
+        "                       failure-detector probe period (default "
+        "500)\n"
+        "  --cluster-probe-timeout-ms N\n"
+        "                       per-probe deadline (default 2000)\n"
+        "  --cluster-down-after N\n"
+        "                       consecutive probe failures before a peer\n"
+        "                       is down (default 3)\n"
+        "  --cluster-up-after N consecutive probe successes before a\n"
+        "                       down peer recovers (default 2)\n"
         "  --help               this text\n",
         argv0);
     std::exit(exit_code);
@@ -116,6 +139,7 @@ main(int argc, char **argv)
     std::string cache_file;
     jobs::JobManagerOptions job_options;
     job_options.store_dir = "sipre_jobs";
+    cluster::ClusterOptions cluster_options;
     bool trace = false;
     std::size_t trace_buffer = trace_obs::kDefaultCapacityPerThread;
 
@@ -185,6 +209,30 @@ main(int argc, char **argv)
         } else if (arg == "--scenario-window") {
             engine_options.scenario_window =
                 static_cast<std::uint32_t>(num(~std::uint32_t{0}));
+        } else if (arg == "--cluster-peers") {
+            const std::string csv = next();
+            std::string peers_error;
+            if (!cluster::parsePeerList(csv, cluster_options.peers,
+                                        &peers_error)) {
+                std::fprintf(stderr,
+                             "sipre_served: error: bad --cluster-peers "
+                             "'%s': %s\n",
+                             csv.c_str(), peers_error.c_str());
+                return 2;
+            }
+        } else if (arg == "--cluster-self") {
+            cluster_options.self = next();
+        } else if (arg == "--cluster-probe-interval-ms") {
+            cluster_options.probe_interval_ms = num(3'600'000);
+        } else if (arg == "--cluster-probe-timeout-ms") {
+            cluster_options.probe_timeout_ms =
+                static_cast<unsigned>(num(3'600'000));
+        } else if (arg == "--cluster-down-after") {
+            cluster_options.down_after =
+                static_cast<unsigned>(num(1'000'000));
+        } else if (arg == "--cluster-up-after") {
+            cluster_options.up_after =
+                static_cast<unsigned>(num(1'000'000));
         } else if (arg == "--faults") {
             const std::string spec = next();
             std::string fault_error;
@@ -205,6 +253,24 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "sipre_served: error: unknown option '%s'\n",
                          arg.c_str());
+            return 2;
+        }
+    }
+
+    const bool cluster_mode = !cluster_options.peers.empty();
+    if (cluster_mode && cluster_options.self.empty()) {
+        std::fprintf(stderr, "sipre_served: error: --cluster-peers "
+                             "requires --cluster-self\n");
+        return 2;
+    }
+    if (cluster_mode) {
+        std::string host;
+        std::uint16_t port = 0;
+        if (!cluster::splitHostPort(cluster_options.self, host, port)) {
+            std::fprintf(stderr,
+                         "sipre_served: error: bad --cluster-self "
+                         "'%s' (expected host:port)\n",
+                         cluster_options.self.c_str());
             return 2;
         }
     }
@@ -233,6 +299,21 @@ main(int argc, char **argv)
                          loaded, cache_file.c_str());
     }
 
+    // The peer tier must be installed on the engine before the job
+    // manager resumes persisted jobs — resumed shards should shard
+    // across the cluster exactly like fresh ones.
+    std::unique_ptr<cluster::ClusterTier> cluster_tier;
+    if (cluster_mode) {
+        cluster_tier = std::make_unique<cluster::ClusterTier>(
+            engine, cluster_options);
+        engine.setResultBackend(cluster_tier.get());
+        std::fprintf(
+            stderr,
+            "[sipre_served] cluster mode: %zu members, self %s\n",
+            cluster_tier->members().size(),
+            cluster_tier->self().c_str());
+    }
+
     jobs::JobManager job_manager(engine, job_options);
     if (job_manager.resumedJobs() > 0)
         std::fprintf(stderr,
@@ -249,11 +330,23 @@ main(int argc, char **argv)
     });
     server.addMetricsProvider(
         [&job_handler] { return job_handler.metricsText(); });
+    if (cluster_tier != nullptr) {
+        cluster::ClusterTier *tier = cluster_tier.get();
+        server.addHandler([tier](const http::Request &request) {
+            return tier->handle(request);
+        });
+        server.addMetricsProvider(
+            [tier] { return tier->metricsText(); });
+        server.setReadinessProbe(
+            [tier] { return tier->readinessReason(); });
+    }
     std::string error;
     if (!server.start(&error)) {
         std::fprintf(stderr, "sipre_served: error: %s\n", error.c_str());
         return 1;
     }
+    if (cluster_tier != nullptr)
+        cluster_tier->start();
 
     struct sigaction action{};
     action.sa_handler = onSignal;
@@ -280,6 +373,8 @@ main(int argc, char **argv)
     // engine and close the listener.
     server.beginDrain();
     job_manager.shutdown();
+    if (cluster_tier != nullptr)
+        cluster_tier->shutdown();
     server.shutdown(/*drain_engine=*/true);
 
     if (!cache_file.empty()) {
