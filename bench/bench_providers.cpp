@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Distance-provider benchmark: runs the full AsmDB pipeline plus the
+ * instrumented simulation under every `distance_provider` kind and
+ * reports, per kind, the end-to-end throughput (MIPS over the
+ * instrumented run, pipeline cost included), the architectural outcome
+ * (IPC, L1-I MPKI), and the paper's headline front-end metric — the
+ * share of cycles the FTQ head spends stalling on an instruction miss
+ * (Scenario 2).
+ *
+ * Emits one machine-readable JSON line on stdout:
+ *   {"bench":"providers", "per_provider":[{"provider":"adaptive",
+ *    "seconds":..., "mips":..., "ipc":..., "l1i_mpki":...,
+ *    "scenario2_share":..., "insertions":..., "eval_runs":...}]}
+ *
+ * Environment knobs: SIPRE_WORKLOADS (default 8), SIPRE_INSTRUCTIONS
+ * (default 1,000,000).
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "asmdb/pipeline.hpp"
+#include "core/options.hpp"
+#include "core/simulator.hpp"
+#include "trace/synth/workload.hpp"
+
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sipre;
+
+    const std::size_t workloads =
+        static_cast<std::size_t>(envOr("SIPRE_WORKLOADS", 8));
+    const std::size_t instructions =
+        static_cast<std::size_t>(envOr("SIPRE_INSTRUCTIONS", 1'000'000));
+    std::cerr << "[providers] workloads=" << workloads
+              << " instructions=" << instructions << "\n";
+
+    const auto suite = synth::cvp1LikeSuite(workloads);
+    std::vector<Trace> traces;
+    traces.reserve(suite.size());
+    for (const auto &spec : suite)
+        traces.push_back(synth::generateTrace(spec, instructions));
+
+    const DistanceProviderKind kinds[] = {
+        DistanceProviderKind::kStatic,
+        DistanceProviderKind::kProfile,
+        DistanceProviderKind::kAdaptive,
+    };
+
+    const SimConfig config = SimConfig::industry();
+    std::cout << "{\"bench\":\"providers\""
+              << ",\"workloads\":" << traces.size()
+              << ",\"instructions\":" << instructions
+              << ",\"per_provider\":[";
+    bool first = true;
+    for (const DistanceProviderKind kind : kinds) {
+        std::cerr << "[providers] " << distanceProviderName(kind)
+                  << "...\n";
+        asmdb::AsmdbParams params;
+        params.distance_provider = kind;
+
+        std::uint64_t simulated = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t effective = 0;
+        std::uint64_t l1i_misses = 0;
+        std::uint64_t scenario2 = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t eval_runs = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const Trace &trace : traces) {
+            const auto artifacts =
+                asmdb::runPipeline(trace, config, params);
+            insertions += artifacts.plan.insertions.size();
+            eval_runs += artifacts.decision.eval_runs;
+            Simulator sim(config, artifacts.rewrite.trace);
+            const SimResult r = sim.run();
+            simulated += r.instructions;
+            cycles += r.cycles;
+            effective += r.effective_instructions;
+            l1i_misses += r.l1i.misses;
+            scenario2 += r.frontend.scenario2_cycles;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+        const double mips =
+            secs > 0.0 ? static_cast<double>(simulated) / secs / 1e6 : 0.0;
+        const double ipc = cycles == 0 ? 0.0
+                                       : static_cast<double>(effective) /
+                                             static_cast<double>(cycles);
+        const double mpki = effective == 0
+                                ? 0.0
+                                : 1000.0 * static_cast<double>(l1i_misses) /
+                                      static_cast<double>(effective);
+        const double s2_share =
+            cycles == 0 ? 0.0
+                        : static_cast<double>(scenario2) /
+                              static_cast<double>(cycles);
+
+        if (!first)
+            std::cout << ",";
+        first = false;
+        std::cout << "{\"provider\":\"" << distanceProviderName(kind)
+                  << "\",\"seconds\":" << secs << ",\"mips\":" << mips
+                  << ",\"ipc\":" << ipc << ",\"l1i_mpki\":" << mpki
+                  << ",\"scenario2_share\":" << s2_share
+                  << ",\"insertions\":" << insertions
+                  << ",\"eval_runs\":" << eval_runs << "}";
+    }
+    std::cout << "]}\n";
+    return 0;
+}

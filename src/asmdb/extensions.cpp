@@ -31,6 +31,7 @@ runFeedbackDirected(const Trace &trace, const SimConfig &config,
 
     // Round 0: the standard AsmDB pipeline.
     AsmdbArtifacts artifacts = runPipeline(trace, config, params);
+    result.decision = artifacts.decision;
     result.plan = artifacts.plan;
     result.insertions_per_round.push_back(result.plan.insertions.size());
 

@@ -40,6 +40,7 @@ struct FeedbackParams
 /** Outcome of the feedback loop. */
 struct FeedbackResult
 {
+    DistanceDecision decision;   ///< round-0 distance-provider output
     AsmdbPlan plan;              ///< pruned plan after the last round
     RewriteResult rewrite;       ///< trace rewritten with the final plan
     SwPrefetchTriggers triggers; ///< no-overhead form of the final plan

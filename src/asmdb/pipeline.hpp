@@ -9,7 +9,7 @@
 #ifndef SIPRE_ASMDB_PIPELINE_HPP
 #define SIPRE_ASMDB_PIPELINE_HPP
 
-#include "asmdb/planner.hpp"
+#include "asmdb/providers.hpp"
 #include "asmdb/rewriter.hpp"
 #include "core/config.hpp"
 #include "core/sim_result.hpp"
@@ -22,6 +22,7 @@ namespace sipre::asmdb
 struct AsmdbArtifacts
 {
     SimResult profile_run;       ///< baseline run used for profiling
+    DistanceDecision decision;   ///< the distance provider's output
     AsmdbPlan plan;
     RewriteResult rewrite;       ///< rewritten trace + bloat numbers
     SwPrefetchTriggers triggers; ///< no-overhead mode trigger map
@@ -30,7 +31,11 @@ struct AsmdbArtifacts
 /**
  * Run the full AsmDB pipeline for one workload trace under the given
  * baseline configuration (the profile is gathered on that baseline,
- * like profiling a production machine).
+ * like profiling a production machine). Distances come from
+ * `params.distance_provider`: `static` reproduces the pre-provider
+ * pipeline byte-for-byte, `profile` consults `params.external_profile`
+ * (or this pass's own profiling run), and `adaptive` runs three extra
+ * evaluation simulations scored by Scenario-2 occupancy.
  */
 AsmdbArtifacts runPipeline(const Trace &trace, const SimConfig &config,
                            const AsmdbParams &params = {});

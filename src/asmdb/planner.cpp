@@ -36,17 +36,37 @@ struct Candidate
 
 } // namespace
 
+DistanceDecision
+staticDecision(double profiled_ipc, Cycle miss_latency,
+               const AsmdbParams &params)
+{
+    DistanceDecision decision;
+    decision.min_distance = static_cast<std::uint32_t>(
+        std::ceil(std::max(0.1, profiled_ipc) *
+                  static_cast<double>(miss_latency)));
+    decision.window = static_cast<std::uint32_t>(
+        decision.min_distance * std::max(1.0, params.window_mult));
+    return decision;
+}
+
 AsmdbPlan
 buildPlan(const Cfg &cfg,
           const std::unordered_map<Addr, std::uint64_t> &line_misses,
           double profiled_ipc, Cycle llc_latency, const AsmdbParams &params)
 {
+    return buildPlan(cfg, line_misses,
+                     staticDecision(profiled_ipc, llc_latency, params),
+                     params);
+}
+
+AsmdbPlan
+buildPlan(const Cfg &cfg,
+          const std::unordered_map<Addr, std::uint64_t> &line_misses,
+          const DistanceDecision &decision, const AsmdbParams &params)
+{
     AsmdbPlan plan;
-    plan.min_distance = static_cast<std::uint32_t>(
-        std::ceil(std::max(0.1, profiled_ipc) *
-                  static_cast<double>(llc_latency)));
-    plan.window = static_cast<std::uint32_t>(
-        plan.min_distance * std::max(1.0, params.window_mult));
+    plan.min_distance = decision.min_distance;
+    plan.window = decision.window;
 
     // Rank target lines by miss count.
     std::vector<std::pair<Addr, std::uint64_t>> targets(line_misses.begin(),
@@ -77,6 +97,10 @@ buildPlan(const Cfg &cfg,
             continue;
         ++targets_used;
 
+        // This target's distance band, possibly provider-tuned.
+        const std::uint32_t target_min = decision.distanceFor(line);
+        const std::uint32_t target_window = decision.windowFor(line);
+
         // Backward best-first traversal from the target block.
         best_prob.clear();
         std::priority_queue<WorkItem> queue;
@@ -90,8 +114,7 @@ buildPlan(const Cfg &cfg,
             ++expansions;
 
             const CfgBlock &block = cfg.block(item.block);
-            if (item.block != target &&
-                item.distance >= plan.min_distance &&
+            if (item.block != target && item.distance >= target_min &&
                 item.prob >= params.min_path_prob &&
                 block.exec_count > 0) {
                 candidates.push_back(Candidate{
@@ -100,7 +123,7 @@ buildPlan(const Cfg &cfg,
                         item.prob *
                         static_cast<double>(block.exec_count))});
             }
-            if (item.distance >= plan.window)
+            if (item.distance >= target_window)
                 continue;
 
             auto visit_pred = [&](std::uint32_t pred_id, double edge_prob,

@@ -14,6 +14,12 @@
 #include <vector>
 
 #include "asmdb/cfg.hpp"
+#include "core/options.hpp"
+
+namespace sipre
+{
+struct SimResult;
+}
 
 namespace sipre::asmdb
 {
@@ -42,7 +48,65 @@ struct AsmdbParams
 
     /** Per-target expected-execution coverage goal. */
     double per_target_coverage = 0.9;
+
+    /** Where the plan's prefetch distances come from. */
+    DistanceProviderKind distance_provider =
+        DistanceProviderKind::kStatic;
+
+    /**
+     * Optional prior-run result for the `profile` provider (the
+     * two-pass profile→instrument flow): its IPC, miss rates, and
+     * Scenario-2 attribution refine the distances. Not owned; must
+     * outlive the pipeline call. Null = the provider falls back to
+     * this pass's own profiling run.
+     */
+    const SimResult *external_profile = nullptr;
 };
+
+/** Per-target-line distance override chosen by a provider. */
+struct TargetTuning
+{
+    std::uint32_t min_distance = 0;
+    std::uint32_t window = 0;
+};
+
+/**
+ * A provider's answer: the global minimum distance and traversal
+ * window, plus optional per-target-line overrides. With an empty
+ * override map this reduces to the classic single-policy planner.
+ */
+struct DistanceDecision
+{
+    std::uint32_t min_distance = 0; ///< instructions ahead of the miss
+    std::uint32_t window = 0;       ///< traversal cutoff, instructions
+    /** Overrides keyed by target line address (old layout). */
+    std::unordered_map<Addr, TargetTuning> overrides;
+    /** Evaluation simulations the provider consumed (adaptive). */
+    std::uint64_t eval_runs = 0;
+
+    std::uint32_t
+    distanceFor(Addr line) const
+    {
+        const auto it = overrides.find(line);
+        return it == overrides.end() ? min_distance
+                                     : it->second.min_distance;
+    }
+
+    std::uint32_t
+    windowFor(Addr line) const
+    {
+        const auto it = overrides.find(line);
+        return it == overrides.end() ? window : it->second.window;
+    }
+};
+
+/**
+ * The classic static policy as a decision: min_distance =
+ * ceil(max(0.1, profiled_ipc) × miss_latency), window = min_distance ×
+ * max(1, window_mult). Byte-identical to the pre-provider planner.
+ */
+DistanceDecision staticDecision(double profiled_ipc, Cycle miss_latency,
+                                const AsmdbParams &params);
 
 /** One planned software prefetch. */
 struct Insertion
@@ -82,6 +146,18 @@ AsmdbPlan buildPlan(const Cfg &cfg,
                     const std::unordered_map<Addr, std::uint64_t>
                         &line_misses,
                     double profiled_ipc, Cycle llc_latency,
+                    const AsmdbParams &params);
+
+/**
+ * Build an insertion plan under an explicit distance decision: each
+ * target's backward traversal honors the decision's (possibly
+ * per-target) minimum distance and window. The legacy overload above
+ * is exactly this with staticDecision().
+ */
+AsmdbPlan buildPlan(const Cfg &cfg,
+                    const std::unordered_map<Addr, std::uint64_t>
+                        &line_misses,
+                    const DistanceDecision &decision,
                     const AsmdbParams &params);
 
 /**

@@ -1,0 +1,214 @@
+#include "asmdb/providers.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/sim_result.hpp"
+
+namespace sipre::asmdb
+{
+
+namespace
+{
+
+/** The paper's fixed rule: one decision, no overrides. */
+class StaticProvider final : public DistanceProvider
+{
+  public:
+    DistanceProviderKind
+    kind() const override
+    {
+        return DistanceProviderKind::kStatic;
+    }
+
+    DistanceDecision
+    decide(const ProviderInputs &inputs,
+           const AsmdbParams &params) override
+    {
+        return staticDecision(inputs.profile_run.ipc(),
+                              inputs.miss_latency, params);
+    }
+};
+
+/**
+ * Distances from a measured profile. The base distance uses the
+ * profile's IPC (a prior run fed back through --profile-in / the
+ * result serialization, else this pass's own profiling run) and is
+ * stretched by the profile's Scenario-2 share: a front-end whose FTQ
+ * head stalls often needs prefetches launched earlier than the raw
+ * IPC × latency product suggests. The dominant miss lines (top
+ * quartile of the per-line miss profile) additionally get 1.5× the
+ * distance — they are the lines whose residual latency the profile
+ * says the front-end actually waits on. Target *selection* always
+ * comes from this pass's own per-line profile; an external profile
+ * refines distances only (its line addresses may not even be
+ * comparable, e.g. across rebased cores).
+ */
+class ProfileProvider final : public DistanceProvider
+{
+  public:
+    DistanceProviderKind
+    kind() const override
+    {
+        return DistanceProviderKind::kProfile;
+    }
+
+    DistanceDecision
+    decide(const ProviderInputs &inputs,
+           const AsmdbParams &params) override
+    {
+        const SimResult &profile = inputs.external_profile != nullptr
+                                       ? *inputs.external_profile
+                                       : inputs.profile_run;
+
+        // Scenario-2 share of all cycles. Multi-core profiles sum the
+        // per-core front-end counters while keeping the slowest core's
+        // cycle count, so clamp to [0, 1].
+        const double s2_share =
+            profile.cycles == 0
+                ? 0.0
+                : std::min(1.0,
+                           static_cast<double>(
+                               profile.frontend.scenario2_cycles) /
+                               static_cast<double>(profile.cycles));
+
+        DistanceDecision decision;
+        decision.min_distance = static_cast<std::uint32_t>(
+            std::ceil(std::max(0.1, profile.ipc()) *
+                      static_cast<double>(inputs.miss_latency) *
+                      (1.0 + s2_share)));
+        decision.window = static_cast<std::uint32_t>(
+            decision.min_distance * std::max(1.0, params.window_mult));
+
+        // Per-target stretch for the hottest miss lines.
+        std::uint64_t max_misses = 0;
+        for (const auto &[line, count] : inputs.line_misses)
+            max_misses = std::max(max_misses, count);
+        const std::uint64_t hot_threshold = max_misses -
+                                            max_misses / 4;
+        if (hot_threshold > 0) {
+            const TargetTuning hot{
+                decision.min_distance + decision.min_distance / 2,
+                decision.window + decision.window / 2};
+            for (const auto &[line, count] : inputs.line_misses) {
+                if (count >= hot_threshold)
+                    decision.overrides.emplace(line, hot);
+            }
+        }
+        return decision;
+    }
+};
+
+/**
+ * Bounded deterministic search: score the static distance at 1×, 2×,
+ * and 4× by the Scenario-2 occupancy of an evaluation run (candidate
+ * plan in no-overhead trigger form), take the globally best
+ * multiplier, then re-tune each target line to the multiplier whose
+ * evaluation left it the fewest residual misses. Ties prefer the
+ * global winner, then the smaller multiplier, so the search is fully
+ * deterministic. Costs exactly three evaluation simulations.
+ */
+class AdaptiveProvider final : public DistanceProvider
+{
+  public:
+    explicit AdaptiveProvider(ProviderEvaluator evaluator)
+        : evaluator_(std::move(evaluator))
+    {
+    }
+
+    DistanceProviderKind
+    kind() const override
+    {
+        return DistanceProviderKind::kAdaptive;
+    }
+
+    DistanceDecision
+    decide(const ProviderInputs &inputs,
+           const AsmdbParams &params) override
+    {
+        const DistanceDecision base = staticDecision(
+            inputs.profile_run.ipc(), inputs.miss_latency, params);
+        if (!evaluator_)
+            return base; // no evaluation runs available
+
+        constexpr std::array<std::uint32_t, 3> kMultipliers{1, 2, 4};
+        struct Candidate
+        {
+            DistanceDecision decision;
+            AsmdbPlan plan;
+            ProviderEvalResult eval;
+        };
+        std::array<Candidate, kMultipliers.size()> candidates;
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < kMultipliers.size(); ++i) {
+            Candidate &cand = candidates[i];
+            cand.decision.min_distance =
+                base.min_distance * kMultipliers[i];
+            cand.decision.window = base.window * kMultipliers[i];
+            cand.plan = buildPlan(inputs.cfg, inputs.line_misses,
+                                  cand.decision, params);
+            cand.eval = evaluator_(cand.plan);
+            if (cand.eval.scenario2_cycles <
+                candidates[best].eval.scenario2_cycles)
+                best = i;
+        }
+
+        DistanceDecision decision = candidates[best].decision;
+        decision.eval_runs = kMultipliers.size();
+
+        // Per-target refinement over the winner plan's target lines.
+        const auto residual = [&](std::size_t i, Addr line) {
+            const auto it = candidates[i].eval.line_misses.find(line);
+            return it == candidates[i].eval.line_misses.end()
+                       ? std::uint64_t{0}
+                       : it->second;
+        };
+        std::vector<Addr> lines;
+        lines.reserve(candidates[best].plan.insertions.size());
+        for (const Insertion &ins : candidates[best].plan.insertions)
+            lines.push_back(ins.target_line);
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+        for (const Addr line : lines) {
+            std::uint64_t best_residual = residual(best, line);
+            std::size_t choice = best;
+            for (std::size_t i = 0; i < kMultipliers.size(); ++i) {
+                if (residual(i, line) < best_residual) {
+                    best_residual = residual(i, line);
+                    choice = i;
+                }
+            }
+            if (choice != best) {
+                decision.overrides.emplace(
+                    line,
+                    TargetTuning{candidates[choice].decision.min_distance,
+                                 candidates[choice].decision.window});
+            }
+        }
+        return decision;
+    }
+
+  private:
+    ProviderEvaluator evaluator_;
+};
+
+} // namespace
+
+std::unique_ptr<DistanceProvider>
+makeDistanceProvider(DistanceProviderKind kind,
+                     ProviderEvaluator evaluator)
+{
+    switch (kind) {
+    case DistanceProviderKind::kStatic:
+        return std::make_unique<StaticProvider>();
+    case DistanceProviderKind::kProfile:
+        return std::make_unique<ProfileProvider>();
+    case DistanceProviderKind::kAdaptive:
+        return std::make_unique<AdaptiveProvider>(std::move(evaluator));
+    }
+    return std::make_unique<StaticProvider>();
+}
+
+} // namespace sipre::asmdb

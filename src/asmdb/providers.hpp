@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Pluggable prefetch-distance providers for the AsmDB pipeline: the
+ * policy half of the provider/policy split. A provider examines the
+ * profiling pass (CFG, per-line misses, the profile run's statistics,
+ * optionally a prior run fed back through the result serialization)
+ * and produces a DistanceDecision that the planner's backward
+ * traversal honors per target.
+ *
+ * Three providers ship:
+ *  - `static`   — the paper's fixed IPC × miss-latency rule; produces
+ *                 plans byte-identical to the pre-provider pipeline.
+ *  - `profile`  — distances from a prior simulation's measured IPC,
+ *                 L1-I pressure, and Scenario-2 (stalling-head) share,
+ *                 with longer distances for the dominant miss lines.
+ *  - `adaptive` — a bounded deterministic search over distance
+ *                 multipliers, scored by Scenario-2 occupancy from the
+ *                 scenario timeline of injected evaluation runs, with
+ *                 per-target refinement from residual miss counts.
+ */
+#ifndef SIPRE_ASMDB_PROVIDERS_HPP
+#define SIPRE_ASMDB_PROVIDERS_HPP
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "asmdb/planner.hpp"
+
+namespace sipre::asmdb
+{
+
+/** Everything a provider may consult when deciding distances. */
+struct ProviderInputs
+{
+    const Cfg &cfg;
+    /** Per-line L1-I demand misses from this pass's profiling run. */
+    const std::unordered_map<Addr, std::uint64_t> &line_misses;
+    /** This pass's profiling run (always available). */
+    const SimResult &profile_run;
+    /** Prior-run feedback for the `profile` provider; may be null. */
+    const SimResult *external_profile;
+    /** L1-I + L2 + LLC latency: the cost of a full miss, in cycles. */
+    Cycle miss_latency;
+};
+
+/** One evaluation run's outcome, for the adaptive provider. */
+struct ProviderEvalResult
+{
+    /** Scenario-2 cycles summed over the run's scenario timeline. */
+    std::uint64_t scenario2_cycles = 0;
+    /** Residual per-line L1-I misses with the candidate plan active. */
+    std::unordered_map<Addr, std::uint64_t> line_misses;
+};
+
+/**
+ * Runs a candidate plan (in no-overhead trigger form, so line
+ * addresses stay comparable with the profile) and reports its
+ * Scenario-2 occupancy and residual misses. Injected by the pipeline
+ * so providers stay simulator-free and testable with fakes.
+ */
+using ProviderEvaluator =
+    std::function<ProviderEvalResult(const AsmdbPlan &)>;
+
+/** The provider interface: one decision per profile-and-plan pass. */
+class DistanceProvider
+{
+  public:
+    virtual ~DistanceProvider() = default;
+
+    virtual DistanceProviderKind kind() const = 0;
+
+    /** Canonical knob-value name ("static" / "profile" / "adaptive"). */
+    const char *
+    name() const
+    {
+        return distanceProviderName(kind());
+    }
+
+    /**
+     * Decide the distance band(s) for one plan. Must be deterministic:
+     * identical inputs produce an identical decision (the
+     * profile-feedback determinism guarantee rests on this).
+     */
+    virtual DistanceDecision decide(const ProviderInputs &inputs,
+                                    const AsmdbParams &params) = 0;
+};
+
+/**
+ * Factory. The evaluator is only consulted by the adaptive provider;
+ * without one, adaptive degrades to the static decision (no evaluation
+ * runs available — e.g. a unit test exercising the decision plumbing).
+ */
+std::unique_ptr<DistanceProvider>
+makeDistanceProvider(DistanceProviderKind kind,
+                     ProviderEvaluator evaluator = {});
+
+} // namespace sipre::asmdb
+
+#endif // SIPRE_ASMDB_PROVIDERS_HPP

@@ -95,6 +95,29 @@ parseHwPrefetcher(std::string_view name)
     return std::nullopt;
 }
 
+const char *
+distanceProviderName(DistanceProviderKind kind)
+{
+    switch (kind) {
+    case DistanceProviderKind::kStatic: return "static";
+    case DistanceProviderKind::kProfile: return "profile";
+    case DistanceProviderKind::kAdaptive: return "adaptive";
+    }
+    return "static";
+}
+
+std::optional<DistanceProviderKind>
+parseDistanceProvider(std::string_view name)
+{
+    if (name == "static")
+        return DistanceProviderKind::kStatic;
+    if (name == "profile")
+        return DistanceProviderKind::kProfile;
+    if (name == "adaptive")
+        return DistanceProviderKind::kAdaptive;
+    return std::nullopt;
+}
+
 std::optional<std::uint64_t>
 parseUnsigned(std::string_view text, std::uint64_t max)
 {

@@ -26,6 +26,20 @@ enum class SimMode : std::uint8_t {
     kFeedback    ///< feedback-directed AsmDB
 };
 
+/**
+ * Where the AsmDB planner's prefetch distances come from (the
+ * provider/policy split of the insertion pipeline). `static` is the
+ * paper's fixed IPC×latency rule; `profile` derives distances from a
+ * prior run's miss rates and Scenario-2 attribution (the two-pass
+ * profile→instrument flow); `adaptive` searches per-target distances
+ * that minimize Scenario-2 occupancy in evaluation runs.
+ */
+enum class DistanceProviderKind : std::uint8_t {
+    kStatic,   ///< fixed IPC × miss-latency distance (the default)
+    kProfile,  ///< distances fed back from a prior simulation's profile
+    kAdaptive, ///< per-target tuning against Scenario-2 occupancy
+};
+
 /** Pipe-separated valid values, for error messages and usage text. */
 inline constexpr const char *kSimModeChoices =
     "base|asmdb|noovh|metadata|feedback";
@@ -33,6 +47,8 @@ inline constexpr const char *kPredictorChoices =
     "perceptron|tage|gshare|bimodal|local";
 inline constexpr const char *kHwPrefetcherChoices =
     "none|nextline|eip|fdip|mana|fdip+mana";
+inline constexpr const char *kDistanceProviderChoices =
+    "static|profile|adaptive";
 
 /** Canonical name of a mode (inverse of parseSimMode). */
 const char *simModeName(SimMode mode);
@@ -52,6 +68,13 @@ const char *hwPrefetcherName(IPrefetcherKind kind);
 
 /** Parse a hardware-prefetcher name; nullopt on an unknown value. */
 std::optional<IPrefetcherKind> parseHwPrefetcher(std::string_view name);
+
+/** Canonical name of an AsmDB distance-provider kind. */
+const char *distanceProviderName(DistanceProviderKind kind);
+
+/** Parse a distance-provider name; nullopt on an unknown value. */
+std::optional<DistanceProviderKind>
+parseDistanceProvider(std::string_view name);
 
 /**
  * Parse a base-10 unsigned integer, rejecting junk, trailing garbage,

@@ -14,7 +14,8 @@ SweepSpec::shardCount() const
     const std::size_t workload_dim = mix.empty() ? workloads.size() : 1;
     return workload_dim * cores.size() * ftq.size() * modes.size() *
            predictors.size() * hw_prefetchers.size() * pfc.size() *
-           ghr_filter.size() * wrong_path.size();
+           ghr_filter.size() * wrong_path.size() *
+           distance_providers.size();
 }
 
 namespace
@@ -218,6 +219,22 @@ parseSweepSpec(const std::string &body, SweepSpec &out, std::string &error)
                     },
                     error))
                 return false;
+        } else if (key == "distance_provider") {
+            if (!parseAxis(
+                    key, value, out.distance_providers,
+                    [&](const JsonValue &v, DistanceProviderKind &kind) {
+                        if (!v.isString() ||
+                            !parseDistanceProvider(v.string)) {
+                            error = "field 'distance_provider' values "
+                                    "must be one of " +
+                                    std::string(kDistanceProviderChoices);
+                            return false;
+                        }
+                        kind = *parseDistanceProvider(v.string);
+                        return true;
+                    },
+                    error))
+                return false;
         } else if (key == "pfc" || key == "ghr_filter" ||
                    key == "wrong_path") {
             std::vector<bool> *axis = key == "pfc" ? &out.pfc
@@ -295,6 +312,9 @@ sweepSpecToJson(const SweepSpec &spec)
     std::vector<std::string> prefetchers;
     for (const IPrefetcherKind kind : spec.hw_prefetchers)
         prefetchers.push_back(hwPrefetcherName(kind));
+    std::vector<std::string> providers;
+    for (const DistanceProviderKind kind : spec.distance_providers)
+        providers.push_back(distanceProviderName(kind));
 
     std::string out;
     if (spec.mix.empty()) {
@@ -313,6 +333,7 @@ sweepSpecToJson(const SweepSpec &spec)
     out += ",\"pfc\":" + jsonBoolArray(spec.pfc);
     out += ",\"ghr_filter\":" + jsonBoolArray(spec.ghr_filter);
     out += ",\"wrong_path\":" + jsonBoolArray(spec.wrong_path);
+    out += ",\"distance_provider\":" + jsonStringArray(providers);
     out += '}';
     return out;
 }
@@ -358,17 +379,23 @@ expandSweep(const SweepSpec &spec)
                         for (const bool pfc : spec.pfc) {
                             for (const bool ghr : spec.ghr_filter) {
                                 for (const bool wp : spec.wrong_path) {
-                                    service::SimRequest request = machine;
-                                    request.instructions =
-                                        spec.instructions;
-                                    request.ftq_entries = ftq;
-                                    request.mode = mode;
-                                    request.predictor = predictor;
-                                    request.hw_prefetcher = prefetcher;
-                                    request.pfc = pfc;
-                                    request.ghr_filter = ghr;
-                                    request.wrong_path = wp;
-                                    shards.push_back(request);
+                                    for (const DistanceProviderKind dp :
+                                         spec.distance_providers) {
+                                        service::SimRequest request =
+                                            machine;
+                                        request.instructions =
+                                            spec.instructions;
+                                        request.ftq_entries = ftq;
+                                        request.mode = mode;
+                                        request.predictor = predictor;
+                                        request.hw_prefetcher =
+                                            prefetcher;
+                                        request.pfc = pfc;
+                                        request.ghr_filter = ghr;
+                                        request.wrong_path = wp;
+                                        request.distance_provider = dp;
+                                        shards.push_back(request);
+                                    }
                                 }
                             }
                         }

@@ -45,6 +45,8 @@ struct SweepSpec
     std::vector<bool> pfc = {true};
     std::vector<bool> ghr_filter = {true};
     std::vector<bool> wrong_path = {true};
+    std::vector<DistanceProviderKind> distance_providers = {
+        DistanceProviderKind::kStatic};
 
     /**
      * |workloads| × the product of all axis lengths (the workload
@@ -62,7 +64,8 @@ inline constexpr std::size_t kMaxShardsPerJob = 4096;
  * full 48-workload suite) — or `mix` (a fixed per-core workload list)
  * stands in for it; every other axis accepts a scalar or an array of
  * distinct values: instructions (scalar only), cores, ftq, mode,
- * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path. Unknown
+ * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path,
+ * distance_provider. Unknown
  * fields, bad types, duplicate axis values, out-of-range values, and
  * sweeps past kMaxShardsPerJob are rejected with a specific `error`.
  */
@@ -74,10 +77,10 @@ std::string sweepSpecToJson(const SweepSpec &spec);
 
 /**
  * Expand the sweep into its shards: workloads outermost, then cores,
- * ftq, mode, predictor, hw_prefetcher, pfc, ghr_filter, wrong_path
- * innermost. The order is part of the job-record contract — shard
- * indices persist across restarts — so it must never change for a
- * given spec.
+ * ftq, mode, predictor, hw_prefetcher, pfc, ghr_filter, wrong_path,
+ * distance_provider innermost. The order is part of the job-record
+ * contract — shard indices persist across restarts — so new axes
+ * append innermost and the order must never change for a given spec.
  */
 std::vector<service::SimRequest> expandSweep(const SweepSpec &spec);
 

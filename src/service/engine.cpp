@@ -20,6 +20,32 @@ namespace sipre::service
 namespace
 {
 
+/** The request's knob vector as AsmDB pipeline parameters. */
+asmdb::AsmdbParams
+asmdbParamsFor(const SimRequest &request)
+{
+    asmdb::AsmdbParams params;
+    params.distance_provider = request.distance_provider;
+    return params;
+}
+
+/** Fold one pipeline's provider accounting into the out-param. */
+void
+noteAsmdbRun(AsmdbRunInfo *info, const SimRequest &request,
+             const asmdb::DistanceDecision &decision,
+             const asmdb::AsmdbPlan &plan)
+{
+    if (info == nullptr)
+        return;
+    info->pipeline_ran = true;
+    info->provider = request.distance_provider;
+    ++info->pipelines;
+    info->insertions += plan.insertions.size();
+    info->tuned_targets += decision.overrides.size();
+    info->eval_runs += decision.eval_runs;
+    info->distance_sum += decision.min_distance;
+}
+
 /**
  * The multi-core form of every request mode: generate one trace per
  * mix entry, apply the mode's AsmDB artifacts per core (each workload
@@ -28,7 +54,8 @@ namespace
  */
 SimResult
 runMultiCoreRequest(const SimRequest &request,
-                    std::uint32_t scenario_window)
+                    std::uint32_t scenario_window,
+                    AsmdbRunInfo *asmdb_info)
 {
     const auto suite = synth::cvp1LikeSuite();
     const SimConfig config = request.toConfig();
@@ -64,28 +91,34 @@ runMultiCoreRequest(const SimRequest &request,
     for (const Trace &t : traces)
         run_traces.push_back(&t);
 
+    const asmdb::AsmdbParams params = asmdbParamsFor(request);
     switch (request.mode) {
     case SimMode::kBase:
         break;
     case SimMode::kAsmdb:
         for (std::size_t i = 0; i < traces.size(); ++i) {
-            artifacts.push_back(asmdb::runPipeline(traces[i], config));
+            artifacts.push_back(
+                asmdb::runPipeline(traces[i], config, params));
             run_traces[i] = &artifacts.back().rewrite.trace;
         }
         break;
     case SimMode::kNoOverhead:
     case SimMode::kMetadata:
         for (const Trace &t : traces)
-            artifacts.push_back(asmdb::runPipeline(t, config));
+            artifacts.push_back(asmdb::runPipeline(t, config, params));
         break;
     case SimMode::kFeedback:
         for (std::size_t i = 0; i < traces.size(); ++i) {
             feedback.push_back(
-                asmdb::runFeedbackDirected(traces[i], config));
+                asmdb::runFeedbackDirected(traces[i], config, params));
             run_traces[i] = &feedback.back().rewrite.trace;
         }
         break;
     }
+    for (const asmdb::AsmdbArtifacts &a : artifacts)
+        noteAsmdbRun(asmdb_info, request, a.decision, a.plan);
+    for (const asmdb::FeedbackResult &fb : feedback)
+        noteAsmdbRun(asmdb_info, request, fb.decision, fb.plan);
 
     MultiCoreSimulator sim(config, run_traces);
     if (request.mode == SimMode::kNoOverhead) {
@@ -105,10 +138,11 @@ runMultiCoreRequest(const SimRequest &request,
 } // namespace
 
 SimResult
-runSimRequest(const SimRequest &request, std::uint32_t scenario_window)
+runSimRequest(const SimRequest &request, std::uint32_t scenario_window,
+              AsmdbRunInfo *asmdb_info)
 {
     if (request.cores > 1)
-        return runMultiCoreRequest(request, scenario_window);
+        return runMultiCoreRequest(request, scenario_window, asmdb_info);
 
     const auto suite = synth::cvp1LikeSuite();
     const synth::WorkloadSpec *spec = nullptr;
@@ -127,24 +161,31 @@ runSimRequest(const SimRequest &request, std::uint32_t scenario_window)
         return sim.run();
     };
 
+    const asmdb::AsmdbParams params = asmdbParamsFor(request);
     switch (request.mode) {
     case SimMode::kBase: {
         Simulator sim(config, trace);
         return run(sim);
     }
     case SimMode::kAsmdb: {
-        const auto artifacts = asmdb::runPipeline(trace, config);
+        const auto artifacts = asmdb::runPipeline(trace, config, params);
+        noteAsmdbRun(asmdb_info, request, artifacts.decision,
+                     artifacts.plan);
         Simulator sim(config, artifacts.rewrite.trace);
         return run(sim);
     }
     case SimMode::kNoOverhead: {
-        const auto artifacts = asmdb::runPipeline(trace, config);
+        const auto artifacts = asmdb::runPipeline(trace, config, params);
+        noteAsmdbRun(asmdb_info, request, artifacts.decision,
+                     artifacts.plan);
         Simulator sim(config, trace);
         sim.setSwPrefetchTriggers(&artifacts.triggers);
         return run(sim);
     }
     case SimMode::kMetadata: {
-        const auto artifacts = asmdb::runPipeline(trace, config);
+        const auto artifacts = asmdb::runPipeline(trace, config, params);
+        noteAsmdbRun(asmdb_info, request, artifacts.decision,
+                     artifacts.plan);
         Simulator sim(config, trace);
         sim.attachMetadataPreloader(
             MetadataPreloadConfig{},
@@ -152,7 +193,8 @@ runSimRequest(const SimRequest &request, std::uint32_t scenario_window)
         return run(sim);
     }
     case SimMode::kFeedback: {
-        const auto fb = asmdb::runFeedbackDirected(trace, config);
+        const auto fb = asmdb::runFeedbackDirected(trace, config, params);
+        noteAsmdbRun(asmdb_info, request, fb.decision, fb.plan);
         Simulator sim(config, fb.rewrite.trace);
         return run(sim);
     }
@@ -429,6 +471,7 @@ SimulationEngine::workerLoop()
 
         std::shared_ptr<const SimResult> result;
         std::string error;
+        AsmdbRunInfo asmdb_info;
         bool injected = false;
         // The `engine` fault site models a worker whose simulation is
         // slow (delay) or dies (fail) — the submit()er must still get
@@ -447,7 +490,7 @@ SimulationEngine::workerLoop()
             span.arg("workload", job->request.workload);
             try {
                 result = std::make_shared<const SimResult>(runSimRequest(
-                    job->request, options_.scenario_window));
+                    job->request, options_.scenario_window, &asmdb_info));
             } catch (const std::exception &e) {
                 error = e.what();
             }
@@ -496,6 +539,27 @@ SimulationEngine::workerLoop()
                         slot->polluting += c.polluting;
                         slot->demoted_fills += c.demoted_fills;
                     }
+                }
+                if (asmdb_info.pipeline_ran) {
+                    ++asmdb_runs_;
+                    const char *name =
+                        distanceProviderName(asmdb_info.provider);
+                    ProviderCounters *slot = nullptr;
+                    for (ProviderCounters &acc : providers_) {
+                        if (acc.name == name)
+                            slot = &acc;
+                    }
+                    if (slot == nullptr) {
+                        providers_.emplace_back();
+                        providers_.back().name = name;
+                        slot = &providers_.back();
+                    }
+                    ++slot->runs;
+                    slot->pipelines += asmdb_info.pipelines;
+                    slot->insertions += asmdb_info.insertions;
+                    slot->tuned_targets += asmdb_info.tuned_targets;
+                    slot->eval_runs += asmdb_info.eval_runs;
+                    slot->distance_sum += asmdb_info.distance_sum;
                 }
                 cache_.put(job->key, result);
             } else {
@@ -566,6 +630,8 @@ SimulationEngine::stats() const
     s.multicore_runs = multicore_runs_;
     s.hwpf_runs = hwpf_runs_;
     s.hwpf = hwpf_;
+    s.asmdb_runs = asmdb_runs_;
+    s.providers = providers_;
     s.mc_llc_core_hits = mc_llc_hits_;
     s.mc_llc_core_misses = mc_llc_misses_;
     s.mc_dram_depth_count = mc_dram_depth_.total();
@@ -600,7 +666,7 @@ SimulationEngine::saveResultCache(const std::string &path) const
         if (!os)
             return -1;
         std::lock_guard<std::mutex> lock(mutex_);
-        os << "sipre-results 3 " << cache_.size() << '\n';
+        os << "sipre-results 4 " << cache_.size() << '\n';
         cache_.forEach(
             [&os](const std::string &key,
                   const std::shared_ptr<const SimResult> &result) {
@@ -628,9 +694,10 @@ SimulationEngine::loadResultCache(const std::string &path)
     int version = 0;
     std::size_t count = 0;
     is >> magic >> version >> count;
-    // v1 predates the scenario-timeline section; stale caches reload
-    // from scratch rather than misparse.
-    if (magic != "sipre-results" || version != 3)
+    // v1 predates the scenario-timeline section; v3 keys predate the
+    // distance_provider field. Stale caches reload from scratch rather
+    // than misparse or alias old keys onto new requests.
+    if (magic != "sipre-results" || version != 4)
         return -1;
     long loaded = 0;
     for (std::size_t i = 0; i < count; ++i) {

@@ -58,6 +58,35 @@ struct EngineOptions
     std::uint32_t scenario_window = 0;
 };
 
+/**
+ * What the AsmDB pipeline(s) inside one runSimRequest() did — one
+ * record per request, summed across cores on a multi-core run. Filled
+ * only when the request's mode actually ran a pipeline, so `base`
+ * runs leave it untouched.
+ */
+struct AsmdbRunInfo
+{
+    bool pipeline_ran = false;
+    DistanceProviderKind provider = DistanceProviderKind::kStatic;
+    std::uint64_t pipelines = 0;     ///< per-core pipeline executions
+    std::uint64_t insertions = 0;    ///< planned prefetch insertions
+    std::uint64_t tuned_targets = 0; ///< per-target distance overrides
+    std::uint64_t eval_runs = 0;     ///< adaptive evaluation sims
+    std::uint64_t distance_sum = 0;  ///< sum of global min distances
+};
+
+/** Per-provider accumulation of AsmdbRunInfo records (for /metrics). */
+struct ProviderCounters
+{
+    std::string name;
+    std::uint64_t runs = 0;      ///< fresh requests using this provider
+    std::uint64_t pipelines = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t tuned_targets = 0;
+    std::uint64_t eval_runs = 0;
+    std::uint64_t distance_sum = 0;
+};
+
 /** How a submit() call was resolved. */
 enum class SubmitStatus : std::uint8_t {
     kOk,       ///< result attached (fresh, cached, or coalesced)
@@ -121,6 +150,13 @@ struct EngineStats
     std::uint64_t hwpf_runs = 0;
     std::vector<HwPrefetchCounters> hwpf;
 
+    // AsmDB distance-provider counters, accumulated by provider name
+    // over every fresh AsmDB-family run (cache-tier hits contribute
+    // nothing new). Empty until the first such run, so /metrics emits
+    // no provider series on an engine that never ran the pipeline.
+    std::uint64_t asmdb_runs = 0;
+    std::vector<ProviderCounters> providers;
+
     // Latency of completed (kOk) requests, microseconds. The
     // percentiles are log2-bucket upper bounds (next power of two), so
     // they stay meaningful from microsecond cache hits up to
@@ -148,10 +184,13 @@ struct EngineStats
  * AsmDB pipeline, simulation). This is the exact per-mode recipe
  * sipre_cli executes, factored out so both entry points and the
  * service workers share it. A nonzero `scenario_window` turns on the
- * windowed FTQ scenario timeline for the run.
+ * windowed FTQ scenario timeline for the run. When `asmdb_info` is
+ * non-null and the mode runs the AsmDB pipeline, it receives the
+ * distance-provider accounting for the run.
  */
 SimResult runSimRequest(const SimRequest &request,
-                        std::uint32_t scenario_window = 0);
+                        std::uint32_t scenario_window = 0,
+                        AsmdbRunInfo *asmdb_info = nullptr);
 
 /** See file comment. Thread-safe; submit() blocks until resolution. */
 class SimulationEngine
@@ -267,6 +306,11 @@ class SimulationEngine
     // component name, fed by every fresh run's hwpf section.
     std::uint64_t hwpf_runs_ = 0;
     std::vector<HwPrefetchCounters> hwpf_;
+
+    // AsmDB distance-provider accumulators (guarded by mutex_), keyed
+    // by provider name, fed by every fresh AsmDB-family run.
+    std::uint64_t asmdb_runs_ = 0;
+    std::vector<ProviderCounters> providers_;
 
     std::vector<std::thread> workers_;
 

@@ -26,6 +26,7 @@ SimRequest::canonicalKey() const
         << "&ftq=" << ftq_entries << "&mode=" << simModeName(mode)
         << "&predictor=" << predictorName(predictor)
         << "&hw_prefetcher=" << hwPrefetcherName(hw_prefetcher)
+        << "&distance_provider=" << distanceProviderName(distance_provider)
         << "&pfc=" << (pfc ? 1 : 0)
         << "&ghr_filter=" << (ghr_filter ? 1 : 0)
         << "&wrong_path=" << (wrong_path ? 1 : 0)
@@ -143,6 +144,18 @@ parseSimRequest(const std::string &body, SimRequest &out, std::string &error)
                 return false;
             }
             out.hw_prefetcher = *kind;
+        } else if (key == "distance_provider") {
+            if (!value.isString()) {
+                error = "field 'distance_provider' must be a string";
+                return false;
+            }
+            const auto kind = parseDistanceProvider(value.string);
+            if (!kind) {
+                error = "unknown distance_provider '" + value.string +
+                        "' (expected " + kDistanceProviderChoices + ")";
+                return false;
+            }
+            out.distance_provider = *kind;
         } else if (key == "cores") {
             std::uint64_t n = 0;
             if (!jsonToUint(value, n)) {
@@ -254,6 +267,8 @@ requestToJson(const SimRequest &r)
         << simModeName(r.mode) << "\",\"predictor\":\""
         << predictorName(r.predictor) << "\",\"hw_prefetcher\":\""
         << hwPrefetcherName(r.hw_prefetcher)
+        << "\",\"distance_provider\":\""
+        << distanceProviderName(r.distance_provider)
         << "\",\"pfc\":" << (r.pfc ? "true" : "false")
         << ",\"ghr_filter\":" << (r.ghr_filter ? "true" : "false")
         << ",\"wrong_path\":" << (r.wrong_path ? "true" : "false")

@@ -31,6 +31,14 @@ struct SimRequest
     bool pfc = true;
     bool ghr_filter = true;
     bool wrong_path = true;
+    /**
+     * Where the AsmDB planner's prefetch distances come from. Only
+     * consulted by the AsmDB-family modes (asmdb/noovh/metadata/
+     * feedback); part of the canonical key for every request so a
+     * provider change can never alias a cached result.
+     */
+    DistanceProviderKind distance_provider =
+        DistanceProviderKind::kStatic;
     /** Core count; >1 routes through the multi-core simulator. */
     std::uint32_t cores = 1;
     /**
@@ -70,7 +78,8 @@ inline constexpr std::uint32_t kMaxCores = 8;
 /**
  * Parse and validate a JSON request body. Accepted fields (all
  * optional except `workload`): workload, instructions, ftq, mode,
- * predictor, hw_prefetcher, pfc, ghr_filter, wrong_path, cores, mix.
+ * predictor, hw_prefetcher, distance_provider, pfc, ghr_filter,
+ * wrong_path, cores, mix.
  * `mix` (an array of workload names, one per core) stands in for
  * `workload` and fixes the core count; `cores` alone replicates
  * `workload` across that many cores. Unknown fields, wrong types,

@@ -532,6 +532,38 @@ ServiceServer::handleMetrics() const
                  << "\"} " << c.demoted_fills << "\n";
         }
     }
+    // AsmDB distance providers: per-provider pipeline accounting,
+    // accumulated over every fresh AsmDB-family run. Emitted only once
+    // such a run has happened so base-mode deployments keep a clean
+    // scrape.
+    if (stats.asmdb_runs > 0) {
+        body << "# TYPE sipre_asmdb_runs_total counter\n"
+             << "sipre_asmdb_runs_total " << stats.asmdb_runs << "\n"
+             << "# TYPE sipre_asmdb_provider_runs_total counter\n"
+             << "# TYPE sipre_asmdb_provider_insertions_total counter\n"
+             << "# TYPE sipre_asmdb_provider_tuned_targets_total "
+                "counter\n"
+             << "# TYPE sipre_asmdb_provider_eval_runs_total counter\n"
+             << "# TYPE sipre_asmdb_provider_min_distance_avg gauge\n";
+        for (const ProviderCounters &p : stats.providers) {
+            body << "sipre_asmdb_provider_runs_total{provider=\""
+                 << p.name << "\"} " << p.runs << "\n"
+                 << "sipre_asmdb_provider_insertions_total{provider=\""
+                 << p.name << "\"} " << p.insertions << "\n"
+                 << "sipre_asmdb_provider_tuned_targets_total{provider"
+                    "=\""
+                 << p.name << "\"} " << p.tuned_targets << "\n"
+                 << "sipre_asmdb_provider_eval_runs_total{provider=\""
+                 << p.name << "\"} " << p.eval_runs << "\n"
+                 << "sipre_asmdb_provider_min_distance_avg{provider=\""
+                 << p.name << "\"} "
+                 << (p.pipelines == 0
+                         ? 0.0
+                         : static_cast<double>(p.distance_sum) /
+                               static_cast<double>(p.pipelines))
+                 << "\n";
+        }
+    }
     for (const auto &provider : metrics_providers_)
         body << provider();
     // Accounts for every injected fault; empty when injection is off.

@@ -166,6 +166,8 @@ pickSelfSoThatOwns(const std::string &key, const std::string &other,
     for (int candidate = 1; candidate <= 256; ++candidate) {
         const std::string name =
             "127.0.0.1:" + std::to_string(candidate);
+        if (name == other)
+            continue; // a one-member "pair" makes ownership vacuous
         const bool owns =
             rendezvousOwner(key, {name, other}) == other;
         if (owns == other_owns)

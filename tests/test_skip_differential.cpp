@@ -246,6 +246,26 @@ TEST_F(SkipDifferential, MetadataPreloaderAndIdealTriggers)
     expectIdentical(config, trace, &artifacts.triggers, &metadata);
 }
 
+// Every distance provider's instrumented run — the rewritten trace and
+// the no-overhead trigger form — must stay bit-identical across the
+// skip loop; the providers change which prefetches exist, not how the
+// simulator executes them.
+TEST_F(SkipDifferential, DistanceProvidersBitIdentical)
+{
+    const Trace trace =
+        makeTrace("secret_srv12", synth::Archetype::kServer, 120'000);
+    const SimConfig config = SimConfig::industry();
+    for (const DistanceProviderKind kind :
+         {DistanceProviderKind::kStatic, DistanceProviderKind::kProfile,
+          DistanceProviderKind::kAdaptive}) {
+        asmdb::AsmdbParams params;
+        params.distance_provider = kind;
+        const auto artifacts = asmdb::runPipeline(trace, config, params);
+        expectIdentical(config, artifacts.rewrite.trace);
+        expectIdentical(config, trace, &artifacts.triggers);
+    }
+}
+
 // Direct contract validation: run the reference loop and assert that no
 // progress observable changes strictly before the cycle nextEventCycle()
 // claimed. This catches a too-aggressive claim even if, by luck, it does

@@ -9,6 +9,8 @@
  *             [--mode base|asmdb|noovh|metadata|feedback]
  *             [--predictor perceptron|tage|gshare|bimodal|local]
  *             [--hw-prefetcher none|nextline|eip]
+ *             [--distance-provider static|profile|adaptive]
+ *             [--profile-in PATH] [--result-out PATH]
  *             [--cores N] [--mix A,B,...]
  *             [--no-pfc] [--no-ghr-filter] [--no-wrong-path] [--json]
  *             [--save-trace PATH] [--load-trace PATH] [--list]
@@ -25,6 +27,7 @@
 
 #include "asmdb/extensions.hpp"
 #include "asmdb/pipeline.hpp"
+#include "core/experiment.hpp"
 #include "core/json_io.hpp"
 #include "core/options.hpp"
 #include "core/report.hpp"
@@ -56,6 +59,16 @@ usage(const char *argv0)
         "  --mode MODE                %s\n"
         "  --predictor KIND           %s\n"
         "  --hw-prefetcher KIND       %s\n"
+        "  --distance-provider KIND   where the AsmDB planner's prefetch\n"
+        "                             distances come from (%s;\n"
+        "                             default static)\n"
+        "  --profile-in PATH          prior-run result (campaign text, as\n"
+        "                             written by --result-out) feeding the\n"
+        "                             'profile' distance provider\n"
+        "  --result-out PATH          write the run's full result in the\n"
+        "                             lossless campaign-text format (the\n"
+        "                             profile half of the two-pass\n"
+        "                             profile->instrument flow)\n"
         "  --cores N                  run N copies of the workload on N\n"
         "                             cores over a shared LLC/DRAM\n"
         "  --mix A,B,...              heterogeneous co-run: one core per\n"
@@ -81,7 +94,8 @@ usage(const char *argv0)
         "                             per-component ticks (front-end,\n"
         "                             back-end, each cache level, DRAM)\n"
         "                             and print the table to stderr\n",
-        argv0, kSimModeChoices, kPredictorChoices, kHwPrefetcherChoices);
+        argv0, kSimModeChoices, kPredictorChoices, kHwPrefetcherChoices,
+        kDistanceProviderChoices);
     std::exit(1);
 }
 
@@ -95,6 +109,26 @@ badValue(const char *flag, const std::string &value, const char *choices)
     return 2;
 }
 
+/**
+ * Persist a run's result in the lossless campaign-text format, the
+ * profile half of the two-pass profile->instrument flow (the file is
+ * what --profile-in reads back).
+ */
+bool
+writeResultFile(const std::string &path, const SimResult &result)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (out)
+        writeSimResultText(out, result);
+    if (!out) {
+        std::fprintf(stderr,
+                     "sipre_cli: error: cannot write result to %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -104,6 +138,7 @@ main(int argc, char **argv)
     std::string mode_name = "base";
     std::string save_path, load_path, champsim_path;
     std::string trace_out;
+    std::string profile_in, result_out;
     std::uint32_t cores = 1;
     std::vector<std::string> mix;
     std::size_t instructions = 2'000'000;
@@ -112,6 +147,7 @@ main(int argc, char **argv)
     bool json = false;
     bool profile = false;
     SimConfig config = SimConfig::industry();
+    asmdb::AsmdbParams aparams;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -157,6 +193,17 @@ main(int argc, char **argv)
                 return badValue("--hw-prefetcher", kind,
                                 kHwPrefetcherChoices);
             config.memory.l1i_prefetcher = *prefetcher;
+        } else if (arg == "--distance-provider") {
+            const std::string kind = next();
+            const auto provider = parseDistanceProvider(kind);
+            if (!provider)
+                return badValue("--distance-provider", kind,
+                                kDistanceProviderChoices);
+            aparams.distance_provider = *provider;
+        } else if (arg == "--profile-in") {
+            profile_in = next();
+        } else if (arg == "--result-out") {
+            result_out = next();
         } else if (arg == "--cores") {
             const std::string value = next();
             const auto n = parseUnsigned(value, ~std::uint32_t{0});
@@ -215,6 +262,20 @@ main(int argc, char **argv)
     const auto mode = parseSimMode(mode_name);
     if (!mode)
         return badValue("--mode", mode_name, kSimModeChoices);
+
+    // A prior run's serialized result (the campaign-text form written
+    // by --result-out) feeds the 'profile' provider's distance model.
+    SimResult external_profile;
+    if (!profile_in.empty()) {
+        std::ifstream in(profile_in);
+        if (!in || !readSimResultText(in, external_profile)) {
+            std::fprintf(stderr,
+                         "sipre_cli: error: cannot read profile %s\n",
+                         profile_in.c_str());
+            return 1;
+        }
+        aparams.external_profile = &external_profile;
+    }
 
     // --mix is the heterogeneous spelling of --cores: a single-entry
     // mix is just a workload, and an explicit --cores must agree with
@@ -291,19 +352,20 @@ main(int argc, char **argv)
         case SimMode::kAsmdb:
             for (std::size_t i = 0; i < traces.size(); ++i) {
                 artifacts.push_back(
-                    asmdb::runPipeline(traces[i], config));
+                    asmdb::runPipeline(traces[i], config, aparams));
                 run_traces[i] = &artifacts.back().rewrite.trace;
             }
             break;
         case SimMode::kNoOverhead:
         case SimMode::kMetadata:
             for (const Trace &t : traces)
-                artifacts.push_back(asmdb::runPipeline(t, config));
+                artifacts.push_back(
+                    asmdb::runPipeline(t, config, aparams));
             break;
         case SimMode::kFeedback:
             for (std::size_t i = 0; i < traces.size(); ++i) {
-                feedback.push_back(
-                    asmdb::runFeedbackDirected(traces[i], config));
+                feedback.push_back(asmdb::runFeedbackDirected(
+                    traces[i], config, aparams));
                 run_traces[i] = &feedback.back().rewrite.trace;
             }
             break;
@@ -326,6 +388,8 @@ main(int argc, char **argv)
             std::printf("%s\n", simResultToJson(result).c_str());
         else
             printReport(result, std::cout);
+        if (!result_out.empty() && !writeResultFile(result_out, result))
+            return 1;
         if (profile)
             std::fprintf(stderr,
                          "[sipre_cli] --profile attributes a single "
@@ -416,7 +480,7 @@ main(int argc, char **argv)
     case SimMode::kAsmdb:
     case SimMode::kNoOverhead:
     case SimMode::kMetadata: {
-        const auto artifacts = asmdb::runPipeline(trace, config);
+        const auto artifacts = asmdb::runPipeline(trace, config, aparams);
         if (!json) {
             std::printf("AsmDB plan: %zu insertions, static bloat "
                         "%.1f%%, dynamic bloat %.1f%%\n\n",
@@ -453,7 +517,7 @@ main(int argc, char **argv)
         break;
     }
     case SimMode::kFeedback: {
-        const auto fb = asmdb::runFeedbackDirected(trace, config);
+        const auto fb = asmdb::runFeedbackDirected(trace, config, aparams);
         if (!json) {
             std::printf("feedback-directed: insertions per round:");
             for (const auto n : fb.insertions_per_round)
@@ -467,6 +531,9 @@ main(int argc, char **argv)
         break;
     }
     }
+
+    if (!result_out.empty() && !writeResultFile(result_out, last_result))
+        return 1;
 
     if (!trace_out.empty()) {
         std::vector<trace_obs::CounterSeries> series;
